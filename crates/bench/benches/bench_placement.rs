@@ -1,0 +1,84 @@
+//! Placement throughput: RUSH lookups must be cheap enough to place
+//! millions of redundancy groups at simulation start, and dramatically
+//! cheaper than the O(N) rendezvous-hashing baseline at system scale.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use farm_placement::{ClusterMap, Hrw, Rush};
+use std::hint::black_box;
+
+fn bench_rush_place(c: &mut Criterion) {
+    let mut group = c.benchmark_group("placement/rush_place2");
+    for disks in [1_000u32, 10_000, 100_000] {
+        let map = ClusterMap::uniform(disks);
+        let rush = Rush::new(42);
+        group.throughput(Throughput::Elements(1));
+        group.bench_with_input(BenchmarkId::from_parameter(disks), &disks, |b, _| {
+            let mut g = 0u64;
+            b.iter(|| {
+                g = g.wrapping_add(1);
+                black_box(rush.place(black_box(&map), g, 2))
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_rush_multi_cluster(c: &mut Criterion) {
+    // Placement cost grows with the number of sub-clusters (batches).
+    let mut group = c.benchmark_group("placement/rush_place2_clusters");
+    for clusters in [1usize, 4, 16] {
+        let mut map = ClusterMap::new();
+        for _ in 0..clusters {
+            map.add_cluster(10_000 / clusters as u32, 1.0);
+        }
+        let rush = Rush::new(42);
+        group.bench_with_input(BenchmarkId::from_parameter(clusters), &clusters, |b, _| {
+            let mut g = 0u64;
+            b.iter(|| {
+                g = g.wrapping_add(1);
+                black_box(rush.place(black_box(&map), g, 2))
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_hrw_baseline(c: &mut Criterion) {
+    let mut group = c.benchmark_group("placement/hrw_place2");
+    group.sample_size(20);
+    for disks in [1_000u32, 10_000] {
+        let map = ClusterMap::uniform(disks);
+        let hrw = Hrw::new(42);
+        group.bench_with_input(BenchmarkId::from_parameter(disks), &disks, |b, _| {
+            let mut g = 0u64;
+            b.iter(|| {
+                g = g.wrapping_add(1);
+                black_box(hrw.place(black_box(&map), g, 2))
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_candidate_walk(c: &mut Criterion) {
+    // FARM's recovery-target search: how fast can we pull the 10th
+    // candidate (typical after skipping dead/busy disks)?
+    let map = ClusterMap::uniform(10_000);
+    let rush = Rush::new(42);
+    c.bench_function("placement/candidates_take10", |b| {
+        let mut g = 0u64;
+        b.iter(|| {
+            g = g.wrapping_add(1);
+            black_box(rush.candidates(&map, g).nth(9))
+        })
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_rush_place,
+    bench_rush_multi_cluster,
+    bench_hrw_baseline,
+    bench_candidate_walk
+);
+criterion_main!(benches);

@@ -1,0 +1,104 @@
+//! Whole-trial benchmarks: how fast one six-year Monte-Carlo trial runs
+//! at various scales and under both recovery policies, plus the cost of
+//! system construction (placement of every group).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use farm_core::prelude::*;
+use farm_core::Simulation;
+use std::hint::black_box;
+
+fn cfg(total: u64, group: u64, recovery: RecoveryPolicy) -> SystemConfig {
+    SystemConfig {
+        total_user_bytes: total,
+        group_user_bytes: group,
+        recovery,
+        ..SystemConfig::default()
+    }
+}
+
+fn bench_trial(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sim/six_year_trial");
+    group.sample_size(10);
+    for (label, total, gsize) in [
+        ("64TiB_10GiB", 64 * TIB, 10 * GIB),
+        ("256TiB_10GiB", 256 * TIB, 10 * GIB),
+        ("256TiB_100GiB", 256 * TIB, 100 * GIB),
+    ] {
+        for (policy_name, policy) in [
+            ("farm", RecoveryPolicy::Farm),
+            ("raid", RecoveryPolicy::SingleSpare),
+        ] {
+            let config = cfg(total, gsize, policy);
+            let mut seed = 0u64;
+            group.bench_with_input(
+                BenchmarkId::new(label, policy_name),
+                &config,
+                |b, config| {
+                    b.iter(|| {
+                        seed = seed.wrapping_add(1);
+                        let mut sim = Simulation::new(config.clone(), seed);
+                        black_box(sim.run())
+                    })
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+fn bench_construction(c: &mut Criterion) {
+    // Construction = placing every redundancy group: the startup cost
+    // that dominates small-group configurations.
+    let mut group = c.benchmark_group("sim/construction");
+    group.sample_size(10);
+    for (label, total, gsize) in [
+        ("256TiB_1GiB_groups", 256 * TIB, GIB),
+        ("256TiB_100GiB_groups", 256 * TIB, 100 * GIB),
+    ] {
+        let config = cfg(total, gsize, RecoveryPolicy::Farm);
+        group.bench_with_input(BenchmarkId::from_parameter(label), &config, |b, config| {
+            b.iter(|| black_box(Simulation::new(config.clone(), 1)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_ablations(c: &mut Criterion) {
+    // Ablation cost check: the candidate walk vs random target choice,
+    // and contention modeling on/off (see the `ablations` experiment
+    // binary for the reliability deltas these imply).
+    let mut group = c.benchmark_group("sim/ablations");
+    group.sample_size(10);
+    let base = cfg(128 * TIB, 4 * GIB, RecoveryPolicy::Farm);
+    let variants: [(&str, SystemConfig); 3] = [
+        ("candidate_walk", base.clone()),
+        (
+            "random_target",
+            SystemConfig {
+                target_policy: farm_core::config::TargetPolicy::RandomEligible,
+                ..base.clone()
+            },
+        ),
+        (
+            "no_contention",
+            SystemConfig {
+                model_contention: false,
+                ..base.clone()
+            },
+        ),
+    ];
+    for (name, config) in variants {
+        let mut seed = 0u64;
+        group.bench_with_input(BenchmarkId::from_parameter(name), &config, |b, config| {
+            b.iter(|| {
+                seed = seed.wrapping_add(1);
+                let mut sim = Simulation::new(config.clone(), seed);
+                black_box(sim.run())
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_trial, bench_construction, bench_ablations);
+criterion_main!(benches);

@@ -1,0 +1,1 @@
+//! Shared helpers for FARM benchmarks (see benches/).

@@ -1,0 +1,128 @@
+//! Closed-form reliability approximations used to cross-validate the
+//! simulator (the companion of the authors' earlier analytic study [37]).
+//!
+//! Under idealized assumptions — constant per-disk failure rate λ,
+//! deterministic repair window W, independent redundancy groups — a
+//! two-way-mirrored group loses data at rate ≈ 2λ · (1 − e^{−λW}), and a
+//! system of G such groups over horizon T has
+//!
+//!   P(loss) ≈ 1 − exp(−G · 2λ(1 − e^{−λW}) · T).
+//!
+//! The same birth–death argument generalizes to m/n schemes. These
+//! formulas ignore disk sharing between groups and repair-queue
+//! contention, so they are *approximations*; the integration tests
+//! compare the simulator against them within generous tolerances, which
+//! still catches order-of-magnitude modeling bugs.
+
+/// Loss rate (per second) of a single m/n redundancy group with constant
+/// per-disk failure rate `lambda` (per second) and deterministic repair
+/// window `window_secs` per lost block.
+///
+/// Birth–death chain: from state j lost blocks (j ≤ n−m), the group
+/// degrades at rate (n−j)λ and repairs in `window_secs`. Data loss is
+/// reaching j = n−m+1. For small λ·window the dominant path probability
+/// multiplies the degradation rates and sojourn windows.
+pub fn group_loss_rate(n: u32, m: u32, lambda: f64, window_secs: f64) -> f64 {
+    assert!(n >= m && m >= 1);
+    let k = n - m; // tolerated losses
+                   // Rate of entering state 1: n·λ. Probability of then climbing
+                   // straight to k+1 before any repair completes: each further step is
+                   // ≈ (remaining disks)·λ·window.
+    let mut rate = n as f64 * lambda;
+    for j in 1..=k {
+        // From state j the group degrades at (n−j)λ and repairs at j/W
+        // (each of the j missing blocks rebuilds independently — FARM's
+        // parallelism). The escalation probability is the competing-risk
+        // ratio; 1 − e^{−x} keeps it a probability for large x.
+        let step = (n - j) as f64 * lambda * window_secs / j as f64;
+        rate *= 1.0 - (-step).exp();
+    }
+    rate
+}
+
+/// P(any of `groups` independent groups loses data within `horizon_secs`).
+pub fn system_loss_probability(
+    groups: u64,
+    n: u32,
+    m: u32,
+    lambda: f64,
+    window_secs: f64,
+    horizon_secs: f64,
+) -> f64 {
+    let rate = group_loss_rate(n, m, lambda, window_secs);
+    1.0 - (-(groups as f64) * rate * horizon_secs).exp()
+}
+
+/// Mean time to data loss of the whole system, seconds.
+pub fn system_mttdl(groups: u64, n: u32, m: u32, lambda: f64, window_secs: f64) -> f64 {
+    1.0 / (groups as f64 * group_loss_rate(n, m, lambda, window_secs))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const HOUR: f64 = 3600.0;
+
+    #[test]
+    fn mirrored_pair_formula() {
+        // λ = 1e-6/h, W = 1 h: rate ≈ 2λ²W.
+        let lambda = 1e-6 / HOUR;
+        let w = HOUR;
+        let rate = group_loss_rate(2, 1, lambda, w);
+        let approx = 2.0 * lambda * lambda * w;
+        assert!((rate / approx - 1.0).abs() < 1e-3, "{rate} vs {approx}");
+    }
+
+    #[test]
+    fn higher_tolerance_is_more_reliable() {
+        let lambda = 1e-6;
+        let w = 100.0;
+        let r12 = group_loss_rate(2, 1, lambda, w);
+        let r13 = group_loss_rate(3, 1, lambda, w);
+        let r46 = group_loss_rate(6, 4, lambda, w);
+        assert!(r13 < r12 * 1e-2, "3-way mirroring must be far safer");
+        assert!(r46 < r12, "4/6 must beat 2-way mirroring");
+    }
+
+    #[test]
+    fn shorter_window_is_more_reliable() {
+        let lambda = 1e-9;
+        let fast = group_loss_rate(2, 1, lambda, 10.0);
+        let slow = group_loss_rate(2, 1, lambda, 10_000.0);
+        assert!((slow / fast - 1000.0).abs() < 1.0, "ratio {}", slow / fast);
+    }
+
+    #[test]
+    fn probability_is_monotone_in_everything() {
+        let p = |g: u64, w: f64, t: f64| system_loss_probability(g, 2, 1, 1e-9, w, t);
+        assert!(p(1000, 100.0, 1e8) < p(10_000, 100.0, 1e8));
+        assert!(p(1000, 100.0, 1e8) < p(1000, 1000.0, 1e8));
+        assert!(p(1000, 100.0, 1e8) < p(1000, 100.0, 1e9));
+    }
+
+    #[test]
+    fn probability_bounded() {
+        let p = system_loss_probability(u64::MAX / 2, 2, 1, 1e-3, 1e6, 1e9);
+        assert!(p <= 1.0);
+        let p0 = system_loss_probability(0, 2, 1, 1e-3, 1e6, 1e9);
+        assert_eq!(p0, 0.0);
+    }
+
+    #[test]
+    fn mttdl_is_reciprocal_rate() {
+        let m = system_mttdl(100, 2, 1, 1e-8, 500.0);
+        let r = group_loss_rate(2, 1, 1e-8, 500.0);
+        assert!((m * 100.0 * r - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn raid5_like_scheme_rate() {
+        // 4/5: first failure 5λ, then 4λW to die.
+        let lambda = 1e-7;
+        let w = 1000.0;
+        let rate = group_loss_rate(5, 4, lambda, w);
+        let approx = 5.0 * lambda * 4.0 * lambda * w;
+        assert!((rate / approx - 1.0).abs() < 1e-3);
+    }
+}

@@ -1,0 +1,303 @@
+//! Where every block of every redundancy group lives, with a reverse
+//! index from disks to blocks — the bookkeeping behind Figures 1 and 2.
+//!
+//! Blocks are identified by `(group, idx)` where `idx < n` (the scheme's
+//! total block count); `idx < m` are data blocks, the rest are
+//! parity/replicas. The paper's `<grp_id, rep_id>` labels map directly.
+
+use farm_placement::DiskId;
+use serde::{Deserialize, Serialize};
+
+/// A reference to one block of one redundancy group.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Serialize, Deserialize)]
+pub struct BlockRef {
+    pub group: u32,
+    pub idx: u8,
+}
+
+/// Placement state of all groups.
+#[derive(Clone, Debug)]
+pub struct GroupLayout {
+    n_groups: u32,
+    /// Blocks per group (the scheme's n).
+    blocks_per_group: u8,
+    /// homes[group * n + idx] = disk currently hosting (or being rebuilt
+    /// into) that block.
+    homes: Vec<DiskId>,
+    /// Reverse index: blocks hosted on each disk. Grows as spares join.
+    disk_blocks: Vec<Vec<BlockRef>>,
+    /// Per-block "unavailable" flag (lost, or rebuild still in flight).
+    missing: Vec<bool>,
+    /// Per-group count of unavailable blocks.
+    missing_count: Vec<u8>,
+    /// Per-group data-lost flag: more blocks unavailable than the scheme
+    /// tolerates at some instant.
+    dead: Vec<bool>,
+    /// Per-block epoch, bumped whenever a rebuild is started or redirected
+    /// so stale completion events can be recognized.
+    epoch: Vec<u32>,
+}
+
+impl GroupLayout {
+    pub fn new(n_groups: u32, blocks_per_group: u8, n_disks: u32) -> Self {
+        let blocks = n_groups as usize * blocks_per_group as usize;
+        GroupLayout {
+            n_groups,
+            blocks_per_group,
+            homes: Vec::with_capacity(blocks),
+            disk_blocks: vec![Vec::new(); n_disks as usize],
+            missing: vec![false; blocks],
+            missing_count: vec![0; n_groups as usize],
+            dead: vec![false; n_groups as usize],
+            epoch: vec![0; blocks],
+        }
+    }
+
+    #[inline]
+    fn slot(&self, b: BlockRef) -> usize {
+        b.group as usize * self.blocks_per_group as usize + b.idx as usize
+    }
+
+    pub fn n_groups(&self) -> u32 {
+        self.n_groups
+    }
+
+    pub fn blocks_per_group(&self) -> u8 {
+        self.blocks_per_group
+    }
+
+    /// Record the initial placement of the next group; must be called in
+    /// group order with exactly `blocks_per_group` homes.
+    pub fn push_group(&mut self, homes: &[DiskId]) {
+        assert_eq!(homes.len(), self.blocks_per_group as usize);
+        let group = (self.homes.len() / self.blocks_per_group as usize) as u32;
+        assert!(group < self.n_groups, "too many groups pushed");
+        for (idx, &d) in homes.iter().enumerate() {
+            self.homes.push(d);
+            self.disk_blocks[d.0 as usize].push(BlockRef {
+                group,
+                idx: idx as u8,
+            });
+        }
+    }
+
+    /// All block homes of a group.
+    pub fn homes_of(&self, group: u32) -> &[DiskId] {
+        let n = self.blocks_per_group as usize;
+        &self.homes[group as usize * n..(group as usize + 1) * n]
+    }
+
+    pub fn home(&self, b: BlockRef) -> DiskId {
+        self.homes[self.slot(b)]
+    }
+
+    /// Blocks currently homed on a disk (live or rebuilding into it).
+    pub fn blocks_on(&self, disk: DiskId) -> &[BlockRef] {
+        &self.disk_blocks[disk.0 as usize]
+    }
+
+    /// Extend the reverse index when new drives (spares, batches) join.
+    pub fn grow_disks(&mut self, new_total: u32) {
+        assert!(new_total as usize >= self.disk_blocks.len());
+        self.disk_blocks.resize(new_total as usize, Vec::new());
+    }
+
+    pub fn n_disks(&self) -> u32 {
+        self.disk_blocks.len() as u32
+    }
+
+    /// Re-home a block (rebuild target chosen, redirection, migration).
+    pub fn move_block(&mut self, b: BlockRef, to: DiskId) {
+        let slot = self.slot(b);
+        let from = self.homes[slot];
+        if from == to {
+            return;
+        }
+        let list = &mut self.disk_blocks[from.0 as usize];
+        let pos = list
+            .iter()
+            .position(|&x| x == b)
+            .expect("block present in reverse index");
+        list.swap_remove(pos);
+        self.disk_blocks[to.0 as usize].push(b);
+        self.homes[slot] = to;
+    }
+
+    /// Does this group already keep a block on `disk`? (Constraint (b) of
+    /// §2.3's recovery-target rules: no two buddies share a disk.)
+    pub fn group_uses_disk(&self, group: u32, disk: DiskId) -> bool {
+        self.homes_of(group).contains(&disk)
+    }
+
+    // ----- availability state ------------------------------------------
+
+    pub fn is_missing(&self, b: BlockRef) -> bool {
+        self.missing[self.slot(b)]
+    }
+
+    /// Mark a block unavailable. Returns the group's new missing count.
+    pub fn mark_missing(&mut self, b: BlockRef) -> u8 {
+        let slot = self.slot(b);
+        assert!(!self.missing[slot], "block {b:?} already missing");
+        self.missing[slot] = true;
+        self.missing_count[b.group as usize] += 1;
+        self.missing_count[b.group as usize]
+    }
+
+    /// Mark a block available again (rebuild completed).
+    pub fn mark_available(&mut self, b: BlockRef) {
+        let slot = self.slot(b);
+        assert!(self.missing[slot], "block {b:?} was not missing");
+        self.missing[slot] = false;
+        self.missing_count[b.group as usize] -= 1;
+    }
+
+    pub fn missing_count(&self, group: u32) -> u8 {
+        self.missing_count[group as usize]
+    }
+
+    pub fn is_dead(&self, group: u32) -> bool {
+        self.dead[group as usize]
+    }
+
+    pub fn mark_dead(&mut self, group: u32) {
+        self.dead[group as usize] = true;
+    }
+
+    pub fn dead_groups(&self) -> u64 {
+        self.dead.iter().filter(|&&d| d).count() as u64
+    }
+
+    // ----- rebuild epochs -----------------------------------------------
+
+    pub fn epoch(&self, b: BlockRef) -> u32 {
+        self.epoch[self.slot(b)]
+    }
+
+    pub fn bump_epoch(&mut self, b: BlockRef) -> u32 {
+        let slot = self.slot(b);
+        self.epoch[slot] += 1;
+        self.epoch[slot]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn d(i: u32) -> DiskId {
+        DiskId(i)
+    }
+
+    fn layout_3_groups() -> GroupLayout {
+        let mut l = GroupLayout::new(3, 2, 5);
+        l.push_group(&[d(0), d(1)]);
+        l.push_group(&[d(1), d(2)]);
+        l.push_group(&[d(3), d(4)]);
+        l
+    }
+
+    #[test]
+    fn push_and_lookup() {
+        let l = layout_3_groups();
+        assert_eq!(l.homes_of(0), &[d(0), d(1)]);
+        assert_eq!(l.homes_of(1), &[d(1), d(2)]);
+        assert_eq!(l.home(BlockRef { group: 2, idx: 1 }), d(4));
+    }
+
+    #[test]
+    fn reverse_index_matches_homes() {
+        let l = layout_3_groups();
+        assert_eq!(l.blocks_on(d(1)).len(), 2); // group 0 idx 1, group 1 idx 0
+        assert!(l.blocks_on(d(1)).contains(&BlockRef { group: 0, idx: 1 }));
+        assert!(l.blocks_on(d(1)).contains(&BlockRef { group: 1, idx: 0 }));
+        assert!(l.blocks_on(d(0)).len() == 1);
+    }
+
+    #[test]
+    fn move_block_updates_both_directions() {
+        let mut l = layout_3_groups();
+        let b = BlockRef { group: 0, idx: 1 };
+        l.move_block(b, d(4));
+        assert_eq!(l.home(b), d(4));
+        assert!(!l.blocks_on(d(1)).contains(&b));
+        assert!(l.blocks_on(d(4)).contains(&b));
+    }
+
+    #[test]
+    fn move_block_to_same_disk_is_noop() {
+        let mut l = layout_3_groups();
+        let b = BlockRef { group: 0, idx: 0 };
+        l.move_block(b, d(0));
+        assert_eq!(l.home(b), d(0));
+        assert_eq!(l.blocks_on(d(0)).len(), 1);
+    }
+
+    #[test]
+    fn group_uses_disk() {
+        let l = layout_3_groups();
+        assert!(l.group_uses_disk(0, d(0)));
+        assert!(l.group_uses_disk(0, d(1)));
+        assert!(!l.group_uses_disk(0, d(2)));
+    }
+
+    #[test]
+    fn missing_accounting() {
+        let mut l = layout_3_groups();
+        let b0 = BlockRef { group: 0, idx: 0 };
+        let b1 = BlockRef { group: 0, idx: 1 };
+        assert_eq!(l.mark_missing(b0), 1);
+        assert!(l.is_missing(b0));
+        assert_eq!(l.mark_missing(b1), 2);
+        assert_eq!(l.missing_count(0), 2);
+        l.mark_available(b0);
+        assert_eq!(l.missing_count(0), 1);
+        assert!(!l.is_missing(b0));
+    }
+
+    #[test]
+    #[should_panic]
+    fn double_mark_missing_panics() {
+        let mut l = layout_3_groups();
+        let b = BlockRef { group: 0, idx: 0 };
+        l.mark_missing(b);
+        l.mark_missing(b);
+    }
+
+    #[test]
+    fn dead_flag() {
+        let mut l = layout_3_groups();
+        assert!(!l.is_dead(1));
+        l.mark_dead(1);
+        assert!(l.is_dead(1));
+        assert_eq!(l.dead_groups(), 1);
+    }
+
+    #[test]
+    fn epochs_invalidate_stale_events() {
+        let mut l = layout_3_groups();
+        let b = BlockRef { group: 2, idx: 0 };
+        assert_eq!(l.epoch(b), 0);
+        assert_eq!(l.bump_epoch(b), 1);
+        assert_eq!(l.bump_epoch(b), 2);
+        assert_eq!(l.epoch(b), 2);
+    }
+
+    #[test]
+    fn grow_disks_for_spares() {
+        let mut l = layout_3_groups();
+        l.grow_disks(8);
+        assert_eq!(l.n_disks(), 8);
+        let b = BlockRef { group: 0, idx: 0 };
+        l.move_block(b, d(7));
+        assert!(l.blocks_on(d(7)).contains(&b));
+    }
+
+    #[test]
+    #[should_panic]
+    fn too_many_groups_panics() {
+        let mut l = GroupLayout::new(1, 2, 3);
+        l.push_group(&[d(0), d(1)]);
+        l.push_group(&[d(1), d(2)]);
+    }
+}

@@ -1,0 +1,206 @@
+//! Exact Markov-chain reliability model for a single redundancy group —
+//! the numerical companion to the closed-form approximations in
+//! [`crate::analytic`].
+//!
+//! States 0..=k track how many blocks of an m/n group are currently
+//! unavailable (k = n − m tolerated); state k+1 (data loss) is
+//! absorbing. Transitions:
+//!
+//! * degrade j → j+1 at rate (n − j)·λ (any surviving block's disk
+//!   fails),
+//! * repair j → j−1 at rate j·μ (each missing block rebuilds
+//!   independently at rate μ = 1 / mean-repair-time; FARM's parallel
+//!   rebuilds make the repairs independent, which is exactly what
+//!   distinguishes it from the single-spare queue).
+//!
+//! MTTDL is obtained from the expected absorption time of the chain,
+//! solved exactly by Gaussian elimination on the (k+1)×(k+1) linear
+//! system (I restricted generator) · t = −1.
+
+/// A birth–death reliability chain for one m/n redundancy group.
+#[derive(Clone, Debug)]
+pub struct GroupChain {
+    /// Total blocks n.
+    pub n: u32,
+    /// Data blocks m.
+    pub m: u32,
+    /// Per-disk failure rate, per second.
+    pub lambda: f64,
+    /// Per-block repair rate, per second (1 / mean window).
+    pub mu: f64,
+}
+
+impl GroupChain {
+    pub fn new(n: u32, m: u32, lambda: f64, mu: f64) -> Self {
+        assert!(n >= m && m >= 1, "invalid scheme {m}/{n}");
+        assert!(lambda > 0.0 && mu > 0.0, "rates must be positive");
+        GroupChain { n, m, lambda, mu }
+    }
+
+    /// Number of tolerated simultaneous losses.
+    pub fn k(&self) -> u32 {
+        self.n - self.m
+    }
+
+    /// Mean time (seconds) from `start` missing blocks to data loss.
+    ///
+    /// Solves Q·t = −1 over the transient states 0..=k, where Q is the
+    /// generator restricted to transient states.
+    pub fn mttdl_from(&self, start: u32) -> f64 {
+        let k = self.k() as usize;
+        assert!(start as usize <= k, "start state must be transient");
+        let dim = k + 1;
+        // Build the augmented matrix [Q | -1].
+        let mut a = vec![vec![0.0f64; dim + 1]; dim];
+        for (j, row) in a.iter_mut().enumerate() {
+            let degrade = (self.n as f64 - j as f64) * self.lambda;
+            let repair = j as f64 * self.mu;
+            row[j] = -(degrade + repair);
+            if j + 1 < dim {
+                row[j + 1] = degrade;
+            }
+            // j = k degrades into the absorbing state (not a column).
+            if j >= 1 {
+                row[j - 1] = repair;
+            }
+            row[dim] = -1.0;
+        }
+        let t = solve(&mut a);
+        t[start as usize]
+    }
+
+    /// Mean time to data loss from the healthy state.
+    pub fn mttdl(&self) -> f64 {
+        self.mttdl_from(0)
+    }
+
+    /// Probability of data loss within `horizon_secs`, for a system of
+    /// `groups` independent groups, via the exponential tail of the
+    /// absorption time (accurate when horizon << MTTDL, which holds for
+    /// all the paper's configurations).
+    pub fn system_loss_probability(&self, groups: u64, horizon_secs: f64) -> f64 {
+        let rate = 1.0 / self.mttdl();
+        1.0 - (-(groups as f64) * rate * horizon_secs).exp()
+    }
+}
+
+/// Gaussian elimination with partial pivoting on an augmented matrix;
+/// returns the solution vector.
+fn solve(a: &mut [Vec<f64>]) -> Vec<f64> {
+    let n = a.len();
+    for col in 0..n {
+        // Pivot.
+        let pivot = (col..n)
+            .max_by(|&i, &j| a[i][col].abs().total_cmp(&a[j][col].abs()))
+            .expect("non-empty");
+        a.swap(col, pivot);
+        let p = a[col][col];
+        assert!(p.abs() > 1e-300, "singular generator matrix");
+        for x in a[col][col..].iter_mut() {
+            *x /= p;
+        }
+        for row in 0..n {
+            if row == col {
+                continue;
+            }
+            let f = a[row][col];
+            if f != 0.0 {
+                for c in col..=n {
+                    let v = a[col][c];
+                    a[row][c] -= f * v;
+                }
+            }
+        }
+    }
+    (0..n).map(|i| a[i][n]).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::analytic;
+
+    const HOUR: f64 = 3600.0;
+
+    #[test]
+    fn mirrored_pair_closed_form() {
+        // For 1/2 (k=1): MTTDL = (3λ + μ) / (2λ²) — classic result.
+        let lambda = 1e-6 / HOUR;
+        let mu = 1.0 / (64.0); // 64 s repairs
+        let chain = GroupChain::new(2, 1, lambda, mu);
+        let expected = (3.0 * lambda + mu) / (2.0 * lambda * lambda);
+        let got = chain.mttdl();
+        assert!(
+            (got / expected - 1.0).abs() < 1e-6,
+            "{got} vs closed form {expected}"
+        );
+    }
+
+    #[test]
+    fn raid5_closed_form() {
+        // For m/(m+1) (k=1, n = m+1): MTTDL = ((2n-1)λ + μ) / (n(n-1)λ²).
+        let lambda = 2e-6 / HOUR;
+        let mu = 1.0 / 6400.0;
+        let n = 5u32;
+        let chain = GroupChain::new(n, n - 1, lambda, mu);
+        let nf = n as f64;
+        let expected = ((2.0 * nf - 1.0) * lambda + mu) / (nf * (nf - 1.0) * lambda * lambda);
+        let got = chain.mttdl();
+        assert!((got / expected - 1.0).abs() < 1e-6, "{got} vs {expected}");
+    }
+
+    #[test]
+    fn matches_approximation_when_repairs_are_fast() {
+        // The closed-form product approximation in `analytic` should
+        // agree with the exact chain when λW << 1.
+        let lambda = 1e-6 / HOUR;
+        let window = 300.0;
+        let mu = 1.0 / window;
+        for (n, m) in [(2u32, 1u32), (3, 1), (6, 4), (10, 8)] {
+            let exact = 1.0 / GroupChain::new(n, m, lambda, mu).mttdl();
+            let approx = analytic::group_loss_rate(n, m, lambda, window);
+            assert!(
+                (approx / exact - 1.0).abs() < 0.15,
+                "{m}/{n}: approx {approx:e} vs exact {exact:e}"
+            );
+        }
+    }
+
+    #[test]
+    fn degraded_start_dies_sooner() {
+        let chain = GroupChain::new(6, 4, 1e-9, 1e-3);
+        assert!(chain.mttdl_from(1) < chain.mttdl_from(0));
+        assert!(chain.mttdl_from(2) < chain.mttdl_from(1));
+    }
+
+    #[test]
+    fn faster_repair_always_helps() {
+        let slow = GroupChain::new(2, 1, 1e-9, 1e-4).mttdl();
+        let fast = GroupChain::new(2, 1, 1e-9, 1e-2).mttdl();
+        assert!(fast > 50.0 * slow, "fast {fast} vs slow {slow}");
+    }
+
+    #[test]
+    fn more_parity_helps_superlinearly() {
+        let lambda = 1e-8;
+        let mu = 1e-2;
+        let one = GroupChain::new(5, 4, lambda, mu).mttdl();
+        let two = GroupChain::new(6, 4, lambda, mu).mttdl();
+        assert!(two > 1e3 * one, "double parity {two} vs single {one}");
+    }
+
+    #[test]
+    fn system_probability_bounds() {
+        let chain = GroupChain::new(2, 1, 1e-9, 1e-2);
+        let p_small = chain.system_loss_probability(1, 1.0);
+        let p_large = chain.system_loss_probability(u64::MAX / 4, 1e12);
+        assert!(p_small > 0.0 && p_small < 1e-6);
+        assert!(p_large <= 1.0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn start_beyond_transient_panics() {
+        GroupChain::new(2, 1, 1e-9, 1e-2).mttdl_from(2);
+    }
+}

@@ -1,0 +1,203 @@
+//! Per-trial and aggregated metrics.
+
+use farm_des::stats::{Proportion, Running};
+use farm_des::time::SimTime;
+use serde::{Deserialize, Serialize};
+
+/// What one six-year simulated trial produced.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct TrialMetrics {
+    /// Groups that lost data (availability dropped below m).
+    pub lost_groups: u64,
+    /// User bytes in those groups.
+    pub lost_user_bytes: u64,
+    /// First instant data was lost, if any.
+    pub first_loss: Option<SimTime>,
+    /// Disk failures observed.
+    pub disk_failures: u64,
+    /// Rebuilds completed.
+    pub rebuilds_completed: u64,
+    /// Recovery redirections: in-flight rebuild whose target died (§2.3).
+    pub redirections: u64,
+    /// Rebuild reads that tripped a latent sector error (extension).
+    pub latent_read_errors: u64,
+    /// Blocks moved onto new batches by replacement migration (§3.5).
+    pub migrated_blocks: u64,
+    /// Replacement batches added.
+    pub batches_added: u64,
+    /// Longest observed window of vulnerability (detection + rebuild) for
+    /// any block, seconds.
+    pub max_vulnerability_secs: f64,
+    /// Sum of vulnerability windows, for averaging.
+    pub total_vulnerability_secs: f64,
+}
+
+impl TrialMetrics {
+    pub fn new() -> Self {
+        TrialMetrics {
+            lost_groups: 0,
+            lost_user_bytes: 0,
+            first_loss: None,
+            disk_failures: 0,
+            rebuilds_completed: 0,
+            redirections: 0,
+            latent_read_errors: 0,
+            migrated_blocks: 0,
+            batches_added: 0,
+            max_vulnerability_secs: 0.0,
+            total_vulnerability_secs: 0.0,
+        }
+    }
+
+    /// Did this trial lose any data?
+    pub fn lost_data(&self) -> bool {
+        self.lost_groups > 0
+    }
+
+    pub fn record_loss(&mut self, user_bytes: u64, now: SimTime) {
+        self.lost_groups += 1;
+        self.lost_user_bytes += user_bytes;
+        if self.first_loss.is_none() {
+            self.first_loss = Some(now);
+        }
+    }
+
+    pub fn record_vulnerability(&mut self, secs: f64) {
+        self.max_vulnerability_secs = self.max_vulnerability_secs.max(secs);
+        self.total_vulnerability_secs += secs;
+    }
+
+    pub fn mean_vulnerability_secs(&self) -> f64 {
+        if self.rebuilds_completed == 0 {
+            0.0
+        } else {
+            self.total_vulnerability_secs / self.rebuilds_completed as f64
+        }
+    }
+}
+
+impl Default for TrialMetrics {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// Aggregate over a batch of Monte-Carlo trials.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct McSummary {
+    /// P(data loss): trials that lost any data.
+    pub p_loss: Proportion,
+    /// Trials in which at least one recovery redirection happened —
+    /// the paper reports this stayed under 8% of systems (§2.3).
+    pub p_redirection: Proportion,
+    pub failures: Running,
+    pub rebuilds: Running,
+    pub redirections: Running,
+    pub lost_groups: Running,
+    pub mean_vulnerability: Running,
+}
+
+impl McSummary {
+    pub fn new() -> Self {
+        McSummary {
+            p_loss: Proportion::new(0, 0),
+            p_redirection: Proportion::new(0, 0),
+            failures: Running::new(),
+            rebuilds: Running::new(),
+            redirections: Running::new(),
+            lost_groups: Running::new(),
+            mean_vulnerability: Running::new(),
+        }
+    }
+
+    pub fn push(&mut self, t: &TrialMetrics) {
+        self.p_loss.merge(Proportion::new(t.lost_data() as u64, 1));
+        self.p_redirection
+            .merge(Proportion::new((t.redirections > 0) as u64, 1));
+        self.failures.push(t.disk_failures as f64);
+        self.rebuilds.push(t.rebuilds_completed as f64);
+        self.redirections.push(t.redirections as f64);
+        self.lost_groups.push(t.lost_groups as f64);
+        self.mean_vulnerability.push(t.mean_vulnerability_secs());
+    }
+
+    pub fn merge(&mut self, other: &McSummary) {
+        self.p_loss.merge(other.p_loss);
+        self.p_redirection.merge(other.p_redirection);
+        self.failures.merge(&other.failures);
+        self.rebuilds.merge(&other.rebuilds);
+        self.redirections.merge(&other.redirections);
+        self.lost_groups.merge(&other.lost_groups);
+        self.mean_vulnerability.merge(&other.mean_vulnerability);
+    }
+
+    pub fn trials(&self) -> u64 {
+        self.p_loss.trials
+    }
+}
+
+impl Default for McSummary {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn trial_loss_accounting() {
+        let mut t = TrialMetrics::new();
+        assert!(!t.lost_data());
+        t.record_loss(100, SimTime::from_hours(5.0));
+        t.record_loss(100, SimTime::from_hours(9.0));
+        assert!(t.lost_data());
+        assert_eq!(t.lost_groups, 2);
+        assert_eq!(t.lost_user_bytes, 200);
+        assert_eq!(t.first_loss.unwrap(), SimTime::from_hours(5.0));
+    }
+
+    #[test]
+    fn vulnerability_stats() {
+        let mut t = TrialMetrics::new();
+        t.record_vulnerability(10.0);
+        t.record_vulnerability(30.0);
+        t.rebuilds_completed = 2;
+        assert_eq!(t.max_vulnerability_secs, 30.0);
+        assert_eq!(t.mean_vulnerability_secs(), 20.0);
+    }
+
+    #[test]
+    fn summary_aggregates_trials() {
+        let mut s = McSummary::new();
+        let mut lossy = TrialMetrics::new();
+        lossy.record_loss(1, SimTime::ZERO);
+        lossy.disk_failures = 10;
+        let clean = TrialMetrics {
+            disk_failures: 20,
+            redirections: 1,
+            ..TrialMetrics::new()
+        };
+        s.push(&lossy);
+        s.push(&clean);
+        assert_eq!(s.trials(), 2);
+        assert_eq!(s.p_loss.successes, 1);
+        assert_eq!(s.p_redirection.successes, 1);
+        assert!((s.failures.mean() - 15.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn summaries_merge() {
+        let mut a = McSummary::new();
+        let mut b = McSummary::new();
+        let mut lossy = TrialMetrics::new();
+        lossy.record_loss(1, SimTime::ZERO);
+        a.push(&lossy);
+        b.push(&TrialMetrics::new());
+        b.push(&TrialMetrics::new());
+        a.merge(&b);
+        assert_eq!(a.trials(), 3);
+        assert!((a.p_loss.value() - 1.0 / 3.0).abs() < 1e-12);
+    }
+}

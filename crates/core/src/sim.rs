@@ -1,0 +1,408 @@
+//! The discrete-event storage-system simulator: one Monte-Carlo trial.
+//!
+//! Lifecycle of a disk failure (§2.3, Figure 2):
+//!
+//! 1. `Failure(d)` — the drive dies; every block on it becomes
+//!    unavailable. If any redundancy group now has fewer than `m`
+//!    available blocks, that group has **lost data**. In-flight rebuilds
+//!    that targeted `d` are flagged for **recovery redirection**.
+//! 2. `Detect(d)` — after the failure-detection latency Δ, rebuilds start
+//!    for every unavailable block homed on `d`:
+//!    * **FARM** walks the group's RUSH candidate list for a target that
+//!      is alive, holds no buddy, has space (and, preferably, idle
+//!      recovery bandwidth, §2.3's soft constraint).
+//!    * **Single-spare RAID** sends every block to one fresh spare drive,
+//!      where the rebuilds queue.
+//! 3. `RebuildDone` — the block is available again; the window of
+//!    vulnerability (detection latency + queueing + rebuild) closes.
+
+use crate::config::{RecoveryPolicy, SystemConfig};
+use crate::layout::{BlockRef, GroupLayout};
+use crate::metrics::TrialMetrics;
+use crate::workload;
+use farm_des::rng::SeedFactory;
+use farm_des::time::{Duration, SimTime};
+use farm_des::EventQueue;
+use farm_disk::health::SmartVerdict;
+use farm_disk::model::Disk;
+use farm_placement::{ClusterMap, DiskId, Rush};
+use std::collections::HashMap;
+
+/// Simulation events.
+#[derive(Clone, Copy, Debug)]
+pub enum Event {
+    /// A drive fails, losing its contents.
+    Failure(DiskId),
+    /// The failure of this drive is detected; recovery starts.
+    Detect(DiskId),
+    /// A block rebuild finishes (valid only if the epoch still matches).
+    RebuildDone { block: BlockRef, epoch: u32 },
+}
+
+/// Seed-stream labels (one namespace per concern keeps streams
+/// independent of construction order).
+mod streams {
+    pub const DISK_LIFETIME: u64 = 1;
+    pub const SMART: u64 = 2;
+    pub const ABLATION: u64 = 3;
+    pub const LATENT: u64 = 4;
+}
+
+/// One trial of the storage system.
+pub struct Simulation {
+    cfg: SystemConfig,
+    rush: Rush,
+    map: ClusterMap,
+    disks: Vec<Disk>,
+    smart: Vec<SmartVerdict>,
+    /// When each disk will fail (if within the horizon).
+    fail_time: Vec<Option<SimTime>>,
+    /// Per-disk recovery pipe: busy until this instant.
+    recovery_busy: Vec<SimTime>,
+    layout: GroupLayout,
+    queue: EventQueue<Event>,
+    now: SimTime,
+    horizon: SimTime,
+    seeds: SeedFactory,
+    metrics: TrialMetrics,
+    /// When each currently-unavailable block became vulnerable.
+    vulnerable_since: HashMap<BlockRef, SimTime>,
+    /// Failed drives in the placement population since the last batch.
+    pub(crate) failed_since_batch: u32,
+    /// Rebuilds that found no eligible target (should stay at zero).
+    pub no_target_events: u64,
+    /// RNG used only by ablation policies (random target choice).
+    ablation_rng: farm_des::rng::RngStream,
+    /// RNG for latent-sector-error sampling.
+    latent_rng: farm_des::rng::RngStream,
+}
+
+impl Simulation {
+    pub fn new(cfg: SystemConfig, seed: u64) -> Self {
+        cfg.validate().expect("invalid configuration");
+        assert!(
+            cfg.replacement.threshold.is_none() || cfg.recovery == RecoveryPolicy::Farm,
+            "batch replacement is modeled for FARM only (spares and \
+             batches use disjoint id spaces)"
+        );
+        let seeds = SeedFactory::new(seed);
+        let n_disks = cfg.n_disks();
+        let map = ClusterMap::uniform(n_disks);
+        let rush = Rush::new(seeds.child(0xFA).master());
+        let n_groups = u32::try_from(cfg.n_groups()).expect("group count fits u32");
+        let n = cfg.scheme.n as u8;
+        let mut sim = Simulation {
+            layout: GroupLayout::new(n_groups, n, n_disks),
+            cfg,
+            rush,
+            map,
+            disks: Vec::new(),
+            smart: Vec::new(),
+            fail_time: Vec::new(),
+            recovery_busy: Vec::new(),
+            queue: EventQueue::new(),
+            now: SimTime::ZERO,
+            horizon: SimTime::ZERO,
+            seeds,
+            metrics: TrialMetrics::new(),
+            vulnerable_since: HashMap::new(),
+            failed_since_batch: 0,
+            no_target_events: 0,
+            ablation_rng: seeds.stream(streams::ABLATION),
+            latent_rng: seeds.stream(streams::LATENT),
+        };
+        sim.horizon = SimTime::ZERO + sim.cfg.sim_duration();
+        for _ in 0..n_disks {
+            sim.add_disk(SimTime::ZERO);
+        }
+        sim.place_all_groups();
+        sim
+    }
+
+    /// Install a new drive (initial population, spare, or batch member),
+    /// sample its lifetime and schedule its failure.
+    pub(crate) fn add_disk(&mut self, birth: SimTime) -> DiskId {
+        let id = DiskId(self.disks.len() as u32);
+        let disk = Disk::new(birth)
+            .with_capacity(self.cfg.disk_capacity)
+            .with_vintage(self.cfg.hazard.multiplier());
+        let mut life_rng = self.seeds.stream2(streams::DISK_LIFETIME, id.0 as u64);
+        let ttf = self.cfg.hazard.sample_ttf(Duration::ZERO, &mut life_rng);
+        let fail_at = birth + ttf;
+        let fail_time = if fail_at <= self.horizon {
+            self.queue.schedule(fail_at, Event::Failure(id));
+            Some(fail_at)
+        } else {
+            None
+        };
+        let verdict = match &self.cfg.smart {
+            Some(smart_cfg) => {
+                let mut rng = self.seeds.stream2(streams::SMART, id.0 as u64);
+                SmartVerdict::roll(smart_cfg, birth, fail_time, &mut rng)
+            }
+            None => SmartVerdict::disabled(),
+        };
+        self.disks.push(disk);
+        self.smart.push(verdict);
+        self.fail_time.push(fail_time);
+        self.recovery_busy.push(SimTime::ZERO);
+        if (self.layout.n_disks() as usize) < self.disks.len() {
+            self.layout.grow_disks(self.disks.len() as u32);
+        }
+        id
+    }
+
+    /// Initial data placement: every group's n blocks go to the first n
+    /// RUSH candidates with room (capacity is a hard constraint; on
+    /// paper-scale systems at 40% utilization the first n candidates
+    /// essentially always fit).
+    fn place_all_groups(&mut self) {
+        let n = self.cfg.scheme.n as usize;
+        let block_bytes = self.cfg.block_bytes();
+        let mut homes: Vec<DiskId> = Vec::with_capacity(n);
+        for g in 0..self.layout.n_groups() {
+            homes.clear();
+            for d in self.rush.candidates(&self.map, g as u64) {
+                if self.disks[d.0 as usize].has_space_for(block_bytes) {
+                    homes.push(d);
+                    if homes.len() == n {
+                        break;
+                    }
+                }
+            }
+            assert_eq!(homes.len(), n, "system too full to place group {g}");
+            for &d in &homes {
+                self.disks[d.0 as usize].allocate(block_bytes);
+            }
+            self.layout.push_group(&homes);
+        }
+    }
+
+    // ----- accessors -----------------------------------------------------
+
+    pub fn config(&self) -> &SystemConfig {
+        &self.cfg
+    }
+
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    pub fn metrics(&self) -> &TrialMetrics {
+        &self.metrics
+    }
+
+    pub fn layout(&self) -> &GroupLayout {
+        &self.layout
+    }
+
+    pub(crate) fn layout_mut(&mut self) -> &mut GroupLayout {
+        &mut self.layout
+    }
+
+    pub(crate) fn schedule(&mut self, at: SimTime, ev: Event) {
+        self.queue.schedule(at, ev);
+    }
+
+    pub fn cluster_map(&self) -> &ClusterMap {
+        &self.map
+    }
+
+    pub(crate) fn map_mut(&mut self) -> &mut ClusterMap {
+        &mut self.map
+    }
+
+    pub(crate) fn metrics_mut(&mut self) -> &mut TrialMetrics {
+        &mut self.metrics
+    }
+
+    pub(crate) fn rush(&self) -> Rush {
+        self.rush
+    }
+
+    pub fn disk(&self, d: DiskId) -> &Disk {
+        &self.disks[d.0 as usize]
+    }
+
+    pub fn n_disks(&self) -> u32 {
+        self.disks.len() as u32
+    }
+
+    pub(crate) fn disk_mut(&mut self, d: DiskId) -> &mut Disk {
+        &mut self.disks[d.0 as usize]
+    }
+
+    pub(crate) fn is_suspect(&self, d: DiskId) -> bool {
+        self.smart[d.0 as usize].health_at(self.now) == farm_disk::health::Health::Suspect
+    }
+
+    pub(crate) fn ablation_rng_below(&mut self, n: u64) -> u64 {
+        self.ablation_rng.below(n)
+    }
+
+    /// Sample whether reading `bytes` from source `d` right now trips a
+    /// latent sector error (extension model; false when disabled).
+    pub(crate) fn latent_read_trips(&mut self, d: DiskId, bytes: u64) -> bool {
+        let Some(latent) = self.cfg.latent else {
+            return false;
+        };
+        let disk = &self.disks[d.0 as usize];
+        latent.read_trips(
+            disk.birth,
+            self.now,
+            bytes,
+            disk.capacity,
+            &mut self.latent_rng,
+        )
+    }
+
+    pub(crate) fn recovery_busy_until(&self, d: DiskId) -> SimTime {
+        self.recovery_busy[d.0 as usize]
+    }
+
+    pub(crate) fn set_recovery_busy(&mut self, d: DiskId, until: SimTime) {
+        self.recovery_busy[d.0 as usize] = until;
+    }
+
+    /// Used bytes of every drive in the *placement population* (the disks
+    /// the utilization experiments of §3.4 look at), with liveness.
+    pub fn population_utilization(&self) -> Vec<(DiskId, u64, bool)> {
+        (0..self.map.n_disks())
+            .map(|i| {
+                let d = DiskId(i);
+                let disk = &self.disks[i as usize];
+                (d, disk.used, disk.is_active())
+            })
+            .collect()
+    }
+
+    // ----- main loop ------------------------------------------------------
+
+    /// Run the whole horizon and return the trial metrics.
+    pub fn run(&mut self) -> TrialMetrics {
+        self.run_inner(false)
+    }
+
+    /// Run until the first data loss (cheaper when only P(loss) matters).
+    pub fn run_until_loss(&mut self) -> TrialMetrics {
+        self.run_inner(true)
+    }
+
+    fn run_inner(&mut self, stop_on_loss: bool) -> TrialMetrics {
+        while let Some((t, ev)) = self.queue.pop() {
+            if t > self.horizon {
+                break;
+            }
+            self.now = t;
+            match ev {
+                Event::Failure(d) => self.on_failure(d),
+                Event::Detect(d) => self.on_detect(d),
+                Event::RebuildDone { block, epoch } => self.on_rebuild_done(block, epoch),
+            }
+            if stop_on_loss && self.metrics.lost_data() {
+                break;
+            }
+        }
+        self.now = self.horizon;
+        self.metrics.clone()
+    }
+
+    // ----- event handlers -------------------------------------------------
+
+    fn on_failure(&mut self, d: DiskId) {
+        debug_assert!(self.disks[d.0 as usize].is_active(), "disk fails once");
+        self.metrics.disk_failures += 1;
+        self.disks[d.0 as usize].fail();
+
+        // Classify every block homed here.
+        let blocks: Vec<BlockRef> = self.layout.blocks_on(d).to_vec();
+        for b in blocks {
+            if self.layout.is_dead(b.group) {
+                continue;
+            }
+            if self.layout.is_missing(b) {
+                // An in-flight rebuild was targeting this drive: recovery
+                // redirection (§2.3). Invalidate the pending completion;
+                // Detect(d) will pick a fresh target.
+                self.metrics.redirections += 1;
+                self.layout.bump_epoch(b);
+            } else {
+                let missing = self.layout.mark_missing(b);
+                self.vulnerable_since.insert(b, self.now);
+                let available = self.cfg.scheme.n - missing as u32;
+                if available < self.cfg.scheme.m {
+                    self.layout.mark_dead(b.group);
+                    self.metrics
+                        .record_loss(self.cfg.group_user_bytes, self.now);
+                }
+            }
+        }
+
+        // Batch replacement bookkeeping (only the placement population).
+        if d.0 < self.map.n_disks() {
+            self.failed_since_batch += 1;
+            self.maybe_replace_batch();
+        }
+
+        self.queue
+            .schedule(self.now + self.cfg.detection_latency, Event::Detect(d));
+    }
+
+    fn on_detect(&mut self, d: DiskId) {
+        // Start (or restart, after redirection) a rebuild for every
+        // unavailable block still homed on the dead drive.
+        let blocks: Vec<BlockRef> = self
+            .layout
+            .blocks_on(d)
+            .iter()
+            .copied()
+            .filter(|&b| self.layout.is_missing(b) && !self.layout.is_dead(b.group))
+            .collect();
+        if blocks.is_empty() {
+            return;
+        }
+        let forced_target = match self.cfg.recovery {
+            RecoveryPolicy::Farm => None,
+            RecoveryPolicy::SingleSpare => {
+                // One dedicated replacement drive per failed disk
+                // (Figure 2(c)): all rebuilds converge on it.
+                Some(self.add_disk(self.now))
+            }
+        };
+        for b in blocks {
+            self.schedule_rebuild(b, forced_target);
+        }
+    }
+
+    fn on_rebuild_done(&mut self, b: BlockRef, epoch: u32) {
+        if self.layout.epoch(b) != epoch {
+            return; // redirected or otherwise superseded
+        }
+        if self.layout.is_dead(b.group) {
+            // The group lost data while this rebuild was in flight; the
+            // reconstructed block is useless. Release the reservation.
+            let home = self.layout.home(b);
+            if self.disks[home.0 as usize].is_active() {
+                let bytes = self.cfg.block_bytes();
+                self.disks[home.0 as usize].release(bytes);
+            }
+            self.vulnerable_since.remove(&b);
+            return;
+        }
+        self.layout.mark_available(b);
+        self.metrics.rebuilds_completed += 1;
+        if let Some(since) = self.vulnerable_since.remove(&b) {
+            self.metrics
+                .record_vulnerability((self.now - since).as_secs());
+        }
+    }
+
+    /// Effective recovery bandwidth at an instant (constant unless the
+    /// adaptive-workload extension is enabled).
+    pub(crate) fn recovery_bandwidth_at(&self, t: SimTime) -> u64 {
+        match &self.cfg.workload {
+            Some(w) => workload::effective_bandwidth(self.cfg.recovery_bandwidth, w, t),
+            None => self.cfg.recovery_bandwidth,
+        }
+    }
+}

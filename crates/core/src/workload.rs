@@ -1,0 +1,83 @@
+//! Diurnal user-workload model for adaptive recovery bandwidth.
+//!
+//! §2.4: "This recovery bandwidth is not fixed in a large storage system.
+//! It fluctuates with the intensity of user requests, especially if we
+//! exploit system idle time and adapt recovery to the workload."
+//! The paper keeps recovery bandwidth constant within each run; this
+//! module is our optional extension exercising that observation: a simple
+//! busy/idle daily cycle scaling the recovery bandwidth.
+
+use crate::config::WorkloadConfig;
+use farm_des::time::{SimTime, SECONDS_PER_DAY};
+
+/// Effective recovery bandwidth at an instant, given the base bandwidth
+/// and the workload model.
+pub fn effective_bandwidth(base: u64, cfg: &WorkloadConfig, now: SimTime) -> u64 {
+    let phase = (now.as_secs() / SECONDS_PER_DAY).fract();
+    let factor = if phase < cfg.busy_fraction {
+        cfg.busy_factor
+    } else {
+        cfg.idle_factor
+    };
+    ((base as f64) * factor).max(1.0) as u64
+}
+
+/// Time-averaged bandwidth multiplier over a full day.
+pub fn mean_factor(cfg: &WorkloadConfig) -> f64 {
+    cfg.busy_fraction * cfg.busy_factor + (1.0 - cfg.busy_fraction) * cfg.idle_factor
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg() -> WorkloadConfig {
+        WorkloadConfig {
+            busy_factor: 0.5,
+            idle_factor: 1.5,
+            busy_fraction: 0.4,
+        }
+    }
+
+    #[test]
+    fn busy_hours_throttle_recovery() {
+        let base = 16 << 20;
+        // Phase 0.2 of the day: busy.
+        let t = SimTime::from_secs(0.2 * SECONDS_PER_DAY);
+        assert_eq!(effective_bandwidth(base, &cfg(), t), base / 2);
+    }
+
+    #[test]
+    fn idle_hours_boost_recovery() {
+        let base = 16u64 << 20;
+        let t = SimTime::from_secs(0.7 * SECONDS_PER_DAY);
+        assert_eq!(effective_bandwidth(base, &cfg(), t), base * 3 / 2);
+    }
+
+    #[test]
+    fn pattern_repeats_daily() {
+        let base = 16u64 << 20;
+        let t1 = SimTime::from_secs(0.1 * SECONDS_PER_DAY);
+        let t2 = SimTime::from_secs(5.1 * SECONDS_PER_DAY);
+        assert_eq!(
+            effective_bandwidth(base, &cfg(), t1),
+            effective_bandwidth(base, &cfg(), t2)
+        );
+    }
+
+    #[test]
+    fn mean_factor_is_weighted_average() {
+        let m = mean_factor(&cfg());
+        assert!((m - (0.4 * 0.5 + 0.6 * 1.5)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn bandwidth_never_zero() {
+        let w = WorkloadConfig {
+            busy_factor: 0.0,
+            idle_factor: 1.0,
+            busy_fraction: 1.0,
+        };
+        assert!(effective_bandwidth(1000, &w, SimTime::ZERO) >= 1);
+    }
+}

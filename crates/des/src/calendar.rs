@@ -1,0 +1,329 @@
+//! A calendar queue (Brown 1988): the classic O(1)-amortized future
+//! event list used by discrete-event simulators (including PARSEC-era
+//! engines). Events hash into day buckets by time; popping scans the
+//! current day and wraps year by year.
+//!
+//! Provided as an alternative to the binary-heap [`crate::EventQueue`];
+//! the two are black-box-equivalent (see tests) and benchmarked against
+//! each other in `farm-bench`.
+//!
+//! Implementation note: both the bucket hash and the day-membership test
+//! use the *identical* floating-point expression `(t / width) as u64`.
+//! Deriving day membership from an accumulated `day_start` instead
+//! creates ±1-ulp slivers where an event's hash day and window day
+//! disagree, silently deferring it by a whole lap (a classic calendar
+//! queue implementation bug).
+
+use crate::time::SimTime;
+
+struct Entry<E> {
+    time: SimTime,
+    seq: u64,
+    event: E,
+}
+
+/// A calendar-queue future event list.
+pub struct CalendarQueue<E> {
+    /// buckets[d % n] holds events of absolute days d, d + n, ...
+    buckets: Vec<Vec<Entry<E>>>,
+    /// Width of one day, in seconds.
+    day_width: f64,
+    /// Absolute day currently being drained.
+    current_day: u64,
+    /// Largest time popped so far (monotone watermark).
+    watermark: f64,
+    len: usize,
+    next_seq: u64,
+    /// Resize thresholds.
+    min_len: usize,
+    max_len: usize,
+}
+
+impl<E> Default for CalendarQueue<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<E> CalendarQueue<E> {
+    pub fn new() -> Self {
+        CalendarQueue {
+            buckets: (0..16).map(|_| Vec::new()).collect(),
+            day_width: 1.0,
+            current_day: 0,
+            watermark: 0.0,
+            len: 0,
+            next_seq: 0,
+            min_len: 4,
+            max_len: 32,
+        }
+    }
+
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Absolute day of a timestamp — the single source of truth shared
+    /// by hashing and scanning.
+    #[inline]
+    fn day_of(&self, t: f64) -> u64 {
+        (t / self.day_width) as u64
+    }
+
+    #[inline]
+    fn bucket_of_day(&self, day: u64) -> usize {
+        (day % self.buckets.len() as u64) as usize
+    }
+
+    /// Schedule an event. Panics if `time` is before the last popped
+    /// event (calendar queues do not support scheduling into the past).
+    pub fn schedule(&mut self, time: SimTime, event: E) {
+        let t = time.as_secs();
+        assert!(
+            t >= self.watermark || self.len == 0,
+            "cannot schedule into the past: {t} < {}",
+            self.watermark
+        );
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        let b = self.bucket_of_day(self.day_of(t));
+        self.buckets[b].push(Entry { time, seq, event });
+        self.len += 1;
+        if self.len > self.max_len {
+            self.resize(self.buckets.len() * 2);
+        }
+    }
+
+    /// Remove and return the earliest event (FIFO among ties).
+    pub fn pop(&mut self) -> Option<(SimTime, E)> {
+        if self.len == 0 {
+            return None;
+        }
+        let mut scanned = 0usize;
+        loop {
+            let day = self.current_day;
+            let bucket_idx = self.bucket_of_day(day);
+            let mut best: Option<(usize, SimTime, u64)> = None;
+            for (i, e) in self.buckets[bucket_idx].iter().enumerate() {
+                if self.day_of(e.time.as_secs()) != day {
+                    continue; // an event of a later lap
+                }
+                let better = match best {
+                    None => true,
+                    Some((_, bt, bs)) => (e.time, e.seq) < (bt, bs),
+                };
+                if better {
+                    best = Some((i, e.time, e.seq));
+                }
+            }
+            if let Some((i, _, _)) = best {
+                let e = self.buckets[bucket_idx].swap_remove(i);
+                self.len -= 1;
+                self.watermark = self.watermark.max(e.time.as_secs());
+                if self.len < self.min_len && self.buckets.len() > 16 {
+                    self.resize(self.buckets.len() / 2);
+                }
+                return Some((e.time, e.event));
+            }
+            // Empty day: advance. After a fruitless full lap, jump
+            // straight to the earliest remaining event's day.
+            self.current_day += 1;
+            scanned += 1;
+            if scanned >= self.buckets.len() {
+                let min_day = self
+                    .buckets
+                    .iter()
+                    .flatten()
+                    .map(|e| self.day_of(e.time.as_secs()))
+                    .min()
+                    .expect("len > 0");
+                self.current_day = min_day;
+                scanned = 0;
+            }
+        }
+    }
+
+    /// Rebuild with a new bucket count and a day width matched to the
+    /// current event span (the classic heuristic).
+    fn resize(&mut self, n_buckets: usize) {
+        let n_buckets = n_buckets.max(16);
+        let entries: Vec<Entry<E>> = self.buckets.iter_mut().flat_map(std::mem::take).collect();
+        let (mut lo, mut hi) = (f64::INFINITY, f64::NEG_INFINITY);
+        for e in &entries {
+            lo = lo.min(e.time.as_secs());
+            hi = hi.max(e.time.as_secs());
+        }
+        if lo.is_finite() && hi > lo {
+            self.day_width = ((hi - lo) / n_buckets as f64).max(1e-9);
+        }
+        self.buckets = (0..n_buckets).map(|_| Vec::new()).collect();
+        self.min_len = n_buckets / 4;
+        self.max_len = n_buckets * 2;
+        // Resume from the watermark: every remaining event is at or
+        // after it, so its day (under the new width) is >= this.
+        self.current_day = self.day_of(self.watermark);
+        for e in entries {
+            let b = self.bucket_of_day(self.day_of(e.time.as_secs()));
+            self.buckets[b].push(e);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::queue::EventQueue;
+    use crate::rng::SeedFactory;
+
+    fn t(secs: f64) -> SimTime {
+        SimTime::from_secs(secs)
+    }
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = CalendarQueue::new();
+        q.schedule(t(5.0), "b");
+        q.schedule(t(0.5), "a");
+        q.schedule(t(100.0), "c");
+        let order: Vec<_> = std::iter::from_fn(|| q.pop()).map(|(_, e)| e).collect();
+        assert_eq!(order, vec!["a", "b", "c"]);
+    }
+
+    #[test]
+    fn ties_are_fifo() {
+        let mut q = CalendarQueue::new();
+        for i in 0..50 {
+            q.schedule(t(3.0), i);
+        }
+        let order: Vec<_> = std::iter::from_fn(|| q.pop()).map(|(_, e)| e).collect();
+        assert_eq!(order, (0..50).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn sparse_far_future_events() {
+        let mut q = CalendarQueue::new();
+        q.schedule(t(1e8), 1);
+        q.schedule(t(2e8), 2);
+        assert_eq!(q.pop().map(|(_, e)| e), Some(1));
+        assert_eq!(q.pop().map(|(_, e)| e), Some(2));
+        assert!(q.pop().is_none());
+    }
+
+    #[test]
+    fn grows_and_shrinks_through_resize() {
+        let mut q = CalendarQueue::new();
+        for i in 0..10_000u64 {
+            q.schedule(t(i as f64 * 0.37), i);
+        }
+        assert_eq!(q.len(), 10_000);
+        let mut last = f64::NEG_INFINITY;
+        let mut n = 0;
+        while let Some((time, _)) = q.pop() {
+            assert!(
+                time.as_secs() >= last,
+                "out of order at {n}: {} after {last}",
+                time.as_secs()
+            );
+            last = time.as_secs();
+            n += 1;
+        }
+        assert_eq!(n, 10_000);
+    }
+
+    #[test]
+    fn boundary_times_are_not_deferred() {
+        // Times sitting exactly on (or a few ulps off) day boundaries
+        // must still pop in order — the regression this module's
+        // implementation note describes.
+        let mut q = CalendarQueue::new();
+        let mut payload = 0u64;
+        for i in 0..200u64 {
+            for ulp in [-2i64, -1, 0, 1, 2] {
+                let base = i as f64 * 1.0;
+                let tt = if ulp >= 0 {
+                    (0..ulp).fold(base, |x, _| x.next_up())
+                } else {
+                    (0..-ulp).fold(base, |x, _| x.next_down())
+                };
+                if tt >= 0.0 {
+                    q.schedule(t(tt), payload);
+                    payload += 1;
+                }
+            }
+        }
+        let mut last = f64::NEG_INFINITY;
+        let mut n = 0;
+        while let Some((time, _)) = q.pop() {
+            assert!(time.as_secs() >= last, "out of order at {n}");
+            last = time.as_secs();
+            n += 1;
+        }
+        assert_eq!(n as u64, payload);
+    }
+
+    #[test]
+    fn matches_binary_heap_queue() {
+        // Black-box equivalence with the default queue on a random
+        // schedule/pop workload (no cancellation in the calendar).
+        let mut cal = CalendarQueue::new();
+        let mut heap = EventQueue::new();
+        let mut rng = SeedFactory::new(3).stream(0);
+        let mut now = 0.0f64;
+        let mut payload = 0u64;
+        for _ in 0..5000 {
+            if rng.chance(0.6) || cal.is_empty() {
+                let at = now + rng.uniform() * 1000.0;
+                cal.schedule(t(at), payload);
+                heap.schedule(t(at), payload);
+                payload += 1;
+            } else {
+                let a = cal.pop().expect("non-empty");
+                let b = heap.pop().expect("non-empty");
+                assert_eq!(a.1, b.1, "payload divergence");
+                assert_eq!(a.0, b.0);
+                now = a.0.as_secs();
+            }
+        }
+        loop {
+            match (cal.pop(), heap.pop()) {
+                (None, None) => break,
+                (Some(a), Some(b)) => {
+                    assert_eq!(a.1, b.1);
+                    assert_eq!(a.0, b.0);
+                }
+                (a, b) => panic!("length divergence: {:?} vs {:?}", a.is_some(), b.is_some()),
+            }
+        }
+    }
+
+    #[test]
+    fn interleaved_event_driven_usage() {
+        let mut q = CalendarQueue::new();
+        q.schedule(t(0.0), 0u32);
+        let mut fired = Vec::new();
+        while let Some((time, n)) = q.pop() {
+            fired.push(n);
+            if n < 6 {
+                q.schedule(
+                    SimTime::from_secs(time.as_secs() + 10.0 * (n + 1) as f64),
+                    n + 1,
+                );
+            }
+        }
+        assert_eq!(fired, vec![0, 1, 2, 3, 4, 5, 6]);
+    }
+
+    #[test]
+    #[should_panic]
+    fn scheduling_into_the_past_panics() {
+        let mut q = CalendarQueue::new();
+        q.schedule(t(100.0), 1);
+        q.schedule(t(200.0), 2);
+        q.pop();
+        q.schedule(t(50.0), 3);
+    }
+}

@@ -1,0 +1,258 @@
+//! Small statistics toolkit for aggregating Monte-Carlo trials.
+
+use serde::{Deserialize, Serialize};
+
+/// Online mean/variance accumulator (Welford's algorithm).
+#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+pub struct Running {
+    n: u64,
+    mean: f64,
+    m2: f64,
+    min: f64,
+    max: f64,
+}
+
+impl Running {
+    pub fn new() -> Self {
+        Running {
+            n: 0,
+            mean: 0.0,
+            m2: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
+    }
+
+    pub fn push(&mut self, x: f64) {
+        self.n += 1;
+        let delta = x - self.mean;
+        self.mean += delta / self.n as f64;
+        self.m2 += delta * (x - self.mean);
+        self.min = self.min.min(x);
+        self.max = self.max.max(x);
+    }
+
+    pub fn extend<I: IntoIterator<Item = f64>>(&mut self, xs: I) {
+        for x in xs {
+            self.push(x);
+        }
+    }
+
+    pub fn count(&self) -> u64 {
+        self.n
+    }
+
+    pub fn mean(&self) -> f64 {
+        self.mean
+    }
+
+    /// Sample variance (n-1 denominator). Zero for fewer than two samples.
+    pub fn variance(&self) -> f64 {
+        if self.n < 2 {
+            0.0
+        } else {
+            self.m2 / (self.n - 1) as f64
+        }
+    }
+
+    pub fn std_dev(&self) -> f64 {
+        self.variance().sqrt()
+    }
+
+    pub fn min(&self) -> f64 {
+        self.min
+    }
+
+    pub fn max(&self) -> f64 {
+        self.max
+    }
+
+    /// Merge another accumulator into this one (parallel reduction).
+    pub fn merge(&mut self, other: &Running) {
+        if other.n == 0 {
+            return;
+        }
+        if self.n == 0 {
+            *self = other.clone();
+            return;
+        }
+        let n = (self.n + other.n) as f64;
+        let delta = other.mean - self.mean;
+        let mean = self.mean + delta * other.n as f64 / n;
+        let m2 = self.m2 + other.m2 + delta * delta * self.n as f64 * other.n as f64 / n;
+        self.n += other.n;
+        self.mean = mean;
+        self.m2 = m2;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+}
+
+/// A binomial proportion (e.g. "fraction of trials that lost data") with a
+/// normal-approximation 95 % confidence interval, matching the error bars
+/// in Figure 7 of the paper.
+#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+pub struct Proportion {
+    pub successes: u64,
+    pub trials: u64,
+}
+
+impl Proportion {
+    pub fn new(successes: u64, trials: u64) -> Self {
+        assert!(successes <= trials, "{successes} successes of {trials}");
+        Proportion { successes, trials }
+    }
+
+    pub fn value(&self) -> f64 {
+        if self.trials == 0 {
+            0.0
+        } else {
+            self.successes as f64 / self.trials as f64
+        }
+    }
+
+    /// Standard error of the proportion.
+    pub fn std_err(&self) -> f64 {
+        if self.trials == 0 {
+            return 0.0;
+        }
+        let p = self.value();
+        (p * (1.0 - p) / self.trials as f64).sqrt()
+    }
+
+    /// 95 % confidence half-width (1.96 σ), clamped to [0, 1] bounds by the
+    /// caller if needed.
+    pub fn ci95_half_width(&self) -> f64 {
+        1.96 * self.std_err()
+    }
+
+    /// (lower, upper) bounds of the 95 % CI, clamped to [0, 1].
+    pub fn ci95(&self) -> (f64, f64) {
+        let p = self.value();
+        let hw = self.ci95_half_width();
+        ((p - hw).max(0.0), (p + hw).min(1.0))
+    }
+
+    pub fn merge(&mut self, other: Proportion) {
+        self.successes += other.successes;
+        self.trials += other.trials;
+    }
+}
+
+/// Pearson chi-squared statistic for a uniform-expected histogram —
+/// used by placement-balance tests.
+pub fn chi_squared_uniform(counts: &[u64]) -> f64 {
+    let total: u64 = counts.iter().sum();
+    if counts.is_empty() || total == 0 {
+        return 0.0;
+    }
+    let expected = total as f64 / counts.len() as f64;
+    counts
+        .iter()
+        .map(|&c| {
+            let d = c as f64 - expected;
+            d * d / expected
+        })
+        .sum()
+}
+
+/// Coefficient of variation (σ/μ) of a histogram of counts.
+pub fn coefficient_of_variation(counts: &[u64]) -> f64 {
+    let mut r = Running::new();
+    r.extend(counts.iter().map(|&c| c as f64));
+    if r.mean() == 0.0 {
+        0.0
+    } else {
+        r.std_dev() / r.mean()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn running_matches_closed_form() {
+        let xs = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0];
+        let mut r = Running::new();
+        r.extend(xs.iter().copied());
+        assert_eq!(r.count(), 8);
+        assert!((r.mean() - 5.0).abs() < 1e-12);
+        // Sample variance of this classic dataset is 32/7.
+        assert!((r.variance() - 32.0 / 7.0).abs() < 1e-12);
+        assert_eq!(r.min(), 2.0);
+        assert_eq!(r.max(), 9.0);
+    }
+
+    #[test]
+    fn merge_equals_sequential() {
+        let xs: Vec<f64> = (0..1000).map(|i| (i as f64).sin() * 10.0).collect();
+        let mut whole = Running::new();
+        whole.extend(xs.iter().copied());
+        let mut left = Running::new();
+        left.extend(xs[..300].iter().copied());
+        let mut right = Running::new();
+        right.extend(xs[300..].iter().copied());
+        left.merge(&right);
+        assert_eq!(left.count(), whole.count());
+        assert!((left.mean() - whole.mean()).abs() < 1e-9);
+        assert!((left.variance() - whole.variance()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn merge_with_empty_is_identity() {
+        let mut a = Running::new();
+        a.extend([1.0, 2.0, 3.0]);
+        let before = (a.count(), a.mean(), a.variance());
+        a.merge(&Running::new());
+        assert_eq!(before, (a.count(), a.mean(), a.variance()));
+
+        let mut empty = Running::new();
+        let mut b = Running::new();
+        b.extend([1.0, 2.0, 3.0]);
+        empty.merge(&b);
+        assert!((empty.mean() - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn proportion_ci() {
+        let p = Proportion::new(10, 100);
+        assert!((p.value() - 0.1).abs() < 1e-12);
+        let (lo, hi) = p.ci95();
+        assert!(lo < 0.1 && hi > 0.1);
+        assert!((hi - 0.1 - 1.96 * (0.1f64 * 0.9 / 100.0).sqrt()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn proportion_ci_clamped() {
+        let p = Proportion::new(0, 10);
+        let (lo, _) = p.ci95();
+        assert_eq!(lo, 0.0);
+        let p = Proportion::new(10, 10);
+        let (_, hi) = p.ci95();
+        assert_eq!(hi, 1.0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn proportion_rejects_impossible_counts() {
+        let _ = Proportion::new(11, 10);
+    }
+
+    #[test]
+    fn chi_squared_zero_for_perfectly_uniform() {
+        assert_eq!(chi_squared_uniform(&[5, 5, 5, 5]), 0.0);
+    }
+
+    #[test]
+    fn chi_squared_grows_with_imbalance() {
+        let balanced = chi_squared_uniform(&[10, 10, 10, 10]);
+        let skewed = chi_squared_uniform(&[40, 0, 0, 0]);
+        assert!(skewed > balanced + 100.0);
+    }
+
+    #[test]
+    fn cv_of_equal_counts_is_zero() {
+        assert_eq!(coefficient_of_variation(&[7, 7, 7]), 0.0);
+    }
+}

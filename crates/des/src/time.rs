@@ -1,0 +1,295 @@
+//! Simulated time.
+//!
+//! Time is measured in seconds as an `f64`. Six simulated years is about
+//! 1.9e8 seconds, far below the 2^53 integer-precision limit of `f64`, so
+//! sub-second precision is preserved over the whole simulation horizon.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::ops::{Add, AddAssign, Div, Mul, Sub};
+
+/// An instant of simulated time, in seconds since the start of the run.
+///
+/// `SimTime` is totally ordered; constructing a non-finite time panics in
+/// debug builds (events at NaN times would silently corrupt the queue).
+#[derive(Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SimTime(f64);
+
+/// A span of simulated time, in seconds. Always finite and non-negative
+/// for the durations produced by this crate's constructors.
+#[derive(Clone, Copy, PartialEq, PartialOrd, Serialize, Deserialize)]
+pub struct Duration(f64);
+
+pub const SECONDS_PER_MINUTE: f64 = 60.0;
+pub const SECONDS_PER_HOUR: f64 = 3_600.0;
+pub const SECONDS_PER_DAY: f64 = 24.0 * SECONDS_PER_HOUR;
+/// The disk-reliability literature (and Table 1 of the paper) quotes rates
+/// per 1000 *power-on hours* and periods in months; we use a 730-hour month
+/// (8760-hour year / 12) to match.
+pub const SECONDS_PER_MONTH: f64 = 730.0 * SECONDS_PER_HOUR;
+pub const SECONDS_PER_YEAR: f64 = 8_760.0 * SECONDS_PER_HOUR;
+
+impl SimTime {
+    pub const ZERO: SimTime = SimTime(0.0);
+
+    #[inline]
+    pub fn from_secs(secs: f64) -> Self {
+        debug_assert!(secs.is_finite(), "SimTime must be finite, got {secs}");
+        SimTime(secs)
+    }
+
+    #[inline]
+    pub fn from_hours(hours: f64) -> Self {
+        Self::from_secs(hours * SECONDS_PER_HOUR)
+    }
+
+    #[inline]
+    pub fn from_years(years: f64) -> Self {
+        Self::from_secs(years * SECONDS_PER_YEAR)
+    }
+
+    #[inline]
+    pub fn as_secs(self) -> f64 {
+        self.0
+    }
+
+    #[inline]
+    pub fn as_hours(self) -> f64 {
+        self.0 / SECONDS_PER_HOUR
+    }
+
+    #[inline]
+    pub fn as_months(self) -> f64 {
+        self.0 / SECONDS_PER_MONTH
+    }
+
+    #[inline]
+    pub fn as_years(self) -> f64 {
+        self.0 / SECONDS_PER_YEAR
+    }
+}
+
+impl Duration {
+    pub const ZERO: Duration = Duration(0.0);
+
+    #[inline]
+    pub fn from_secs(secs: f64) -> Self {
+        debug_assert!(secs.is_finite(), "Duration must be finite, got {secs}");
+        Duration(secs)
+    }
+
+    #[inline]
+    pub fn from_minutes(m: f64) -> Self {
+        Self::from_secs(m * SECONDS_PER_MINUTE)
+    }
+
+    #[inline]
+    pub fn from_hours(hours: f64) -> Self {
+        Self::from_secs(hours * SECONDS_PER_HOUR)
+    }
+
+    #[inline]
+    pub fn from_days(days: f64) -> Self {
+        Self::from_secs(days * SECONDS_PER_DAY)
+    }
+
+    #[inline]
+    pub fn from_months(months: f64) -> Self {
+        Self::from_secs(months * SECONDS_PER_MONTH)
+    }
+
+    #[inline]
+    pub fn from_years(years: f64) -> Self {
+        Self::from_secs(years * SECONDS_PER_YEAR)
+    }
+
+    #[inline]
+    pub fn as_secs(self) -> f64 {
+        self.0
+    }
+
+    #[inline]
+    pub fn as_hours(self) -> f64 {
+        self.0 / SECONDS_PER_HOUR
+    }
+
+    #[inline]
+    pub fn as_years(self) -> f64 {
+        self.0 / SECONDS_PER_YEAR
+    }
+
+    #[inline]
+    pub fn is_positive(self) -> bool {
+        self.0 > 0.0
+    }
+
+    #[inline]
+    pub fn min(self, other: Duration) -> Duration {
+        Duration(self.0.min(other.0))
+    }
+
+    #[inline]
+    pub fn max(self, other: Duration) -> Duration {
+        Duration(self.0.max(other.0))
+    }
+}
+
+impl Add<Duration> for SimTime {
+    type Output = SimTime;
+    #[inline]
+    fn add(self, rhs: Duration) -> SimTime {
+        SimTime::from_secs(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign<Duration> for SimTime {
+    #[inline]
+    fn add_assign(&mut self, rhs: Duration) {
+        *self = *self + rhs;
+    }
+}
+
+impl Sub<SimTime> for SimTime {
+    type Output = Duration;
+    #[inline]
+    fn sub(self, rhs: SimTime) -> Duration {
+        Duration::from_secs(self.0 - rhs.0)
+    }
+}
+
+impl Add for Duration {
+    type Output = Duration;
+    #[inline]
+    fn add(self, rhs: Duration) -> Duration {
+        Duration::from_secs(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign for Duration {
+    #[inline]
+    fn add_assign(&mut self, rhs: Duration) {
+        *self = *self + rhs;
+    }
+}
+
+impl Sub for Duration {
+    type Output = Duration;
+    #[inline]
+    fn sub(self, rhs: Duration) -> Duration {
+        Duration::from_secs(self.0 - rhs.0)
+    }
+}
+
+impl Mul<f64> for Duration {
+    type Output = Duration;
+    #[inline]
+    fn mul(self, rhs: f64) -> Duration {
+        Duration::from_secs(self.0 * rhs)
+    }
+}
+
+impl Div<f64> for Duration {
+    type Output = Duration;
+    #[inline]
+    fn div(self, rhs: f64) -> Duration {
+        Duration::from_secs(self.0 / rhs)
+    }
+}
+
+impl Div for Duration {
+    type Output = f64;
+    #[inline]
+    fn div(self, rhs: Duration) -> f64 {
+        self.0 / rhs.0
+    }
+}
+
+impl Eq for SimTime {}
+
+#[allow(clippy::derive_ord_xor_partial_ord)]
+impl Ord for SimTime {
+    #[inline]
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.0.total_cmp(&other.0)
+    }
+}
+
+impl PartialOrd for SimTime {
+    #[inline]
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl fmt::Debug for SimTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "t={:.3}s", self.0)
+    }
+}
+
+impl fmt::Display for SimTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.0 >= SECONDS_PER_YEAR {
+            write!(f, "{:.2}y", self.as_years())
+        } else if self.0 >= SECONDS_PER_HOUR {
+            write!(f, "{:.2}h", self.as_hours())
+        } else {
+            write!(f, "{:.1}s", self.0)
+        }
+    }
+}
+
+impl fmt::Debug for Duration {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.3}s", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arithmetic_roundtrips() {
+        let t = SimTime::from_hours(2.0) + Duration::from_minutes(30.0);
+        assert!((t.as_hours() - 2.5).abs() < 1e-12);
+        let d = t - SimTime::from_hours(1.0);
+        assert!((d.as_hours() - 1.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn month_matches_reliability_convention() {
+        // 3 months = 2190 power-on hours, the granularity of Table 1.
+        assert!((Duration::from_months(3.0).as_hours() - 2190.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn year_is_8760_hours() {
+        assert!((Duration::from_years(1.0).as_hours() - 8760.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn ordering_is_total_and_monotone() {
+        let times = [0.0, 1e-9, 1.0, 3600.0, 1e8];
+        for w in times.windows(2) {
+            let a = SimTime::from_secs(w[0]);
+            let b = SimTime::from_secs(w[1]);
+            assert!(a < b);
+            assert_eq!(a.cmp(&b), std::cmp::Ordering::Less);
+        }
+    }
+
+    #[test]
+    fn duration_ratio() {
+        let a = Duration::from_secs(600.0);
+        let b = Duration::from_secs(6400.0);
+        assert!((a / b - 0.09375).abs() < 1e-12);
+    }
+
+    #[test]
+    fn display_picks_sensible_units() {
+        assert_eq!(format!("{}", SimTime::from_secs(12.0)), "12.0s");
+        assert_eq!(format!("{}", SimTime::from_hours(3.0)), "3.00h");
+        assert_eq!(format!("{}", SimTime::from_years(6.0)), "6.00y");
+    }
+}

@@ -1,0 +1,168 @@
+//! S.M.A.R.T.-style health monitoring (§2.3).
+//!
+//! The paper: "If we use S.M.A.R.T. or a similar system to monitor the
+//! health of disks, we are able to avoid unreliable disks" when picking
+//! recovery targets. We model a monitor that flags a fraction of disks as
+//! *suspect* some lead time before they actually fail, with a configurable
+//! detection (true-positive) rate and false-alarm rate — numbers in line
+//! with the published S.M.A.R.T. literature the paper cites (Hughes et
+//! al.: ~30–50% detection at low false-alarm rates).
+
+use farm_des::rng::RngStream;
+use farm_des::time::{Duration, SimTime};
+use serde::{Deserialize, Serialize};
+
+/// Configuration for the health monitor.
+#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+pub struct SmartConfig {
+    /// Probability an impending failure is flagged ahead of time.
+    pub detection_rate: f64,
+    /// Probability a healthy disk is (wrongly) flagged over its life.
+    pub false_alarm_rate: f64,
+    /// How far ahead of the failure the warning fires.
+    pub lead_time: Duration,
+}
+
+impl Default for SmartConfig {
+    fn default() -> Self {
+        SmartConfig {
+            detection_rate: 0.4,
+            false_alarm_rate: 0.01,
+            lead_time: Duration::from_hours(24.0),
+        }
+    }
+}
+
+/// Health verdict for one drive.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Serialize, Deserialize)]
+pub enum Health {
+    Good,
+    /// Flagged by the monitor; FARM avoids using it as a recovery target.
+    Suspect,
+}
+
+/// Per-disk monitor state, decided once per drive lifetime.
+#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+pub struct SmartVerdict {
+    /// If `Some(t)`, the drive reads as `Suspect` from `t` onward.
+    suspect_from: Option<SimTime>,
+}
+
+impl SmartVerdict {
+    /// Roll the monitor's behaviour for a drive that will fail at
+    /// `failure_time` (or `None` if it outlives the simulation).
+    pub fn roll(
+        cfg: &SmartConfig,
+        birth: SimTime,
+        failure_time: Option<SimTime>,
+        rng: &mut RngStream,
+    ) -> Self {
+        if let Some(ft) = failure_time {
+            if rng.chance(cfg.detection_rate) {
+                let warn = SimTime::from_secs(
+                    (ft.as_secs() - cfg.lead_time.as_secs()).max(birth.as_secs()),
+                );
+                return SmartVerdict {
+                    suspect_from: Some(warn),
+                };
+            }
+        }
+        if rng.chance(cfg.false_alarm_rate) {
+            // False alarm at a uniformly random point of a 6-year life.
+            let offset = Duration::from_years(6.0 * rng.uniform());
+            return SmartVerdict {
+                suspect_from: Some(birth + offset),
+            };
+        }
+        SmartVerdict { suspect_from: None }
+    }
+
+    /// Never flags — for runs without health monitoring.
+    pub fn disabled() -> Self {
+        SmartVerdict { suspect_from: None }
+    }
+
+    pub fn health_at(&self, now: SimTime) -> Health {
+        match self.suspect_from {
+            Some(t) if now >= t => Health::Suspect,
+            _ => Health::Good,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use farm_des::rng::SeedFactory;
+
+    #[test]
+    fn detected_failure_flags_ahead_of_time() {
+        let cfg = SmartConfig {
+            detection_rate: 1.0,
+            false_alarm_rate: 0.0,
+            lead_time: Duration::from_hours(24.0),
+        };
+        let mut rng = SeedFactory::new(1).stream(0);
+        let fail_at = SimTime::from_years(2.0);
+        let v = SmartVerdict::roll(&cfg, SimTime::ZERO, Some(fail_at), &mut rng);
+        let just_before = SimTime::from_secs(fail_at.as_secs() - 3600.0);
+        assert_eq!(v.health_at(just_before), Health::Suspect);
+        let long_before = SimTime::from_years(1.0);
+        assert_eq!(v.health_at(long_before), Health::Good);
+    }
+
+    #[test]
+    fn lead_time_clamped_to_birth() {
+        let cfg = SmartConfig {
+            detection_rate: 1.0,
+            false_alarm_rate: 0.0,
+            lead_time: Duration::from_years(10.0),
+        };
+        let mut rng = SeedFactory::new(2).stream(0);
+        let birth = SimTime::from_years(1.0);
+        let v = SmartVerdict::roll(&cfg, birth, Some(SimTime::from_years(2.0)), &mut rng);
+        assert_eq!(v.health_at(birth), Health::Suspect);
+    }
+
+    #[test]
+    fn detection_rate_is_respected() {
+        let cfg = SmartConfig {
+            detection_rate: 0.4,
+            false_alarm_rate: 0.0,
+            lead_time: Duration::from_hours(24.0),
+        };
+        let mut rng = SeedFactory::new(3).stream(0);
+        let fail_at = SimTime::from_years(3.0);
+        let n = 50_000;
+        let flagged = (0..n)
+            .filter(|_| {
+                SmartVerdict::roll(&cfg, SimTime::ZERO, Some(fail_at), &mut rng).health_at(fail_at)
+                    == Health::Suspect
+            })
+            .count();
+        let f = flagged as f64 / n as f64;
+        assert!((f - 0.4).abs() < 0.01, "detection fraction {f}");
+    }
+
+    #[test]
+    fn healthy_disks_rarely_flagged() {
+        let cfg = SmartConfig::default();
+        let mut rng = SeedFactory::new(4).stream(0);
+        let n = 50_000;
+        let end = SimTime::from_years(6.0);
+        let flagged = (0..n)
+            .filter(|_| {
+                SmartVerdict::roll(&cfg, SimTime::ZERO, None, &mut rng).health_at(end)
+                    == Health::Suspect
+            })
+            .count();
+        let f = flagged as f64 / n as f64;
+        assert!(f < 0.02, "false alarm fraction {f}");
+    }
+
+    #[test]
+    fn disabled_never_flags() {
+        let v = SmartVerdict::disabled();
+        assert_eq!(v.health_at(SimTime::from_years(100.0)), Health::Good);
+    }
+}

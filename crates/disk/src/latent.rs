@@ -1,0 +1,196 @@
+//! Latent sector errors and scrubbing (extension).
+//!
+//! The paper's model treats drives as fail-stop. Real drives also
+//! develop *latent* sector errors: unreadable sectors discovered only
+//! when the sector is next read — most dangerously during a rebuild,
+//! when the redundancy that would have masked them is already spent.
+//! Later work by the same group (and the dRAID/scrubbing literature)
+//! quantifies this; we model it as:
+//!
+//! * defects arrive on each drive as a Poisson process with a
+//!   configurable rate per drive-year,
+//! * a periodic scrub reads every sector and repairs defects from
+//!   redundancy, resetting the drive's defect clock,
+//! * a rebuild that reads a source drive trips over a defect with the
+//!   probability that at least one defect arrived on the *read range*
+//!   since the last scrub.
+
+use farm_des::rng::RngStream;
+use farm_des::time::{Duration, SimTime, SECONDS_PER_YEAR};
+use serde::{Deserialize, Serialize};
+
+/// Configuration of the latent-error model.
+#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+pub struct LatentConfig {
+    /// Mean latent defects developed per drive per year (whole-drive
+    /// rate; the affected fraction of the drive is proportional to the
+    /// bytes read).
+    pub defects_per_drive_year: f64,
+    /// Scrub period; `None` disables scrubbing (defects accumulate).
+    pub scrub_interval: Option<Duration>,
+}
+
+impl Default for LatentConfig {
+    fn default() -> Self {
+        LatentConfig {
+            // In line with published NetApp-scale field data: O(1)
+            // latent defects per drive-year on nearline drives.
+            defects_per_drive_year: 1.0,
+            scrub_interval: Some(Duration::from_days(14.0)),
+        }
+    }
+}
+
+impl LatentConfig {
+    /// Defect arrival rate per second for the whole drive.
+    pub fn lambda_per_sec(&self) -> f64 {
+        self.defects_per_drive_year / SECONDS_PER_YEAR
+    }
+
+    /// Time since the last completed scrub at `now` (drives are clean at
+    /// `birth`).
+    pub fn exposure(&self, birth: SimTime, now: SimTime) -> Duration {
+        let age = now - birth;
+        match self.scrub_interval {
+            None => age,
+            Some(interval) if interval.as_secs() <= 0.0 => Duration::ZERO,
+            Some(interval) => {
+                let periods = (age.as_secs() / interval.as_secs()).floor();
+                Duration::from_secs(age.as_secs() - periods * interval.as_secs())
+            }
+        }
+    }
+
+    /// Probability that reading `read_bytes` of a `capacity`-byte drive
+    /// at `now` (born/last-replaced at `birth`) hits at least one latent
+    /// defect.
+    pub fn read_error_probability(
+        &self,
+        birth: SimTime,
+        now: SimTime,
+        read_bytes: u64,
+        capacity: u64,
+    ) -> f64 {
+        if capacity == 0 || read_bytes == 0 {
+            return 0.0;
+        }
+        let exposure = self.exposure(birth, now).as_secs();
+        let fraction = (read_bytes as f64 / capacity as f64).min(1.0);
+        let mean_defects_on_range = self.lambda_per_sec() * exposure * fraction;
+        1.0 - (-mean_defects_on_range).exp()
+    }
+
+    /// Sample whether a read trips a latent defect.
+    pub fn read_trips(
+        &self,
+        birth: SimTime,
+        now: SimTime,
+        read_bytes: u64,
+        capacity: u64,
+        rng: &mut RngStream,
+    ) -> bool {
+        rng.chance(self.read_error_probability(birth, now, read_bytes, capacity))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use farm_des::rng::SeedFactory;
+
+    const GIB: u64 = 1 << 30;
+    const TIB: u64 = 1 << 40;
+
+    #[test]
+    fn no_scrub_exposure_is_age() {
+        let cfg = LatentConfig {
+            defects_per_drive_year: 1.0,
+            scrub_interval: None,
+        };
+        let e = cfg.exposure(SimTime::ZERO, SimTime::from_years(2.0));
+        assert!((e.as_years() - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn scrub_resets_exposure() {
+        let cfg = LatentConfig {
+            defects_per_drive_year: 1.0,
+            scrub_interval: Some(Duration::from_days(10.0)),
+        };
+        // 25 days in: 2 scrubs done, 5 days of exposure.
+        let e = cfg.exposure(SimTime::ZERO, SimTime::ZERO + Duration::from_days(25.0));
+        assert!((e.as_secs() - Duration::from_days(5.0).as_secs()).abs() < 1e-6);
+    }
+
+    #[test]
+    fn probability_scales_with_read_size_and_exposure() {
+        let cfg = LatentConfig {
+            defects_per_drive_year: 1.0,
+            scrub_interval: None,
+        };
+        let now = SimTime::from_years(1.0);
+        let small = cfg.read_error_probability(SimTime::ZERO, now, GIB, TIB);
+        let large = cfg.read_error_probability(SimTime::ZERO, now, 100 * GIB, TIB);
+        assert!(large > 50.0 * small, "large {large} vs small {small}");
+        let late = cfg.read_error_probability(SimTime::ZERO, SimTime::from_years(3.0), GIB, TIB);
+        assert!((late / small - 3.0).abs() < 0.01, "exposure scaling");
+    }
+
+    #[test]
+    fn one_defect_year_full_drive_read_magnitude() {
+        // Reading a whole clean-1-year drive with 1 defect/drive-year:
+        // P ≈ 1 - e^{-1} ≈ 63%.
+        let cfg = LatentConfig {
+            defects_per_drive_year: 1.0,
+            scrub_interval: None,
+        };
+        let p = cfg.read_error_probability(SimTime::ZERO, SimTime::from_years(1.0), TIB, TIB);
+        assert!((p - (1.0 - (-1.0f64).exp())).abs() < 1e-9);
+    }
+
+    #[test]
+    fn scrubbing_caps_the_probability() {
+        let unscrubbed = LatentConfig {
+            defects_per_drive_year: 1.0,
+            scrub_interval: None,
+        };
+        let scrubbed = LatentConfig {
+            defects_per_drive_year: 1.0,
+            scrub_interval: Some(Duration::from_days(14.0)),
+        };
+        let now = SimTime::from_years(3.0);
+        let p_un = unscrubbed.read_error_probability(SimTime::ZERO, now, 100 * GIB, TIB);
+        let p_sc = scrubbed.read_error_probability(SimTime::ZERO, now, 100 * GIB, TIB);
+        assert!(p_sc < p_un / 10.0, "scrubbed {p_sc} vs unscrubbed {p_un}");
+    }
+
+    #[test]
+    fn zero_read_or_capacity_is_safe() {
+        let cfg = LatentConfig::default();
+        assert_eq!(
+            cfg.read_error_probability(SimTime::ZERO, SimTime::from_years(1.0), 0, TIB),
+            0.0
+        );
+        assert_eq!(
+            cfg.read_error_probability(SimTime::ZERO, SimTime::from_years(1.0), GIB, 0),
+            0.0
+        );
+    }
+
+    #[test]
+    fn sampling_frequency_matches_probability() {
+        let cfg = LatentConfig {
+            defects_per_drive_year: 2.0,
+            scrub_interval: None,
+        };
+        let now = SimTime::from_years(1.0);
+        let p = cfg.read_error_probability(SimTime::ZERO, now, 200 * GIB, TIB);
+        let mut rng = SeedFactory::new(4).stream(0);
+        let n = 100_000;
+        let hits = (0..n)
+            .filter(|_| cfg.read_trips(SimTime::ZERO, now, 200 * GIB, TIB, &mut rng))
+            .count();
+        let f = hits as f64 / n as f64;
+        assert!((f - p).abs() < 0.01, "sampled {f} vs analytic {p}");
+    }
+}

@@ -1,0 +1,35 @@
+//! # farm-disk — disk-drive model for the FARM simulator
+//!
+//! Models the storage device population of §3.1 of the paper:
+//!
+//! * [`model::Disk`] — 1 TiB drives with 150 MiB/s sustained bandwidth,
+//!   capacity/spare-space accounting and lifecycle state,
+//! * [`failure::Hazard`] — piecewise-constant bathtub failure rates
+//!   (Table 1, after Elerath 2000) with inverse-CDF lifetime sampling,
+//!   age memory, vintage multipliers, plus the flat-MTBF ablation model,
+//! * [`health`] — a S.M.A.R.T.-style monitor (§2.3) that lets FARM avoid
+//!   suspect drives when choosing recovery targets.
+//!
+//! ```
+//! use farm_disk::failure::Hazard;
+//! use farm_des::{Duration, rng::SeedFactory};
+//!
+//! let hazard = Hazard::table1();
+//! // About 11% of drives fail within their 6-year design life.
+//! let p = hazard.failure_probability(Duration::ZERO, Duration::from_years(6.0));
+//! assert!(p > 0.09 && p < 0.13);
+//!
+//! let mut rng = SeedFactory::new(42).stream(0);
+//! let ttf = hazard.sample_ttf(Duration::ZERO, &mut rng);
+//! assert!(ttf.as_secs() > 0.0);
+//! ```
+
+pub mod failure;
+pub mod health;
+pub mod latent;
+pub mod model;
+
+pub use failure::Hazard;
+pub use health::{Health, SmartConfig, SmartVerdict};
+pub use latent::LatentConfig;
+pub use model::{Disk, DiskState, GIB, KIB, MIB, PIB, TIB};

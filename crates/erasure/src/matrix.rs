@@ -1,0 +1,281 @@
+//! Dense matrices over GF(2^8) — just enough linear algebra for building
+//! systematic Reed–Solomon generator matrices and inverting decode
+//! submatrices.
+
+use crate::gf256;
+use std::fmt;
+
+/// A row-major dense matrix over GF(2^8).
+#[derive(Clone, PartialEq, Eq)]
+pub struct Matrix {
+    rows: usize,
+    cols: usize,
+    data: Vec<u8>,
+}
+
+impl Matrix {
+    pub fn zero(rows: usize, cols: usize) -> Self {
+        Matrix {
+            rows,
+            cols,
+            data: vec![0; rows * cols],
+        }
+    }
+
+    pub fn identity(n: usize) -> Self {
+        let mut m = Matrix::zero(n, n);
+        for i in 0..n {
+            m[(i, i)] = 1;
+        }
+        m
+    }
+
+    pub fn from_rows(rows: &[&[u8]]) -> Self {
+        assert!(!rows.is_empty());
+        let cols = rows[0].len();
+        assert!(rows.iter().all(|r| r.len() == cols), "ragged rows");
+        let mut data = Vec::with_capacity(rows.len() * cols);
+        for r in rows {
+            data.extend_from_slice(r);
+        }
+        Matrix {
+            rows: rows.len(),
+            cols,
+            data,
+        }
+    }
+
+    /// Vandermonde matrix: element (r, c) = r^c. Any square submatrix made
+    /// of distinct rows is invertible, the property Reed–Solomon relies on.
+    pub fn vandermonde(rows: usize, cols: usize) -> Self {
+        assert!(rows <= gf256::ORDER, "vandermonde needs distinct points");
+        let mut m = Matrix::zero(rows, cols);
+        for r in 0..rows {
+            for c in 0..cols {
+                m[(r, c)] = gf256::pow(r as u8, c as u64);
+            }
+        }
+        m
+    }
+
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    pub fn row(&self, r: usize) -> &[u8] {
+        &self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    pub fn row_mut(&mut self, r: usize) -> &mut [u8] {
+        &mut self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    /// Matrix product `self * rhs`.
+    pub fn mul(&self, rhs: &Matrix) -> Matrix {
+        assert_eq!(self.cols, rhs.rows, "dimension mismatch");
+        let mut out = Matrix::zero(self.rows, rhs.cols);
+        for r in 0..self.rows {
+            for k in 0..self.cols {
+                let a = self[(r, k)];
+                if a == 0 {
+                    continue;
+                }
+                // out[r, :] ^= a * rhs[k, :]
+                let rhs_row = rhs.row(k);
+                let out_row = out.row_mut(r);
+                gf256::mul_slice_xor(a, rhs_row, out_row);
+            }
+        }
+        out
+    }
+
+    /// Pick a subset of rows into a new matrix.
+    pub fn select_rows(&self, which: &[usize]) -> Matrix {
+        let mut out = Matrix::zero(which.len(), self.cols);
+        for (i, &r) in which.iter().enumerate() {
+            out.row_mut(i).copy_from_slice(self.row(r));
+        }
+        out
+    }
+
+    /// Gauss–Jordan inversion. Returns `None` if singular.
+    pub fn inverse(&self) -> Option<Matrix> {
+        assert_eq!(self.rows, self.cols, "only square matrices invert");
+        let n = self.rows;
+        let mut a = self.clone();
+        let mut inv = Matrix::identity(n);
+        for col in 0..n {
+            // Find pivot.
+            let pivot = (col..n).find(|&r| a[(r, col)] != 0)?;
+            if pivot != col {
+                a.swap_rows(pivot, col);
+                inv.swap_rows(pivot, col);
+            }
+            // Normalize pivot row.
+            let p = a[(col, col)];
+            if p != 1 {
+                let pi = gf256::inv(p);
+                gf256::mul_slice(pi, a.row_mut(col));
+                gf256::mul_slice(pi, inv.row_mut(col));
+            }
+            // Eliminate other rows.
+            for r in 0..n {
+                if r == col {
+                    continue;
+                }
+                let f = a[(r, col)];
+                if f != 0 {
+                    // row r ^= f * row col — split_at_mut to borrow both.
+                    xor_scaled_row(&mut a, r, col, f);
+                    xor_scaled_row(&mut inv, r, col, f);
+                }
+            }
+        }
+        Some(inv)
+    }
+
+    fn swap_rows(&mut self, i: usize, j: usize) {
+        if i == j {
+            return;
+        }
+        let cols = self.cols;
+        let (lo, hi) = if i < j { (i, j) } else { (j, i) };
+        let (a, b) = self.data.split_at_mut(hi * cols);
+        a[lo * cols..(lo + 1) * cols].swap_with_slice(&mut b[..cols]);
+    }
+}
+
+/// `m[dst, :] ^= f * m[src, :]` with disjoint-borrow gymnastics.
+fn xor_scaled_row(m: &mut Matrix, dst: usize, src: usize, f: u8) {
+    debug_assert_ne!(dst, src);
+    let cols = m.cols;
+    let (lo, hi, dst_is_hi) = if dst < src {
+        (dst, src, false)
+    } else {
+        (src, dst, true)
+    };
+    let (a, b) = m.data.split_at_mut(hi * cols);
+    let lo_row = &mut a[lo * cols..(lo + 1) * cols];
+    let hi_row = &mut b[..cols];
+    if dst_is_hi {
+        gf256::mul_slice_xor(f, lo_row, hi_row);
+    } else {
+        gf256::mul_slice_xor(f, hi_row, lo_row);
+    }
+}
+
+impl std::ops::Index<(usize, usize)> for Matrix {
+    type Output = u8;
+    #[inline]
+    fn index(&self, (r, c): (usize, usize)) -> &u8 {
+        &self.data[r * self.cols + c]
+    }
+}
+
+impl std::ops::IndexMut<(usize, usize)> for Matrix {
+    #[inline]
+    fn index_mut(&mut self, (r, c): (usize, usize)) -> &mut u8 {
+        &mut self.data[r * self.cols + c]
+    }
+}
+
+impl fmt::Debug for Matrix {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "Matrix {}x{} [", self.rows, self.cols)?;
+        for r in 0..self.rows {
+            writeln!(f, "  {:3?}", self.row(r))?;
+        }
+        write!(f, "]")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identity_times_anything_is_identity_map() {
+        let m = Matrix::from_rows(&[&[1, 2, 3], &[4, 5, 6]]);
+        let i = Matrix::identity(2);
+        assert_eq!(i.mul(&m), m);
+        let i3 = Matrix::identity(3);
+        assert_eq!(m.mul(&i3), m);
+    }
+
+    #[test]
+    fn inverse_roundtrip() {
+        let m = Matrix::from_rows(&[&[56, 23, 98], &[3, 100, 200], &[45, 201, 123]]);
+        let inv = m.inverse().expect("invertible");
+        assert_eq!(m.mul(&inv), Matrix::identity(3));
+        assert_eq!(inv.mul(&m), Matrix::identity(3));
+    }
+
+    #[test]
+    fn singular_matrix_returns_none() {
+        // Row 2 = row 0 ^ row 1 (rank 2).
+        let r0 = [1u8, 2, 3];
+        let r1 = [4u8, 5, 6];
+        let r2 = [r0[0] ^ r1[0], r0[1] ^ r1[1], r0[2] ^ r1[2]];
+        let m = Matrix::from_rows(&[&r0, &r1, &r2]);
+        assert!(m.inverse().is_none());
+    }
+
+    #[test]
+    fn zero_matrix_is_singular() {
+        assert!(Matrix::zero(4, 4).inverse().is_none());
+    }
+
+    #[test]
+    fn vandermonde_square_submatrices_invert() {
+        // The defining property needed by Reed-Solomon: any m distinct rows
+        // of an (n x m) Vandermonde matrix form an invertible matrix.
+        let v = Matrix::vandermonde(10, 4);
+        let subsets: [&[usize]; 5] = [
+            &[0, 1, 2, 3],
+            &[6, 7, 8, 9],
+            &[0, 3, 5, 9],
+            &[1, 2, 7, 8],
+            &[2, 4, 6, 8],
+        ];
+        for rows in subsets {
+            let sub = v.select_rows(rows);
+            assert!(
+                sub.inverse().is_some(),
+                "vandermonde rows {rows:?} should be invertible"
+            );
+        }
+    }
+
+    #[test]
+    fn mul_matches_hand_computation() {
+        use crate::gf256::mul as gmul;
+        let a = Matrix::from_rows(&[&[1, 2], &[3, 4]]);
+        let b = Matrix::from_rows(&[&[5, 6], &[7, 8]]);
+        let c = a.mul(&b);
+        assert_eq!(c[(0, 0)], gmul(1, 5) ^ gmul(2, 7));
+        assert_eq!(c[(0, 1)], gmul(1, 6) ^ gmul(2, 8));
+        assert_eq!(c[(1, 0)], gmul(3, 5) ^ gmul(4, 7));
+        assert_eq!(c[(1, 1)], gmul(3, 6) ^ gmul(4, 8));
+    }
+
+    #[test]
+    fn select_rows_picks_rows() {
+        let m = Matrix::from_rows(&[&[1, 1], &[2, 2], &[3, 3]]);
+        let s = m.select_rows(&[2, 0]);
+        assert_eq!(s.row(0), &[3, 3]);
+        assert_eq!(s.row(1), &[1, 1]);
+    }
+
+    #[test]
+    fn swap_rows_via_inverse_of_permutation() {
+        // A permutation matrix must be its own inverse-transpose; verify
+        // inversion handles pivoting (zero on the diagonal).
+        let p = Matrix::from_rows(&[&[0, 1, 0], &[0, 0, 1], &[1, 0, 0]]);
+        let pi = p.inverse().expect("permutation invertible");
+        assert_eq!(p.mul(&pi), Matrix::identity(3));
+    }
+}

@@ -1,0 +1,58 @@
+//! n-way mirroring: the simplest redundancy scheme (§2.2 — "no redundancy
+//! scheme is simpler than replication").
+
+/// Produce the `n - 1` extra replicas of a block for n-way mirroring.
+pub fn replicate(block: &[u8], n: usize) -> Vec<Vec<u8>> {
+    assert!(n >= 1, "mirroring needs at least one copy");
+    (1..n).map(|_| block.to_vec()).collect()
+}
+
+/// Recover the block from any surviving replica.
+pub fn recover<'a>(replicas: &[Option<&'a [u8]>]) -> Option<&'a [u8]> {
+    replicas.iter().find_map(|r| *r)
+}
+
+/// Check that all present replicas agree bit-for-bit.
+pub fn consistent(replicas: &[Option<&[u8]>]) -> bool {
+    let mut present = replicas.iter().filter_map(|r| *r);
+    match present.next() {
+        None => true,
+        Some(first) => present.all(|r| r == first),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn replicate_makes_identical_copies() {
+        let b = vec![1u8, 2, 3];
+        let copies = replicate(&b, 3);
+        assert_eq!(copies.len(), 2);
+        assert!(copies.iter().all(|c| c == &b));
+    }
+
+    #[test]
+    fn one_way_mirroring_has_no_copies() {
+        assert!(replicate(&[1, 2], 1).is_empty());
+    }
+
+    #[test]
+    fn recover_finds_any_survivor() {
+        let b = vec![7u8; 4];
+        let replicas: Vec<Option<&[u8]>> = vec![None, Some(&b), None];
+        assert_eq!(recover(&replicas), Some(b.as_slice()));
+        let none: Vec<Option<&[u8]>> = vec![None, None];
+        assert_eq!(recover(&none), None);
+    }
+
+    #[test]
+    fn consistency_detects_divergence() {
+        let a = vec![1u8, 2];
+        let b = vec![1u8, 3];
+        assert!(consistent(&[Some(&a), Some(&a), None]));
+        assert!(!consistent(&[Some(&a), Some(&b)]));
+        assert!(consistent(&[None, None]));
+    }
+}

@@ -1,0 +1,158 @@
+//! Ablation studies for the design choices DESIGN.md calls out:
+//!
+//! 1. **Bathtub hazard vs flat MTBF** — §4 criticizes earlier studies
+//!    for flat rates ("the previous studies did not use a bathtub curve
+//!    for disk failure rates, reducing the accuracy of their
+//!    experiments"). We compare Table 1 against a constant hazard with
+//!    the identical six-year failure volume.
+//! 2. **Candidate-walk target choice vs random eligible disk** — how
+//!    much of FARM's benefit comes from the §2.3 selection rules versus
+//!    mere distribution.
+//! 3. **Per-disk bandwidth contention vs infinite parallelism** — what
+//!    queueing at recovery pipes costs, i.e. how optimistic a
+//!    contention-free model would be.
+//! 4. **S.M.A.R.T. health-aware targets on/off** — the §2.3 suggestion
+//!    of avoiding unreliable disks.
+
+use crate::cli::Options;
+use crate::{base_config, render};
+use farm_core::config::TargetPolicy;
+use farm_core::prelude::*;
+use farm_des::stats::Proportion;
+use farm_disk::failure::Hazard;
+use farm_disk::health::SmartConfig;
+
+#[derive(Clone, Debug)]
+pub struct Row {
+    pub study: &'static str,
+    pub variant: &'static str,
+    pub p_loss: Proportion,
+    pub mean_window_secs: f64,
+}
+
+fn measure(opts: &Options, study: &'static str, variant: &'static str, cfg: SystemConfig) -> Row {
+    let summary =
+        run_trials_with_threads(&cfg, opts.seed, opts.trials, TrialMode::Full, opts.threads);
+    Row {
+        study,
+        variant,
+        p_loss: summary.p_loss,
+        mean_window_secs: summary.mean_vulnerability.mean(),
+    }
+}
+
+pub fn run(opts: &Options) -> Vec<Row> {
+    // Small groups + doubled rates make reliability deltas visible at
+    // modest trial counts while keeping every run identical otherwise.
+    let base = SystemConfig {
+        group_user_bytes: GIB,
+        hazard: Hazard::table1().with_multiplier(2.0),
+        ..base_config(opts)
+    };
+    let flat = Hazard::table1().with_multiplier(2.0).flattened();
+
+    vec![
+        measure(opts, "hazard", "bathtub (Table 1)", base.clone()),
+        measure(
+            opts,
+            "hazard",
+            "flat, equal 6y volume",
+            SystemConfig {
+                hazard: flat,
+                ..base.clone()
+            },
+        ),
+        measure(opts, "target choice", "candidate walk (§2.3)", base.clone()),
+        measure(
+            opts,
+            "target choice",
+            "random eligible disk",
+            SystemConfig {
+                target_policy: TargetPolicy::RandomEligible,
+                ..base.clone()
+            },
+        ),
+        measure(opts, "bandwidth", "per-disk contention", base.clone()),
+        measure(
+            opts,
+            "bandwidth",
+            "infinite parallelism",
+            SystemConfig {
+                model_contention: false,
+                ..base.clone()
+            },
+        ),
+        measure(opts, "health", "S.M.A.R.T. off", base.clone()),
+        measure(
+            opts,
+            "health",
+            "S.M.A.R.T. targets",
+            SystemConfig {
+                smart: Some(SmartConfig::default()),
+                ..base.clone()
+            },
+        ),
+    ]
+}
+
+pub fn print(opts: &Options, rows: &[Row]) {
+    render::banner(
+        "Ablations",
+        "Design-choice ablations (1 GiB groups, 2x Table 1 rates)",
+        &opts.mode_line(),
+    );
+    let body: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.study.to_string(),
+                r.variant.to_string(),
+                render::pct_ci(r.p_loss.value(), r.p_loss.ci95_half_width()),
+                format!("{:.1}", r.mean_window_secs),
+            ]
+        })
+        .collect();
+    print!(
+        "{}",
+        render::table(
+            &["study", "variant", "P(data loss)", "mean window (s)"],
+            &body
+        )
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_options;
+
+    #[test]
+    fn covers_four_studies_in_pairs() {
+        let mut opts = test_options();
+        opts.trials = 2;
+        let rows = run(&opts);
+        assert_eq!(rows.len(), 8);
+        let studies: std::collections::HashSet<&str> = rows.iter().map(|r| r.study).collect();
+        assert_eq!(studies.len(), 4);
+    }
+
+    #[test]
+    fn infinite_parallelism_is_not_slower() {
+        // Removing contention can only shrink the mean window.
+        let mut opts = test_options();
+        opts.trials = 3;
+        let rows = run(&opts);
+        let window = |variant: &str| {
+            rows.iter()
+                .find(|r| r.variant == variant)
+                .unwrap()
+                .mean_window_secs
+        };
+        assert!(
+            window("infinite parallelism") <= window("per-disk contention") + 1e-6,
+            "contention-free window {} vs contended {}",
+            window("infinite parallelism"),
+            window("per-disk contention")
+        );
+    }
+}

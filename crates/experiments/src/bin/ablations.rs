@@ -1,0 +1,8 @@
+//! Design-choice ablation studies (see `farm_experiments::ablations`).
+use farm_experiments::ablations;
+use farm_experiments::cli::Options;
+fn main() {
+    let opts = Options::from_env();
+    let rows = ablations::run(&opts);
+    ablations::print(&opts, &rows);
+}

@@ -1,0 +1,8 @@
+//! Regenerates the paper artifact implemented in `farm_experiments::fig3`.
+use farm_experiments::cli::Options;
+use farm_experiments::fig3;
+fn main() {
+    let opts = Options::from_env();
+    let rows = fig3::run(&opts);
+    fig3::print(&opts, &rows);
+}

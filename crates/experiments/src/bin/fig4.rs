@@ -1,0 +1,8 @@
+//! Regenerates the paper artifact implemented in `farm_experiments::fig4`.
+use farm_experiments::cli::Options;
+use farm_experiments::fig4;
+fn main() {
+    let opts = Options::from_env();
+    let rows = fig4::run(&opts);
+    fig4::print(&opts, &rows);
+}

@@ -1,0 +1,8 @@
+//! Regenerates the paper artifact implemented in `farm_experiments::fig5`.
+use farm_experiments::cli::Options;
+use farm_experiments::fig5;
+fn main() {
+    let opts = Options::from_env();
+    let rows = fig5::run(&opts);
+    fig5::print(&opts, &rows);
+}

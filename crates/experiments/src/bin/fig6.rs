@@ -1,0 +1,8 @@
+//! Regenerates the paper artifact implemented in `farm_experiments::fig6`.
+use farm_experiments::cli::Options;
+use farm_experiments::fig6;
+fn main() {
+    let opts = Options::from_env();
+    let rows = fig6::run(&opts);
+    fig6::print(&opts, &rows);
+}

@@ -1,0 +1,8 @@
+//! Regenerates the paper artifact implemented in `farm_experiments::fig7`.
+use farm_experiments::cli::Options;
+use farm_experiments::fig7;
+fn main() {
+    let opts = Options::from_env();
+    let rows = fig7::run(&opts);
+    fig7::print(&opts, &rows);
+}

@@ -1,0 +1,8 @@
+//! Regenerates the paper artifact implemented in `farm_experiments::fig8`.
+use farm_experiments::cli::Options;
+use farm_experiments::fig8;
+fn main() {
+    let opts = Options::from_env();
+    let rows = fig8::run(&opts);
+    fig8::print(&opts, &rows);
+}

@@ -1,0 +1,8 @@
+//! Extension: latent sector errors & scrubbing (see `farm_experiments::latent`).
+use farm_experiments::cli::Options;
+use farm_experiments::latent;
+fn main() {
+    let opts = Options::from_env();
+    let rows = latent::run(&opts);
+    latent::print(&opts, &rows);
+}

@@ -1,0 +1,8 @@
+//! Regenerates the paper artifact implemented in `farm_experiments::redirection`.
+use farm_experiments::cli::Options;
+use farm_experiments::redirection;
+fn main() {
+    let opts = Options::from_env();
+    let rows = redirection::run(&opts);
+    redirection::print(&opts, &rows);
+}

@@ -1,0 +1,4 @@
+//! Regenerates Table 1: disk failure rates per 1000 hours.
+fn main() {
+    farm_experiments::tables::print_table1();
+}

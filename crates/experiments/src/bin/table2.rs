@@ -1,0 +1,6 @@
+//! Regenerates Table 2: parameters for a petabyte-scale storage system.
+use farm_experiments::cli::Options;
+fn main() {
+    let opts = Options::from_env();
+    farm_experiments::tables::print_table2(&opts);
+}

@@ -1,0 +1,164 @@
+//! Minimal command-line parsing shared by all experiment binaries.
+//!
+//! Every binary accepts:
+//!
+//! * `--trials N`   — Monte-Carlo trials per data point (default: the
+//!   paper's 100 in full mode, 25 in quick mode),
+//! * `--seed S`     — master seed (default 2004, the paper's year),
+//! * `--quick`      — scale the system down 8× and reduce trials so the
+//!   experiment finishes in seconds (default),
+//! * `--full`       — the paper's full 2 PiB scale,
+//! * `--threads T`  — worker threads (default: all cores, capped).
+
+use farm_core::montecarlo;
+
+/// Parsed experiment options.
+#[derive(Clone, Copy, Debug)]
+pub struct Options {
+    pub trials: u64,
+    pub seed: u64,
+    /// 1.0 = the paper's scale; quick mode uses 1/8.
+    pub scale: f64,
+    pub threads: usize,
+    pub quick: bool,
+}
+
+impl Options {
+    pub fn quick_default() -> Self {
+        Options {
+            trials: 25,
+            seed: 2004,
+            scale: 0.125,
+            threads: montecarlo::default_threads(),
+            quick: true,
+        }
+    }
+
+    pub fn full_default() -> Self {
+        Options {
+            trials: 100,
+            seed: 2004,
+            scale: 1.0,
+            threads: montecarlo::default_threads(),
+            quick: false,
+        }
+    }
+
+    /// Parse `std::env::args`-style strings (first element = program
+    /// name is skipped if present via [`Options::from_env`]).
+    pub fn parse<I: IntoIterator<Item = String>>(args: I) -> Result<Options, String> {
+        let mut opts = Options::quick_default();
+        let mut explicit_trials = None;
+        let mut it = args.into_iter();
+        while let Some(arg) = it.next() {
+            match arg.as_str() {
+                "--quick" => {
+                    opts = Options::quick_default();
+                }
+                "--full" => {
+                    opts = Options::full_default();
+                }
+                "--trials" => {
+                    let v = it.next().ok_or("--trials needs a value")?;
+                    explicit_trials = Some(v.parse::<u64>().map_err(|e| format!("--trials: {e}"))?);
+                }
+                "--seed" => {
+                    let v = it.next().ok_or("--seed needs a value")?;
+                    opts.seed = v.parse().map_err(|e| format!("--seed: {e}"))?;
+                }
+                "--threads" => {
+                    let v = it.next().ok_or("--threads needs a value")?;
+                    opts.threads = v.parse().map_err(|e| format!("--threads: {e}"))?;
+                    if opts.threads == 0 {
+                        return Err("--threads must be >= 1".into());
+                    }
+                }
+                "--help" | "-h" => {
+                    return Err(
+                        "options: [--quick|--full] [--trials N] [--seed S] [--threads T]".into(),
+                    );
+                }
+                other => return Err(format!("unknown argument: {other}")),
+            }
+        }
+        if let Some(t) = explicit_trials {
+            if t == 0 {
+                return Err("--trials must be >= 1".into());
+            }
+            opts.trials = t;
+        }
+        Ok(opts)
+    }
+
+    /// Parse the real process arguments, exiting with a message on error.
+    pub fn from_env() -> Options {
+        match Options::parse(std::env::args().skip(1)) {
+            Ok(o) => o,
+            Err(msg) => {
+                eprintln!("{msg}");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    /// Describe the run mode for experiment headers.
+    pub fn mode_line(&self) -> String {
+        format!(
+            "mode: {} (scale x{:.3}), {} trials/point, seed {}, {} threads",
+            if self.quick { "quick" } else { "full" },
+            self.scale,
+            self.trials,
+            self.seed,
+            self.threads
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(args: &[&str]) -> Result<Options, String> {
+        Options::parse(args.iter().map(|s| s.to_string()))
+    }
+
+    #[test]
+    fn defaults_are_quick() {
+        let o = parse(&[]).unwrap();
+        assert!(o.quick);
+        assert_eq!(o.trials, 25);
+        assert_eq!(o.seed, 2004);
+    }
+
+    #[test]
+    fn full_mode() {
+        let o = parse(&["--full"]).unwrap();
+        assert!(!o.quick);
+        assert_eq!(o.trials, 100);
+        assert_eq!(o.scale, 1.0);
+    }
+
+    #[test]
+    fn explicit_trials_survive_mode_switch() {
+        let o = parse(&["--trials", "7", "--full"]).unwrap();
+        assert_eq!(o.trials, 7);
+        let o = parse(&["--full", "--trials", "7"]).unwrap();
+        assert_eq!(o.trials, 7);
+    }
+
+    #[test]
+    fn seed_and_threads() {
+        let o = parse(&["--seed", "9", "--threads", "2"]).unwrap();
+        assert_eq!(o.seed, 9);
+        assert_eq!(o.threads, 2);
+    }
+
+    #[test]
+    fn rejects_bad_input() {
+        assert!(parse(&["--trials"]).is_err());
+        assert!(parse(&["--trials", "zero"]).is_err());
+        assert!(parse(&["--trials", "0"]).is_err());
+        assert!(parse(&["--threads", "0"]).is_err());
+        assert!(parse(&["--frobnicate"]).is_err());
+    }
+}

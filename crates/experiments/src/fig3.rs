@@ -1,0 +1,120 @@
+//! Figure 3: reliability comparison of systems with and without FARM,
+//! across the six redundancy schemes, with zero detection latency and
+//! redundancy group sizes of 100 GiB (a) and 500 GiB (b).
+
+use crate::cli::Options;
+use crate::{base_config, render};
+use farm_core::prelude::*;
+use farm_des::stats::Proportion;
+use farm_des::time::Duration;
+
+#[derive(Clone, Debug)]
+pub struct Row {
+    pub group_bytes: u64,
+    pub scheme: Scheme,
+    pub with_farm: Proportion,
+    pub without_farm: Proportion,
+}
+
+/// The two panel group sizes (100 GiB and 500 GiB). Group sizes are not
+/// scaled in quick mode — only the system shrinks — so per-group rebuild
+/// dynamics match the paper's.
+pub fn group_sizes(_opts: &Options) -> [u64; 2] {
+    [100 * GIB, 500 * GIB]
+}
+
+pub fn run(opts: &Options) -> Vec<Row> {
+    let mut rows = Vec::new();
+    for group_bytes in group_sizes(opts) {
+        for scheme in Scheme::figure3_schemes() {
+            let mk = |recovery| SystemConfig {
+                scheme,
+                group_user_bytes: group_bytes,
+                detection_latency: Duration::ZERO,
+                recovery,
+                ..base_config(opts)
+            };
+            let farm = run_trials_with_threads(
+                &mk(RecoveryPolicy::Farm),
+                opts.seed,
+                opts.trials,
+                TrialMode::UntilLoss,
+                opts.threads,
+            );
+            let raid = run_trials_with_threads(
+                &mk(RecoveryPolicy::SingleSpare),
+                opts.seed,
+                opts.trials,
+                TrialMode::UntilLoss,
+                opts.threads,
+            );
+            rows.push(Row {
+                group_bytes,
+                scheme,
+                with_farm: farm.p_loss,
+                without_farm: raid.p_loss,
+            });
+        }
+    }
+    rows
+}
+
+pub fn print(opts: &Options, rows: &[Row]) {
+    render::banner(
+        "Figure 3",
+        "P(data loss) with and without FARM, by redundancy scheme (detection latency 0)",
+        &opts.mode_line(),
+    );
+    for (panel, group_bytes) in group_sizes(opts).iter().enumerate() {
+        let label = (b'a' + panel as u8) as char;
+        println!(
+            "\n(a{}) redundancy group size = {}",
+            if panel == 0 { "" } else { "→b" },
+            render::bytes(*group_bytes)
+        );
+        let _ = label;
+        let body: Vec<Vec<String>> = rows
+            .iter()
+            .filter(|r| r.group_bytes == *group_bytes)
+            .map(|r| {
+                vec![
+                    r.scheme.to_string(),
+                    render::pct(r.with_farm.value()),
+                    render::pct(r.without_farm.value()),
+                ]
+            })
+            .collect();
+        print!(
+            "{}",
+            render::table(&["scheme", "with FARM", "w/o FARM"], &body)
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_options;
+
+    #[test]
+    fn covers_both_panels_and_all_schemes() {
+        let mut opts = test_options();
+        opts.trials = 2;
+        let rows = run(&opts);
+        assert_eq!(rows.len(), 12); // 2 group sizes x 6 schemes
+        let sizes: std::collections::HashSet<u64> = rows.iter().map(|r| r.group_bytes).collect();
+        assert_eq!(sizes.len(), 2);
+        for r in &rows {
+            assert_eq!(r.with_farm.trials, 2);
+            assert_eq!(r.without_farm.trials, 2);
+        }
+    }
+
+    #[test]
+    fn quick_scale_keeps_groups_smaller_than_disks() {
+        let opts = Options::quick_default();
+        for g in group_sizes(&opts) {
+            assert!(g >= GIB && g <= 500 * GIB);
+        }
+    }
+}

@@ -1,0 +1,122 @@
+//! Figure 5: system reliability at various levels of recovery bandwidth
+//! (8–40 MiB/s), group sizes 1 GiB and 5 GiB, with FARM and with the
+//! traditional single-spare scheme, at 30 s detection latency.
+//!
+//! Expected shape (§3.4 of the paper): more bandwidth always helps, the
+//! effect is dramatic *without* FARM and muted *with* FARM (whose
+//! windows are already small), and smaller groups lose more because the
+//! fixed detection latency dominates their window.
+
+use crate::cli::Options;
+use crate::{base_config, render};
+use farm_core::prelude::*;
+use farm_des::stats::Proportion;
+
+/// Recovery bandwidths swept, MiB/s.
+pub const BANDWIDTHS_MIB: [u64; 5] = [8, 16, 24, 32, 40];
+
+/// Group sizes, GiB.
+pub const GROUP_SIZES_GIB: [u64; 2] = [1, 5];
+
+#[derive(Clone, Debug)]
+pub struct Row {
+    pub with_farm: bool,
+    pub group_gib: u64,
+    pub bandwidth_mib: u64,
+    pub p_loss: Proportion,
+}
+
+pub fn run(opts: &Options) -> Vec<Row> {
+    let mut rows = Vec::new();
+    for (with_farm, recovery) in [
+        (true, RecoveryPolicy::Farm),
+        (false, RecoveryPolicy::SingleSpare),
+    ] {
+        for &gib in &GROUP_SIZES_GIB {
+            for &bw in &BANDWIDTHS_MIB {
+                let cfg = SystemConfig {
+                    recovery,
+                    group_user_bytes: gib * GIB,
+                    recovery_bandwidth: bw * MIB,
+                    ..base_config(opts)
+                };
+                let summary = run_trials_with_threads(
+                    &cfg,
+                    opts.seed,
+                    opts.trials,
+                    TrialMode::UntilLoss,
+                    opts.threads,
+                );
+                rows.push(Row {
+                    with_farm,
+                    group_gib: gib,
+                    bandwidth_mib: bw,
+                    p_loss: summary.p_loss,
+                });
+            }
+        }
+    }
+    rows
+}
+
+pub fn print(opts: &Options, rows: &[Row]) {
+    render::banner(
+        "Figure 5",
+        "P(data loss) vs disk bandwidth for recovery (detection latency 30 s)",
+        &opts.mode_line(),
+    );
+    let header = [
+        "bandwidth (MiB/s)",
+        "w/o FARM, 1GiB",
+        "w/o FARM, 5GiB",
+        "with FARM, 1GiB",
+        "with FARM, 5GiB",
+    ];
+    let cell = |farm: bool, gib: u64, bw: u64| -> String {
+        rows.iter()
+            .find(|r| r.with_farm == farm && r.group_gib == gib && r.bandwidth_mib == bw)
+            .map(|r| render::pct(r.p_loss.value()))
+            .unwrap_or_else(|| "-".into())
+    };
+    let body: Vec<Vec<String>> = BANDWIDTHS_MIB
+        .iter()
+        .map(|&bw| {
+            vec![
+                bw.to_string(),
+                cell(false, 1, bw),
+                cell(false, 5, bw),
+                cell(true, 1, bw),
+                cell(true, 5, bw),
+            ]
+        })
+        .collect();
+    print!("{}", render::table(&header, &body));
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_options;
+
+    #[test]
+    fn sweeps_all_curves() {
+        let mut opts = test_options();
+        opts.trials = 1;
+        let rows = run(&opts);
+        assert_eq!(rows.len(), 2 * GROUP_SIZES_GIB.len() * BANDWIDTHS_MIB.len());
+        assert!(rows.iter().any(|r| r.with_farm));
+        assert!(rows.iter().any(|r| !r.with_farm));
+    }
+
+    #[test]
+    fn all_bandwidths_validate() {
+        let opts = test_options();
+        for &bw in &BANDWIDTHS_MIB {
+            let cfg = SystemConfig {
+                recovery_bandwidth: bw * MIB,
+                ..base_config(&opts)
+            };
+            cfg.validate().unwrap();
+        }
+    }
+}

@@ -1,0 +1,191 @@
+//! Figure 6 and Table 3: disk space utilization before and after six
+//! years of FARM recovery, for redundancy group sizes 1, 10 and 50 GiB.
+//!
+//! §3.4: FARM redistributes the contents of failed drives across the
+//! whole system and never re-collects them, so surviving drives slowly
+//! gain data. The paper samples ten random disks (one of which happens
+//! to have failed) and reports the mean and standard deviation of
+//! utilization across the system; smaller groups spread load more evenly
+//! (lower σ).
+
+use crate::cli::Options;
+use crate::{base_config, render};
+use farm_core::prelude::*;
+use farm_core::Simulation;
+use farm_des::rng::derive_seed;
+use farm_des::stats::Running;
+
+/// Group sizes of Figure 6 / Table 3, in GiB.
+pub const GROUP_SIZES_GIB: [u64; 3] = [1, 10, 50];
+
+/// Number of sample disks shown in the figure.
+pub const SAMPLE_DISKS: usize = 10;
+
+#[derive(Clone, Debug)]
+pub struct Row {
+    pub group_gib: u64,
+    /// (disk id, initial used bytes, final used bytes, alive at end).
+    pub samples: Vec<(u32, u64, u64, bool)>,
+    pub initial: Running,
+    pub final_state: Running,
+    pub disk_capacity: u64,
+}
+
+pub fn run(opts: &Options) -> Vec<Row> {
+    GROUP_SIZES_GIB
+        .iter()
+        .map(|&gib| {
+            let cfg = SystemConfig {
+                group_user_bytes: gib * GIB,
+                ..base_config(opts)
+            };
+            let mut sim = Simulation::new(cfg.clone(), derive_seed(opts.seed, gib));
+            let initial_util = sim.population_utilization();
+            let _ = sim.run();
+            let final_util = sim.population_utilization();
+
+            // Ten pseudo-random sample disks, deterministic in the seed.
+            let n = initial_util.len() as u64;
+            let mut rng = farm_des::rng::SeedFactory::new(opts.seed).stream(0x516);
+            let picks = rng.sample_distinct(n, SAMPLE_DISKS.min(n as usize));
+
+            let samples = picks
+                .iter()
+                .map(|&i| {
+                    let (d, init, _) = initial_util[i as usize];
+                    let (_, fin, alive) = final_util[i as usize];
+                    (d.0, init, fin, alive)
+                })
+                .collect();
+
+            let mut initial = Running::new();
+            initial.extend(initial_util.iter().map(|&(_, u, _)| u as f64));
+            // Table 3 statistics cover the drives still in service: a
+            // failed drive "does not carry any load" (§3.4) and would
+            // otherwise dominate σ with zeros.
+            let mut final_state = Running::new();
+            final_state.extend(
+                final_util
+                    .iter()
+                    .filter(|&&(_, _, alive)| alive)
+                    .map(|&(_, u, _)| u as f64),
+            );
+
+            Row {
+                group_gib: gib,
+                samples,
+                initial,
+                final_state,
+                disk_capacity: cfg.disk_capacity,
+            }
+        })
+        .collect()
+}
+
+const GIB_F: f64 = (1u64 << 30) as f64;
+
+pub fn print(opts: &Options, rows: &[Row]) {
+    render::banner(
+        "Figure 6",
+        "Disk utilization for ten randomly selected disks, initial vs after 6 years",
+        &opts.mode_line(),
+    );
+    for row in rows {
+        println!(
+            "\nredundancy group size = {} GiB  (disk capacity {})",
+            row.group_gib,
+            render::bytes(row.disk_capacity)
+        );
+        let body: Vec<Vec<String>> = row
+            .samples
+            .iter()
+            .map(|&(id, init, fin, alive)| {
+                vec![
+                    id.to_string(),
+                    format!("{:.1}", init as f64 / GIB_F),
+                    format!("{:.1}", fin as f64 / GIB_F),
+                    if alive { "".into() } else { "failed".into() },
+                ]
+            })
+            .collect();
+        print!(
+            "{}",
+            render::table(&["disk", "initial (GiB)", "after 6y (GiB)", ""], &body)
+        );
+    }
+
+    println!();
+    render::banner(
+        "Table 3",
+        "Mean and standard deviation of disk utilization (GiB)",
+        &opts.mode_line(),
+    );
+    let body: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                format!("{} GiB", r.group_gib),
+                format!("{:.2}", r.initial.mean() / GIB_F),
+                format!("{:.2}", r.initial.std_dev() / GIB_F),
+                format!("{:.2}", r.final_state.mean() / GIB_F),
+                format!("{:.2}", r.final_state.std_dev() / GIB_F),
+            ]
+        })
+        .collect();
+    print!(
+        "{}",
+        render::table(
+            &["group size", "init mean", "init σ", "6y mean", "6y σ"],
+            &body
+        )
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_options;
+
+    #[test]
+    fn produces_all_group_sizes_with_samples() {
+        let rows = run(&test_options());
+        assert_eq!(rows.len(), 3);
+        for r in &rows {
+            assert_eq!(r.samples.len(), SAMPLE_DISKS);
+            assert!(r.initial.count() > 0);
+            // Final stats cover survivors only.
+            assert!(r.final_state.count() <= r.initial.count());
+            assert!(r.final_state.count() > 0);
+        }
+    }
+
+    #[test]
+    fn smaller_groups_have_lower_sigma() {
+        // The headline of Table 3: σ(1 GiB) < σ(50 GiB), both initially
+        // and after six years.
+        let rows = run(&test_options());
+        let by_gib = |g: u64| rows.iter().find(|r| r.group_gib == g).unwrap();
+        assert!(
+            by_gib(1).initial.std_dev() < by_gib(50).initial.std_dev(),
+            "initial σ ordering"
+        );
+        assert!(
+            by_gib(1).final_state.std_dev() < by_gib(50).final_state.std_dev(),
+            "final σ ordering"
+        );
+    }
+
+    #[test]
+    fn survivors_gain_data_over_six_years() {
+        // Failed disks' contents spread over the survivors; mean
+        // utilization over *alive* disks must not drop.
+        let rows = run(&test_options());
+        for r in &rows {
+            assert!(
+                r.final_state.max() >= r.initial.max(),
+                "group {}: max utilization should not shrink",
+                r.group_gib
+            );
+        }
+    }
+}

@@ -1,0 +1,127 @@
+//! Figure 7: effect of disk-drive replacement timing (the *cohort
+//! effect*) on system reliability, with 95% confidence intervals.
+//!
+//! New disks join in batches after the system has lost 2/4/6/8% of its
+//! drives. §3.5's finding: with 100 GiB groups only ~10% of disks fail
+//! in six years, so replacement happens about five times at the 2%
+//! threshold and about once at 8%; the batches are too small for the
+//! cohort effect, and replacement timing barely moves P(data loss).
+
+use crate::cli::Options;
+use crate::{base_config, render};
+use farm_core::prelude::*;
+use farm_des::stats::{Proportion, Running};
+
+/// Replacement thresholds examined (fraction of disks lost).
+pub const THRESHOLDS: [f64; 4] = [0.02, 0.04, 0.06, 0.08];
+
+#[derive(Clone, Debug)]
+pub struct Row {
+    pub threshold: f64,
+    pub p_loss: Proportion,
+    pub batches: Running,
+    pub migrated_blocks: Running,
+}
+
+pub fn run(opts: &Options) -> Vec<Row> {
+    THRESHOLDS
+        .iter()
+        .map(|&threshold| {
+            let cfg = SystemConfig {
+                replacement: ReplacementPolicy::at_fraction(threshold),
+                ..base_config(opts)
+            };
+            // Full runs: replacement effects need the whole horizon, and
+            // batch/migration statistics come from the same trials.
+            let summary = run_trials_with_threads(
+                &cfg,
+                opts.seed,
+                opts.trials,
+                TrialMode::Full,
+                opts.threads,
+            );
+            let mut batches = Running::new();
+            let mut migrated = Running::new();
+            // Aggregate batch stats from a few representative trials
+            // (summary keeps only scalar aggregates; re-run two trials
+            // for the structural numbers).
+            for t in 0..2.min(opts.trials) {
+                let m = farm_core::run_trial(&cfg, opts.seed, t, TrialMode::Full);
+                batches.push(m.batches_added as f64);
+                migrated.push(m.migrated_blocks as f64);
+            }
+            Row {
+                threshold,
+                p_loss: summary.p_loss,
+                batches,
+                migrated_blocks: migrated,
+            }
+        })
+        .collect()
+}
+
+pub fn print(opts: &Options, rows: &[Row]) {
+    render::banner(
+        "Figure 7",
+        "Effect of disk replacement timing on reliability (95% CI), group size 100 GiB",
+        &opts.mode_line(),
+    );
+    let body: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                format!("{:.0}%", r.threshold * 100.0),
+                render::pct_ci(r.p_loss.value(), r.p_loss.ci95_half_width()),
+                format!("{:.1}", r.batches.mean()),
+                format!("{:.0}", r.migrated_blocks.mean()),
+            ]
+        })
+        .collect();
+    print!(
+        "{}",
+        render::table(
+            &[
+                "replacement percent",
+                "P(data loss)",
+                "batches/run",
+                "blocks migrated/run"
+            ],
+            &body
+        )
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_options;
+
+    #[test]
+    fn sweeps_all_thresholds() {
+        let mut opts = test_options();
+        opts.trials = 2;
+        let rows = run(&opts);
+        assert_eq!(rows.len(), THRESHOLDS.len());
+        for (r, &t) in rows.iter().zip(&THRESHOLDS) {
+            assert_eq!(r.threshold, t);
+            assert_eq!(r.p_loss.trials, 2);
+        }
+    }
+
+    #[test]
+    fn lower_thresholds_mean_more_batches() {
+        // Replacing at 2% lost must add at least as many batches as
+        // replacing at 8% lost (about five times as many in the paper).
+        let mut opts = test_options();
+        opts.trials = 2;
+        let rows = run(&opts);
+        let first = rows.first().unwrap();
+        let last = rows.last().unwrap();
+        assert!(
+            first.batches.mean() >= last.batches.mean(),
+            "2%: {} batches vs 8%: {}",
+            first.batches.mean(),
+            last.batches.mean()
+        );
+    }
+}

@@ -1,0 +1,107 @@
+//! Figure 8: the probability of data loss under FARM is approximately
+//! linear in the size of the storage system (0.1–5 PiB, all six schemes,
+//! group size 100 GiB). Panel (b) repeats the sweep with disks failing at
+//! twice the Table 1 rates (a worse vintage) — P(loss) more than doubles
+//! (§3.6).
+
+use crate::cli::Options;
+use crate::{base_config, render, scaled_bytes};
+use farm_core::prelude::*;
+use farm_des::stats::Proportion;
+use farm_disk::failure::Hazard;
+
+/// Total capacities swept, in PiB (Figure 8's x-axis).
+pub const CAPACITIES_PIB: [f64; 5] = [0.1, 0.5, 1.0, 2.0, 5.0];
+
+#[derive(Clone, Debug)]
+pub struct Row {
+    pub capacity_pib: f64,
+    pub scheme: Scheme,
+    /// Failure-rate multiplier (1.0 = Table 1, 2.0 = panel (b)).
+    pub hazard_multiplier: f64,
+    pub p_loss: Proportion,
+}
+
+pub fn run(opts: &Options) -> Vec<Row> {
+    let mut rows = Vec::new();
+    for multiplier in [1.0, 2.0] {
+        for &pib in &CAPACITIES_PIB {
+            for scheme in Scheme::figure3_schemes() {
+                let cfg = SystemConfig {
+                    scheme,
+                    total_user_bytes: scaled_bytes((pib * (1u64 << 50) as f64) as u64, opts.scale),
+                    hazard: Hazard::table1().with_multiplier(multiplier),
+                    ..base_config(opts)
+                };
+                let summary = run_trials_with_threads(
+                    &cfg,
+                    opts.seed,
+                    opts.trials,
+                    TrialMode::UntilLoss,
+                    opts.threads,
+                );
+                rows.push(Row {
+                    capacity_pib: pib,
+                    scheme,
+                    hazard_multiplier: multiplier,
+                    p_loss: summary.p_loss,
+                });
+            }
+        }
+    }
+    rows
+}
+
+pub fn print(opts: &Options, rows: &[Row]) {
+    render::banner(
+        "Figure 8",
+        "P(data loss) vs total data capacity under FARM (group size 100 GiB)",
+        &opts.mode_line(),
+    );
+    for multiplier in [1.0, 2.0] {
+        println!(
+            "\n({}) disk failure rates {} Table 1",
+            if multiplier == 1.0 { "a" } else { "b" },
+            if multiplier == 1.0 { "per" } else { "at twice" },
+        );
+        let mut header = vec!["capacity (PiB)".to_string()];
+        header.extend(Scheme::figure3_schemes().iter().map(|s| s.to_string()));
+        let header_refs: Vec<&str> = header.iter().map(|s| s.as_str()).collect();
+        let body: Vec<Vec<String>> = CAPACITIES_PIB
+            .iter()
+            .map(|&pib| {
+                let mut line = vec![format!("{pib}")];
+                for scheme in Scheme::figure3_schemes() {
+                    let row = rows
+                        .iter()
+                        .find(|r| {
+                            r.capacity_pib == pib
+                                && r.scheme == scheme
+                                && r.hazard_multiplier == multiplier
+                        })
+                        .expect("swept");
+                    line.push(render::pct(row.p_loss.value()));
+                }
+                line
+            })
+            .collect();
+        print!("{}", render::table(&header_refs, &body));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_options;
+
+    #[test]
+    fn sweeps_both_panels() {
+        let mut opts = test_options();
+        opts.trials = 1;
+        // Shrink the sweep by scaling: at 1/64 scale the largest point is
+        // 80 GiB of user data — trivial to simulate.
+        let rows = run(&opts);
+        assert_eq!(rows.len(), 2 * CAPACITIES_PIB.len() * 6);
+        assert!(rows.iter().any(|r| r.hazard_multiplier == 2.0));
+    }
+}

@@ -1,0 +1,84 @@
+//! # farm-experiments — regenerating every table and figure
+//!
+//! One module (and one binary) per artifact of the paper's evaluation
+//! (§3). Each module exposes a `run(&Options) -> Vec<Row>` function
+//! returning structured results — used by the binaries for printing and
+//! by the integration tests for shape assertions — plus a `print` helper
+//! that renders the same rows/series the paper reports.
+//!
+//! | artifact | module | binary |
+//! |---|---|---|
+//! | Table 1 (failure rates)        | [`tables`]      | `table1` |
+//! | Table 2 (system parameters)    | [`tables`]      | `table2` |
+//! | Figure 3(a)(b) (FARM vs RAID)  | [`fig3`]        | `fig3` |
+//! | Figure 4(a)(b) (detection latency) | [`fig4`]    | `fig4` |
+//! | Figure 5 (recovery bandwidth)  | [`fig5`]        | `fig5` |
+//! | Figure 6 + Table 3 (utilization) | [`fig6`]      | `fig6` |
+//! | Figure 7 (batch replacement)   | [`fig7`]        | `fig7` |
+//! | Figure 8(a)(b) (system scale)  | [`fig8`]        | `fig8` |
+//! | §2.3 redirection claim (<8%)   | [`redirection`] | `redirection` |
+
+pub mod ablations;
+pub mod cli;
+pub mod fig3;
+pub mod fig4;
+pub mod fig5;
+pub mod fig6;
+pub mod fig7;
+pub mod fig8;
+pub mod latent;
+pub mod redirection;
+pub mod render;
+pub mod tables;
+
+use cli::Options;
+use farm_core::prelude::*;
+
+/// The paper's base configuration (Table 2), scaled by the run options.
+/// At scale 1.0 this is the 2 PiB, 100 GiB-group, two-way-mirrored,
+/// 30 s-detection, 16 MiB/s-recovery system.
+pub fn base_config(opts: &Options) -> SystemConfig {
+    SystemConfig {
+        total_user_bytes: scaled_bytes(2 * PIB, opts.scale),
+        ..SystemConfig::default()
+    }
+}
+
+/// Scale a byte count, keeping it a positive multiple of 1 GiB so group
+/// sizes stay valid.
+pub fn scaled_bytes(bytes: u64, scale: f64) -> u64 {
+    let scaled = (bytes as f64 * scale) as u64;
+    (scaled / GIB).max(1) * GIB
+}
+
+#[cfg(test)]
+pub(crate) fn test_options() -> Options {
+    Options {
+        trials: 4,
+        seed: 7,
+        scale: 1.0 / 64.0,
+        threads: 2,
+        quick: true,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn base_config_scales() {
+        let full = base_config(&Options::full_default());
+        assert_eq!(full.total_user_bytes, 2 * PIB);
+        let quick = base_config(&Options::quick_default());
+        assert_eq!(quick.total_user_bytes, 2 * PIB / 8);
+        quick.validate().unwrap();
+    }
+
+    #[test]
+    fn scaled_bytes_stays_gib_aligned() {
+        assert_eq!(scaled_bytes(2 * PIB, 0.125), PIB / 4);
+        assert_eq!(scaled_bytes(GIB, 0.001), GIB); // floor at 1 GiB
+        assert_eq!(scaled_bytes(3 * GIB + 5, 1.0), 3 * GIB);
+    }
+}

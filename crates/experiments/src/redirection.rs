@@ -1,0 +1,97 @@
+//! §2.3's recovery-redirection claim: "The occurrence of this problem,
+//! which we call recovery redirection, is rare. We found that, at worst,
+//! it happened to fewer than 8.0% of our systems even once during
+//! simulated six years."
+
+use crate::cli::Options;
+use crate::{base_config, render};
+use farm_core::prelude::*;
+use farm_des::stats::Proportion;
+
+#[derive(Clone, Debug)]
+pub struct Row {
+    pub group_gib: u64,
+    /// Fraction of trials with at least one redirection.
+    pub p_redirection: Proportion,
+    /// Mean redirections per trial.
+    pub mean_redirections: f64,
+    pub mean_rebuilds: f64,
+}
+
+/// Group sizes probed: small groups do many short rebuilds, large groups
+/// few long ones — redirection exposure differs.
+pub const GROUP_SIZES_GIB: [u64; 3] = [1, 10, 100];
+
+pub fn run(opts: &Options) -> Vec<Row> {
+    GROUP_SIZES_GIB
+        .iter()
+        .map(|&gib| {
+            let cfg = SystemConfig {
+                group_user_bytes: gib * GIB,
+                ..base_config(opts)
+            };
+            let summary = run_trials_with_threads(
+                &cfg,
+                opts.seed,
+                opts.trials,
+                TrialMode::Full,
+                opts.threads,
+            );
+            Row {
+                group_gib: gib,
+                p_redirection: summary.p_redirection,
+                mean_redirections: summary.redirections.mean(),
+                mean_rebuilds: summary.rebuilds.mean(),
+            }
+        })
+        .collect()
+}
+
+pub fn print(opts: &Options, rows: &[Row]) {
+    render::banner(
+        "Recovery redirection (§2.3)",
+        "Fraction of simulated systems hit by ≥1 redirection in six years (claim: < 8%)",
+        &opts.mode_line(),
+    );
+    let body: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                format!("{} GiB", r.group_gib),
+                render::pct_ci(r.p_redirection.value(), r.p_redirection.ci95_half_width()),
+                format!("{:.2}", r.mean_redirections),
+                format!("{:.0}", r.mean_rebuilds),
+            ]
+        })
+        .collect();
+    print!(
+        "{}",
+        render::table(
+            &[
+                "group size",
+                "systems with redirection",
+                "redirections/run",
+                "rebuilds/run"
+            ],
+            &body
+        )
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_options;
+
+    #[test]
+    fn produces_one_row_per_group_size() {
+        let mut opts = test_options();
+        opts.trials = 2;
+        let rows = run(&opts);
+        assert_eq!(rows.len(), GROUP_SIZES_GIB.len());
+        for r in &rows {
+            assert_eq!(r.p_redirection.trials, 2);
+            assert!(r.p_redirection.value() <= 1.0);
+        }
+    }
+}

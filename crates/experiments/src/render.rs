@@ -1,0 +1,114 @@
+//! Plain-text rendering of experiment results: aligned tables and simple
+//! series listings, one per paper artifact.
+
+/// Print a header banner for an experiment.
+pub fn banner(id: &str, title: &str, mode: &str) {
+    println!("================================================================");
+    println!("{id}: {title}");
+    println!("{mode}");
+    println!("================================================================");
+}
+
+/// Render rows as an aligned table. `header` and every row must have the
+/// same arity.
+pub fn table(header: &[&str], rows: &[Vec<String>]) -> String {
+    let cols = header.len();
+    let mut widths: Vec<usize> = header.iter().map(|h| h.len()).collect();
+    for row in rows {
+        assert_eq!(row.len(), cols, "ragged table row");
+        for (w, cell) in widths.iter_mut().zip(row) {
+            *w = (*w).max(cell.len());
+        }
+    }
+    let mut out = String::new();
+    let fmt_row = |cells: Vec<&str>, widths: &[usize]| -> String {
+        let mut line = String::new();
+        for (i, (cell, w)) in cells.iter().zip(widths).enumerate() {
+            if i > 0 {
+                line.push_str("  ");
+            }
+            line.push_str(&format!("{cell:>w$}", w = w));
+        }
+        line
+    };
+    out.push_str(&fmt_row(header.to_vec(), &widths));
+    out.push('\n');
+    let rule: usize = widths.iter().sum::<usize>() + 2 * (cols - 1);
+    out.push_str(&"-".repeat(rule));
+    out.push('\n');
+    for row in rows {
+        out.push_str(&fmt_row(row.iter().map(|s| s.as_str()).collect(), &widths));
+        out.push('\n');
+    }
+    out
+}
+
+/// Format a probability as a percentage.
+pub fn pct(p: f64) -> String {
+    format!("{:.2}%", 100.0 * p)
+}
+
+/// Format a probability with a ± 95% confidence half-width.
+pub fn pct_ci(p: f64, half_width: f64) -> String {
+    format!("{:.2}% ± {:.2}", 100.0 * p, 100.0 * half_width)
+}
+
+/// Format a byte count in the binary unit that reads best.
+pub fn bytes(b: u64) -> String {
+    const KIB: u64 = 1 << 10;
+    const MIB: u64 = 1 << 20;
+    const GIB: u64 = 1 << 30;
+    const TIB: u64 = 1 << 40;
+    const PIB: u64 = 1 << 50;
+    if b >= PIB && b % PIB == 0 {
+        format!("{} PiB", b / PIB)
+    } else if b >= TIB {
+        format!("{:.1} TiB", b as f64 / TIB as f64)
+    } else if b >= GIB {
+        format!("{:.1} GiB", b as f64 / GIB as f64)
+    } else if b >= MIB {
+        format!("{:.1} MiB", b as f64 / MIB as f64)
+    } else if b >= KIB {
+        format!("{:.1} KiB", b as f64 / KIB as f64)
+    } else {
+        format!("{b} B")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_aligns_columns() {
+        let out = table(
+            &["scheme", "P(loss)"],
+            &[
+                vec!["1/2".into(), "2.00%".into()],
+                vec!["8/10".into(), "0.00%".into()],
+            ],
+        );
+        let lines: Vec<&str> = out.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].contains("scheme"));
+        assert!(lines[2].trim_start().starts_with("1/2"));
+        // All data lines equal length (aligned).
+        assert_eq!(lines[2].len(), lines[3].len());
+    }
+
+    #[test]
+    #[should_panic]
+    fn ragged_rows_panic() {
+        table(&["a", "b"], &[vec!["1".into()]]);
+    }
+
+    #[test]
+    fn formats() {
+        assert_eq!(pct(0.0625), "6.25%");
+        assert_eq!(pct_ci(0.1, 0.02), "10.00% ± 2.00");
+        assert_eq!(bytes(1 << 50), "1 PiB");
+        assert_eq!(bytes(100 * (1 << 30)), "100.0 GiB");
+        assert_eq!(bytes(16 << 20), "16.0 MiB");
+        assert_eq!(bytes(512), "512 B");
+    }
+}

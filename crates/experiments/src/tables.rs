@@ -1,0 +1,138 @@
+//! Tables 1 and 2: the input constants of the evaluation, printed in the
+//! paper's layout so they can be diffed against it.
+
+use crate::cli::Options;
+use crate::render;
+use farm_core::SystemConfig;
+use farm_des::time::SECONDS_PER_HOUR;
+
+/// Table 1: disk failure rate per 1000 hours, by age period.
+pub fn table1_rows() -> Vec<(String, String)> {
+    farm_disk::Hazard::table1()
+        .segments()
+        .iter()
+        .map(|s| {
+            let period = if s.end_months.is_finite() {
+                format!("{:.0}-{:.0}", s.start_months, s.end_months)
+            } else {
+                format!("{:.0}+", s.start_months)
+            };
+            (period, format!("{:.2}%", s.rate_per_1000h * 100.0))
+        })
+        .collect()
+}
+
+pub fn print_table1() {
+    render::banner(
+        "Table 1",
+        "Disk failure rate per 1000 hours (Elerath 2000)",
+        "constants",
+    );
+    let rows: Vec<Vec<String>> = table1_rows().into_iter().map(|(p, r)| vec![p, r]).collect();
+    print!(
+        "{}",
+        render::table(&["period (months)", "failure rate"], &rows)
+    );
+}
+
+/// Table 2: base and examined parameter values.
+pub fn table2_rows(cfg: &SystemConfig) -> Vec<(String, String, String)> {
+    vec![
+        (
+            "total data in the system".into(),
+            render::bytes(cfg.total_user_bytes),
+            "0.1 - 5 PiB".into(),
+        ),
+        (
+            "size of a redundancy group".into(),
+            render::bytes(cfg.group_user_bytes),
+            "1 - 500 GiB".into(),
+        ),
+        (
+            "group configuration".into(),
+            cfg.scheme.to_string(),
+            "1/2 1/3 2/3 4/5 4/6 8/10".into(),
+        ),
+        (
+            "latency to failure detection".into(),
+            format!("{:.0} sec", cfg.detection_latency.as_secs()),
+            "0 - 3600 sec".into(),
+        ),
+        (
+            "disk bandwidth for recovery".into(),
+            render::bytes(cfg.recovery_bandwidth) + "/s",
+            "8 - 40 MiB/s".into(),
+        ),
+        (
+            "disk capacity".into(),
+            render::bytes(cfg.disk_capacity),
+            "-".into(),
+        ),
+        (
+            "number of disks".into(),
+            cfg.n_disks().to_string(),
+            "derived (up to ~15,000)".into(),
+        ),
+        (
+            "redundancy groups".into(),
+            cfg.n_groups().to_string(),
+            "derived".into(),
+        ),
+        (
+            "one-block rebuild time".into(),
+            format!("{:.0} sec", cfg.block_rebuild_secs()),
+            "derived".into(),
+        ),
+        (
+            "simulated horizon".into(),
+            format!("{:.0} years", cfg.sim_years),
+            "disk design life".into(),
+        ),
+    ]
+}
+
+pub fn print_table2(opts: &Options) {
+    let cfg = crate::base_config(opts);
+    render::banner(
+        "Table 2",
+        "Parameters for a petabyte-scale storage system",
+        &opts.mode_line(),
+    );
+    let rows: Vec<Vec<String>> = table2_rows(&cfg)
+        .into_iter()
+        .map(|(a, b, c)| vec![a, b, c])
+        .collect();
+    print!(
+        "{}",
+        render::table(&["parameter", "base value", "examined"], &rows)
+    );
+    let _ = SECONDS_PER_HOUR; // referenced to keep units adjacent in docs
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table1_matches_paper() {
+        let rows = table1_rows();
+        assert_eq!(rows.len(), 4);
+        assert_eq!(rows[0], ("0-3".to_string(), "0.50%".to_string()));
+        assert_eq!(rows[1].1, "0.35%");
+        assert_eq!(rows[2].1, "0.25%");
+        assert_eq!(rows[3], ("12-72".to_string(), "0.20%".to_string()));
+    }
+
+    #[test]
+    fn table2_has_the_papers_parameters() {
+        let cfg = SystemConfig::default();
+        let rows = table2_rows(&cfg);
+        let names: Vec<&str> = rows.iter().map(|(n, _, _)| n.as_str()).collect();
+        assert!(names.contains(&"total data in the system"));
+        assert!(names.contains(&"size of a redundancy group"));
+        assert!(names.contains(&"latency to failure detection"));
+        assert!(names.contains(&"disk bandwidth for recovery"));
+        let total = &rows[0];
+        assert_eq!(total.1, "2 PiB");
+    }
+}

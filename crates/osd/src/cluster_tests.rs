@@ -1,0 +1,179 @@
+//! Behavioural tests for the object cluster.
+
+use crate::cluster::{Cluster, ClusterError};
+use crate::device::OsdId;
+use farm_erasure::Scheme;
+
+fn payload(len: usize, seed: u8) -> Vec<u8> {
+    (0..len)
+        .map(|i| (seed as usize ^ (i * 131 + 17)) as u8)
+        .collect()
+}
+
+fn small_cluster(scheme: Scheme) -> Cluster {
+    Cluster::new(24, 1 << 20, scheme, 4 << 10, 42)
+}
+
+#[test]
+fn put_get_roundtrip_every_scheme() {
+    for scheme in Scheme::figure3_schemes() {
+        let mut c = small_cluster(scheme);
+        let data = payload(100_000, 7);
+        c.put("obj", &data).unwrap();
+        assert_eq!(c.get("obj").unwrap(), data, "{scheme}");
+    }
+}
+
+#[test]
+fn odd_sizes_roundtrip() {
+    let mut c = small_cluster(Scheme::new(4, 6));
+    for (i, len) in [0usize, 1, 4095, 4096, 4097, 16384, 99_999]
+        .iter()
+        .enumerate()
+    {
+        let name = format!("o{i}");
+        let data = payload(*len, i as u8);
+        c.put(&name, &data).unwrap();
+        assert_eq!(c.get(&name).unwrap(), data, "len {len}");
+    }
+}
+
+#[test]
+fn degraded_reads_survive_tolerated_failures() {
+    for scheme in Scheme::figure3_schemes() {
+        let mut c = small_cluster(scheme);
+        let data = payload(50_000, 3);
+        c.put("obj", &data).unwrap();
+        // Fail as many devices as the scheme tolerates.
+        for i in 0..scheme.fault_tolerance() {
+            c.fail_osd(OsdId(i));
+        }
+        assert_eq!(c.get("obj").unwrap(), data, "{scheme} degraded read failed");
+    }
+}
+
+#[test]
+fn recovery_restores_redundancy() {
+    let mut c = small_cluster(Scheme::new(4, 6));
+    let data = payload(200_000, 9);
+    c.put("obj", &data).unwrap();
+    let lost = c.fail_osd(OsdId(0)) + c.fail_osd(OsdId(1));
+    let report = c.recover();
+    assert_eq!(report.blocks_rebuilt, lost, "every lost block rebuilt");
+    assert_eq!(report.groups_lost, 0);
+    // Now fail two MORE devices: still readable only because recovery
+    // restored full redundancy.
+    c.fail_osd(OsdId(2));
+    c.fail_osd(OsdId(3));
+    let report = c.recover();
+    assert_eq!(report.groups_lost, 0);
+    assert_eq!(c.get("obj").unwrap(), data);
+}
+
+#[test]
+fn too_many_failures_lose_data() {
+    let mut c = small_cluster(Scheme::two_way_mirroring());
+    let data = payload(300_000, 1);
+    c.put("obj", &data).unwrap();
+    // Without recovery in between, failing many devices must eventually
+    // kill some group (2-way mirroring tolerates one loss per group).
+    for i in 0..12 {
+        c.fail_osd(OsdId(i));
+    }
+    match c.get("obj") {
+        Err(ClusterError::Unrecoverable { .. }) => {}
+        Ok(_) => panic!("expected data loss after 12 of 24 devices failed"),
+        Err(e) => panic!("unexpected error: {e}"),
+    }
+    let report = c.recover();
+    assert!(report.groups_lost > 0);
+}
+
+#[test]
+fn recovery_targets_respect_buddy_constraint() {
+    let mut c = small_cluster(Scheme::new(1, 3));
+    c.put("obj", &payload(100_000, 5)).unwrap();
+    c.fail_osd(OsdId(0));
+    c.recover();
+    // No device may hold two blocks of the same group.
+    for g in 0..100u64 {
+        let mut seen = std::collections::HashSet::new();
+        for idx in 0..3u8 {
+            let k = crate::device::BlockKey { group: g, idx };
+            if let Some(osd) = (0..c.n_osds()).find(|&i| c.osd(OsdId(i)).get(k).is_ok()) {
+                assert!(seen.insert(osd), "group {g} doubled on OSD {osd}");
+            }
+        }
+    }
+}
+
+#[test]
+fn capacity_accounting_matches_scheme_overhead() {
+    let scheme = Scheme::new(4, 6);
+    let mut c = small_cluster(scheme);
+    let data = payload(96 << 10, 2); // exactly 6 groups of 16 KiB
+    c.put("obj", &data).unwrap();
+    let stored = c.stored_bytes();
+    let expected = (data.len() as f64 / scheme.storage_efficiency()) as u64;
+    assert_eq!(stored, expected, "stored {stored} vs expected {expected}");
+    c.delete("obj").unwrap();
+    assert_eq!(c.stored_bytes(), 0);
+}
+
+#[test]
+fn duplicate_and_missing_names_error() {
+    let mut c = small_cluster(Scheme::new(1, 2));
+    c.put("a", &payload(10, 0)).unwrap();
+    assert!(matches!(
+        c.put("a", &payload(10, 0)),
+        Err(ClusterError::Duplicate(_))
+    ));
+    assert!(matches!(c.get("b"), Err(ClusterError::NotFound(_))));
+    assert!(matches!(c.delete("b"), Err(ClusterError::NotFound(_))));
+}
+
+#[test]
+fn scrub_detects_silent_corruption() {
+    let mut c = small_cluster(Scheme::new(4, 5));
+    c.put("obj", &payload(64 << 10, 8)).unwrap();
+    let clean = c.scrub();
+    assert!(clean.groups_checked > 0);
+    assert_eq!(clean.groups_inconsistent, 0);
+    // Flip a byte in some stored block on some device.
+    let key = crate::device::BlockKey { group: 0, idx: 0 };
+    let holder = (0..c.n_osds())
+        .find(|&i| c.osd(OsdId(i)).get(key).is_ok())
+        .expect("block stored somewhere");
+    assert!(c.osd_mut(OsdId(holder)).corrupt(key, 5));
+    let dirty = c.scrub();
+    assert_eq!(dirty.groups_inconsistent, 1);
+}
+
+#[test]
+fn recovery_is_idempotent() {
+    let mut c = small_cluster(Scheme::new(2, 3));
+    c.put("obj", &payload(50_000, 4)).unwrap();
+    c.fail_osd(OsdId(5));
+    let first = c.recover();
+    let second = c.recover();
+    assert_eq!(second.blocks_rebuilt, 0, "nothing left to rebuild");
+    assert_eq!(second.groups_lost, 0);
+    let _ = first;
+}
+
+#[test]
+fn many_objects_share_the_cluster() {
+    let mut c = small_cluster(Scheme::new(4, 6));
+    let objs: Vec<(String, Vec<u8>)> = (0..20)
+        .map(|i| (format!("obj{i}"), payload(10_000 + i * 777, i as u8)))
+        .collect();
+    for (name, data) in &objs {
+        c.put(name, data).unwrap();
+    }
+    assert_eq!(c.object_names().count(), 20);
+    c.fail_osd(OsdId(7));
+    c.recover();
+    for (name, data) in &objs {
+        assert_eq!(&c.get(name).unwrap(), data, "{name}");
+    }
+}

@@ -1,0 +1,232 @@
+//! A single Object-based Storage Device (OSD).
+//!
+//! §1 of the paper: "Storage systems built from Object-based Storage
+//! Devices (OSDs), which are capable of handling low-level storage
+//! allocation and management, have shown great promise…". An OSD here
+//! stores redundancy-group blocks as byte objects with its own capacity
+//! accounting — the in-memory stand-in for a real drive.
+
+use bytes::Bytes;
+use std::collections::HashMap;
+
+/// Identifies an OSD in a cluster.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Debug)]
+pub struct OsdId(pub u32);
+
+/// Identifies one block of one redundancy group.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub struct BlockKey {
+    pub group: u64,
+    pub idx: u8,
+}
+
+/// Device lifecycle.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum OsdState {
+    Active,
+    Failed,
+}
+
+/// Errors surfaced by device operations.
+#[derive(Debug, PartialEq, Eq)]
+pub enum OsdError {
+    /// The device has failed; no I/O possible.
+    Offline,
+    /// Capacity would be exceeded.
+    NoSpace { need: u64, free: u64 },
+    /// No such block stored here.
+    NotFound(BlockKey),
+    /// The key is already present (blocks are immutable once written).
+    Duplicate(BlockKey),
+}
+
+impl std::fmt::Display for OsdError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            OsdError::Offline => write!(f, "device offline"),
+            OsdError::NoSpace { need, free } => {
+                write!(f, "no space: need {need}, free {free}")
+            }
+            OsdError::NotFound(k) => write!(f, "block {k:?} not found"),
+            OsdError::Duplicate(k) => write!(f, "block {k:?} already stored"),
+        }
+    }
+}
+
+impl std::error::Error for OsdError {}
+
+/// An object-based storage device holding immutable blocks.
+#[derive(Clone, Debug)]
+pub struct Osd {
+    pub id: OsdId,
+    capacity: u64,
+    used: u64,
+    state: OsdState,
+    blocks: HashMap<BlockKey, Bytes>,
+}
+
+impl Osd {
+    pub fn new(id: OsdId, capacity: u64) -> Self {
+        Osd {
+            id,
+            capacity,
+            used: 0,
+            state: OsdState::Active,
+            blocks: HashMap::new(),
+        }
+    }
+
+    pub fn capacity(&self) -> u64 {
+        self.capacity
+    }
+
+    pub fn used(&self) -> u64 {
+        self.used
+    }
+
+    pub fn free(&self) -> u64 {
+        self.capacity - self.used
+    }
+
+    pub fn is_active(&self) -> bool {
+        self.state == OsdState::Active
+    }
+
+    pub fn n_blocks(&self) -> usize {
+        self.blocks.len()
+    }
+
+    pub fn block_keys(&self) -> impl Iterator<Item = BlockKey> + '_ {
+        self.blocks.keys().copied()
+    }
+
+    /// Store a block. Blocks are immutable: re-writing a key is an error.
+    pub fn put(&mut self, key: BlockKey, data: Bytes) -> Result<(), OsdError> {
+        if !self.is_active() {
+            return Err(OsdError::Offline);
+        }
+        if self.blocks.contains_key(&key) {
+            return Err(OsdError::Duplicate(key));
+        }
+        let need = data.len() as u64;
+        if need > self.free() {
+            return Err(OsdError::NoSpace {
+                need,
+                free: self.free(),
+            });
+        }
+        self.used += need;
+        self.blocks.insert(key, data);
+        Ok(())
+    }
+
+    /// Read a block (cheap: `Bytes` clones are refcounted).
+    pub fn get(&self, key: BlockKey) -> Result<Bytes, OsdError> {
+        if !self.is_active() {
+            return Err(OsdError::Offline);
+        }
+        self.blocks
+            .get(&key)
+            .cloned()
+            .ok_or(OsdError::NotFound(key))
+    }
+
+    /// Remove a block, releasing its space.
+    pub fn delete(&mut self, key: BlockKey) -> Result<Bytes, OsdError> {
+        if !self.is_active() {
+            return Err(OsdError::Offline);
+        }
+        match self.blocks.remove(&key) {
+            Some(data) => {
+                self.used -= data.len() as u64;
+                Ok(data)
+            }
+            None => Err(OsdError::NotFound(key)),
+        }
+    }
+
+    /// Catastrophic failure: all contents lost.
+    pub fn fail(&mut self) {
+        self.state = OsdState::Failed;
+        self.blocks.clear();
+        self.used = 0;
+    }
+
+    /// Test hook: flip bits in a stored block (silent corruption), for
+    /// scrubbing tests. Returns false if the block is absent.
+    pub fn corrupt(&mut self, key: BlockKey, byte_index: usize) -> bool {
+        if let Some(data) = self.blocks.get_mut(&key) {
+            if byte_index < data.len() {
+                let mut v = data.to_vec();
+                v[byte_index] ^= 0xFF;
+                *data = Bytes::from(v);
+                return true;
+            }
+        }
+        false
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn key(group: u64, idx: u8) -> BlockKey {
+        BlockKey { group, idx }
+    }
+
+    #[test]
+    fn put_get_delete_roundtrip() {
+        let mut osd = Osd::new(OsdId(0), 1024);
+        let data = Bytes::from(vec![1u8, 2, 3]);
+        osd.put(key(1, 0), data.clone()).unwrap();
+        assert_eq!(osd.used(), 3);
+        assert_eq!(osd.get(key(1, 0)).unwrap(), data);
+        let removed = osd.delete(key(1, 0)).unwrap();
+        assert_eq!(removed, data);
+        assert_eq!(osd.used(), 0);
+        assert_eq!(osd.get(key(1, 0)), Err(OsdError::NotFound(key(1, 0))));
+    }
+
+    #[test]
+    fn capacity_is_enforced() {
+        let mut osd = Osd::new(OsdId(0), 10);
+        osd.put(key(1, 0), Bytes::from(vec![0u8; 8])).unwrap();
+        let err = osd.put(key(2, 0), Bytes::from(vec![0u8; 4])).unwrap_err();
+        assert_eq!(err, OsdError::NoSpace { need: 4, free: 2 });
+    }
+
+    #[test]
+    fn blocks_are_immutable() {
+        let mut osd = Osd::new(OsdId(0), 100);
+        osd.put(key(1, 0), Bytes::from_static(b"a")).unwrap();
+        assert_eq!(
+            osd.put(key(1, 0), Bytes::from_static(b"b")),
+            Err(OsdError::Duplicate(key(1, 0)))
+        );
+    }
+
+    #[test]
+    fn failure_wipes_everything() {
+        let mut osd = Osd::new(OsdId(3), 100);
+        osd.put(key(1, 0), Bytes::from_static(b"abc")).unwrap();
+        osd.fail();
+        assert!(!osd.is_active());
+        assert_eq!(osd.used(), 0);
+        assert_eq!(osd.get(key(1, 0)), Err(OsdError::Offline));
+        assert_eq!(
+            osd.put(key(2, 0), Bytes::from_static(b"x")),
+            Err(OsdError::Offline)
+        );
+    }
+
+    #[test]
+    fn corruption_hook_flips_bytes() {
+        let mut osd = Osd::new(OsdId(0), 100);
+        osd.put(key(1, 0), Bytes::from(vec![0u8; 4])).unwrap();
+        assert!(osd.corrupt(key(1, 0), 2));
+        assert_eq!(osd.get(key(1, 0)).unwrap()[2], 0xFF);
+        assert!(!osd.corrupt(key(1, 0), 99), "out of range");
+        assert!(!osd.corrupt(key(9, 0), 0), "absent block");
+    }
+}

@@ -1,0 +1,185 @@
+//! The cluster map: how a large storage system grows.
+//!
+//! Following RUSH's system model (and §2.6 of the paper), disks are not
+//! added one at a time but in *sub-clusters* (the paper calls replacement
+//! sub-clusters "batches"): homogeneous groups of drives deployed
+//! together, each with a per-disk weight reflecting capacity/vintage.
+
+use serde::{Deserialize, Serialize};
+
+/// Identifies a disk drive in the whole system. Ids are dense and stable:
+/// the j-th disk of the i-th sub-cluster keeps its id forever.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Debug, Serialize, Deserialize)]
+pub struct DiskId(pub u32);
+
+/// A homogeneous batch of disks added to the system at one time.
+#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+pub struct SubCluster {
+    /// Id of the first disk in this sub-cluster.
+    pub first: u32,
+    /// Number of disks.
+    pub len: u32,
+    /// Relative weight of each disk (e.g. proportional to capacity).
+    pub weight: f64,
+}
+
+impl SubCluster {
+    /// Total weight of the sub-cluster.
+    pub fn total_weight(&self) -> f64 {
+        self.len as f64 * self.weight
+    }
+
+    pub fn contains(&self, d: DiskId) -> bool {
+        d.0 >= self.first && d.0 < self.first + self.len
+    }
+}
+
+/// An ordered list of sub-clusters describing the whole system.
+#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+pub struct ClusterMap {
+    clusters: Vec<SubCluster>,
+    /// cum_weight[i] = total weight of clusters 0..=i (cached: the
+    /// placement descent reads it once per cluster per draw).
+    cum_weight: Vec<f64>,
+    n_disks: u32,
+}
+
+impl ClusterMap {
+    pub fn new() -> Self {
+        ClusterMap::default()
+    }
+
+    /// A single sub-cluster of `n` equal-weight disks — the initial
+    /// deployment in all of the paper's experiments.
+    pub fn uniform(n: u32) -> Self {
+        let mut m = ClusterMap::new();
+        m.add_cluster(n, 1.0);
+        m
+    }
+
+    /// Append a sub-cluster of `len` disks with per-disk `weight`.
+    /// Returns the index of the new sub-cluster.
+    pub fn add_cluster(&mut self, len: u32, weight: f64) -> usize {
+        assert!(len > 0, "empty sub-cluster");
+        assert!(weight > 0.0 && weight.is_finite(), "bad weight {weight}");
+        self.clusters.push(SubCluster {
+            first: self.n_disks,
+            len,
+            weight,
+        });
+        let prev = self.cum_weight.last().copied().unwrap_or(0.0);
+        self.cum_weight.push(prev + len as f64 * weight);
+        self.n_disks += len;
+        self.clusters.len() - 1
+    }
+
+    /// Total weight of sub-clusters `0..=i`.
+    pub fn cum_weight(&self, i: usize) -> f64 {
+        self.cum_weight[i]
+    }
+
+    pub fn n_disks(&self) -> u32 {
+        self.n_disks
+    }
+
+    pub fn n_clusters(&self) -> usize {
+        self.clusters.len()
+    }
+
+    pub fn clusters(&self) -> &[SubCluster] {
+        &self.clusters
+    }
+
+    pub fn cluster(&self, i: usize) -> &SubCluster {
+        &self.clusters[i]
+    }
+
+    pub fn total_weight(&self) -> f64 {
+        self.cum_weight.last().copied().unwrap_or(0.0)
+    }
+
+    /// Which sub-cluster a disk belongs to.
+    pub fn cluster_of(&self, d: DiskId) -> usize {
+        assert!(d.0 < self.n_disks, "disk {d:?} out of range");
+        // Clusters are sorted by `first`; binary search the partition.
+        match self.clusters.binary_search_by(|c| c.first.cmp(&d.0)) {
+            Ok(i) => i,
+            Err(i) => i - 1,
+        }
+    }
+
+    pub fn disk_weight(&self, d: DiskId) -> f64 {
+        self.clusters[self.cluster_of(d)].weight
+    }
+
+    /// Fraction of total weight held by sub-cluster `i` — the share of
+    /// data RUSH will steer to it.
+    pub fn weight_share(&self, i: usize) -> f64 {
+        self.clusters[i].total_weight() / self.total_weight()
+    }
+
+    pub fn iter_disks(&self) -> impl Iterator<Item = DiskId> + '_ {
+        (0..self.n_disks).map(DiskId)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uniform_map_basics() {
+        let m = ClusterMap::uniform(100);
+        assert_eq!(m.n_disks(), 100);
+        assert_eq!(m.n_clusters(), 1);
+        assert!((m.total_weight() - 100.0).abs() < 1e-12);
+        assert_eq!(m.cluster_of(DiskId(0)), 0);
+        assert_eq!(m.cluster_of(DiskId(99)), 0);
+    }
+
+    #[test]
+    fn growth_assigns_dense_stable_ids() {
+        let mut m = ClusterMap::uniform(10);
+        let c1 = m.add_cluster(5, 2.0);
+        assert_eq!(c1, 1);
+        assert_eq!(m.n_disks(), 15);
+        assert_eq!(m.cluster(1).first, 10);
+        assert_eq!(m.cluster_of(DiskId(9)), 0);
+        assert_eq!(m.cluster_of(DiskId(10)), 1);
+        assert_eq!(m.cluster_of(DiskId(14)), 1);
+        assert_eq!(m.disk_weight(DiskId(12)), 2.0);
+    }
+
+    #[test]
+    fn weight_share_sums_to_one() {
+        let mut m = ClusterMap::uniform(8);
+        m.add_cluster(4, 0.5);
+        m.add_cluster(2, 4.0);
+        let total: f64 = (0..m.n_clusters()).map(|i| m.weight_share(i)).sum();
+        assert!((total - 1.0).abs() < 1e-12);
+        // 8*1 + 4*0.5 + 2*4 = 18 total weight.
+        assert!((m.weight_share(2) - 8.0 / 18.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic]
+    fn cluster_of_out_of_range_panics() {
+        let m = ClusterMap::uniform(3);
+        let _ = m.cluster_of(DiskId(3));
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_len_cluster_rejected() {
+        let mut m = ClusterMap::new();
+        m.add_cluster(0, 1.0);
+    }
+
+    #[test]
+    fn iter_disks_covers_all() {
+        let mut m = ClusterMap::uniform(3);
+        m.add_cluster(2, 1.0);
+        let ids: Vec<u32> = m.iter_disks().map(|d| d.0).collect();
+        assert_eq!(ids, vec![0, 1, 2, 3, 4]);
+    }
+}

@@ -1,0 +1,103 @@
+//! Stateless hashing used by the placement functions.
+//!
+//! Placement must be a pure function of (seed, group, replica-index,
+//! attempt, cluster) — no RNG state — so that any node in a large system
+//! can compute the same mapping independently, the defining property of
+//! RUSH-family algorithms.
+
+/// SplitMix64 finalizer.
+#[inline]
+pub fn mix64(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Combine two words into a well-mixed one.
+#[inline]
+pub fn combine(a: u64, b: u64) -> u64 {
+    // Distinct odd constants on each side prevent (a, b)/(b, a) collisions.
+    mix64(a.wrapping_mul(0xA24B_AED4_963E_E407) ^ b.wrapping_mul(0x9FB2_1C65_1E98_DF25))
+}
+
+/// Hash an arbitrary-length key of words.
+#[inline]
+pub fn hash_words(seed: u64, words: &[u64]) -> u64 {
+    let mut h = mix64(seed ^ 0x1405_7B7E_F767_814F);
+    for &w in words {
+        h = combine(h, w);
+    }
+    h
+}
+
+/// Map a hash to a uniform f64 in [0, 1).
+#[inline]
+pub fn to_unit(h: u64) -> f64 {
+    // 53 high bits -> [0, 1).
+    (h >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+}
+
+/// Map a hash to a uniform f64 in (0, 1] — safe for `ln`.
+#[inline]
+pub fn to_unit_open(h: u64) -> f64 {
+    1.0 - to_unit(h)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mix_is_deterministic_and_nontrivial() {
+        assert_eq!(mix64(42), mix64(42));
+        assert_ne!(mix64(42), mix64(43));
+        assert_ne!(mix64(0), 0);
+    }
+
+    #[test]
+    fn combine_is_order_sensitive() {
+        assert_ne!(combine(1, 2), combine(2, 1));
+    }
+
+    #[test]
+    fn hash_words_distinguishes_lengths() {
+        assert_ne!(hash_words(7, &[1]), hash_words(7, &[1, 0]));
+        assert_ne!(hash_words(7, &[]), hash_words(7, &[0]));
+    }
+
+    #[test]
+    fn to_unit_in_range_and_roughly_uniform() {
+        let n = 100_000u64;
+        let mut sum = 0.0;
+        for i in 0..n {
+            let u = to_unit(mix64(i));
+            assert!((0.0..1.0).contains(&u));
+            sum += u;
+        }
+        let mean = sum / n as f64;
+        assert!((mean - 0.5).abs() < 0.005, "mean {mean}");
+    }
+
+    #[test]
+    fn to_unit_open_never_zero() {
+        for i in 0..10_000u64 {
+            let u = to_unit_open(mix64(i));
+            assert!(u > 0.0 && u <= 1.0);
+        }
+    }
+
+    #[test]
+    fn avalanche_smoke() {
+        // Flipping one input bit should flip ~half the output bits.
+        let mut total = 0u32;
+        let cases = 1000;
+        for i in 0..cases {
+            let a = mix64(i);
+            let b = mix64(i ^ 1);
+            total += (a ^ b).count_ones();
+        }
+        let avg = total as f64 / cases as f64;
+        assert!((avg - 32.0).abs() < 3.0, "avalanche avg {avg} bits");
+    }
+}

@@ -1,0 +1,120 @@
+//! Weighted Highest-Random-Weight (rendezvous) placement — an O(N)
+//! baseline used to sanity-check the RUSH implementation and in the
+//! placement benchmarks. It has perfect minimal migration and balance but
+//! scans every disk per lookup, which is exactly why RUSH-family
+//! algorithms exist for systems with thousands of drives.
+
+use crate::cluster::{ClusterMap, DiskId};
+use crate::hash;
+
+#[derive(Clone, Copy, Debug)]
+pub struct Hrw {
+    seed: u64,
+}
+
+impl Hrw {
+    pub fn new(seed: u64) -> Self {
+        Hrw { seed }
+    }
+
+    /// Weighted rendezvous score: smaller is better. Using
+    /// `-ln(u)/weight` makes the winner distribution proportional to
+    /// weights (exponential-races argument).
+    fn score(&self, group: u64, d: DiskId, weight: f64) -> f64 {
+        let u = hash::to_unit_open(hash::hash_words(self.seed, &[group, d.0 as u64]));
+        -u.ln() / weight
+    }
+
+    /// The `n` best-ranked disks for a group, ascending by score.
+    pub fn place(&self, map: &ClusterMap, group: u64, n: usize) -> Vec<DiskId> {
+        assert!(n as u64 <= map.n_disks() as u64);
+        let mut scored: Vec<(f64, DiskId)> = map
+            .iter_disks()
+            .map(|d| (self.score(group, d, map.disk_weight(d)), d))
+            .collect();
+        scored.sort_by(|a, b| a.0.total_cmp(&b.0));
+        scored.into_iter().take(n).map(|(_, d)| d).collect()
+    }
+
+    /// Full candidate ordering (every disk, ranked).
+    pub fn candidates(&self, map: &ClusterMap, group: u64) -> Vec<DiskId> {
+        self.place(map, group, map.n_disks() as usize)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use farm_des::stats::coefficient_of_variation;
+
+    #[test]
+    fn deterministic_and_distinct() {
+        let map = ClusterMap::uniform(30);
+        let hrw = Hrw::new(4);
+        let a = hrw.place(&map, 9, 5);
+        let b = hrw.place(&map, 9, 5);
+        assert_eq!(a, b);
+        let set: std::collections::HashSet<_> = a.iter().collect();
+        assert_eq!(set.len(), 5);
+    }
+
+    #[test]
+    fn prefix_stability() {
+        let map = ClusterMap::uniform(30);
+        let hrw = Hrw::new(4);
+        let three = hrw.place(&map, 9, 3);
+        let six = hrw.place(&map, 9, 6);
+        assert_eq!(&six[..3], &three[..]);
+    }
+
+    #[test]
+    fn balance_uniform() {
+        let map = ClusterMap::uniform(50);
+        let hrw = Hrw::new(12);
+        let mut counts = vec![0u64; 50];
+        for g in 0..10_000u64 {
+            for d in hrw.place(&map, g, 2) {
+                counts[d.0 as usize] += 1;
+            }
+        }
+        let cv = coefficient_of_variation(&counts);
+        assert!(cv < 0.10, "cv {cv}");
+    }
+
+    #[test]
+    fn weighted_balance() {
+        let mut map = ClusterMap::uniform(20);
+        map.add_cluster(20, 3.0);
+        let hrw = Hrw::new(2);
+        let (mut light, mut heavy) = (0u64, 0u64);
+        for g in 0..30_000u64 {
+            let d = hrw.place(&map, g, 1)[0];
+            if d.0 < 20 {
+                light += 1;
+            } else {
+                heavy += 1;
+            }
+        }
+        let ratio = heavy as f64 / light as f64;
+        assert!((ratio - 3.0).abs() < 0.25, "ratio {ratio}, expected ~3");
+    }
+
+    #[test]
+    fn minimal_migration_is_exact_for_hrw() {
+        // Rendezvous hashing only ever moves placements *onto* new disks.
+        let before = ClusterMap::uniform(40);
+        let mut after = before.clone();
+        after.add_cluster(10, 1.0);
+        let hrw = Hrw::new(6);
+        for g in 0..2_000u64 {
+            let old = hrw.place(&before, g, 2);
+            let new = hrw.place(&after, g, 2);
+            for n in &new {
+                assert!(
+                    old.contains(n) || n.0 >= 40,
+                    "group {g}: candidate moved between old disks"
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,319 @@
+//! RUSH-style decentralized placement.
+//!
+//! `Rush` maps `(redundancy group, candidate index)` to a disk, giving
+//! every group an unbounded ordered list of *distinct* candidate disks.
+//! The first `n` candidates hold the group's blocks; later candidates are
+//! the recovery targets FARM consults after a failure (§2.3: "our data
+//! placement algorithm provides a list of locations where replicated data
+//! blocks can go").
+//!
+//! Properties (each checked by tests below):
+//!
+//! 1. **Decentralized determinism** — placement is a pure function of
+//!    `(seed, cluster map, group, index)`; no central directory.
+//! 2. **Statistical balance** — each disk receives load proportional to
+//!    its weight ("gives each disk statistically its fair share of user
+//!    data and parity data", §2.2).
+//! 3. **Minimal migration** — appending a sub-cluster moves only
+//!    ≈ its weight share of existing placements, nothing else, because
+//!    the descent consults clusters newest-to-oldest and draws for older
+//!    clusters are unaffected by the new one.
+//! 4. **Distinctness** — a group's candidate list never repeats a disk,
+//!    so replicas always land on different drives (§2.2).
+
+use crate::cluster::{ClusterMap, DiskId};
+use crate::hash;
+
+/// How many hash retries to burn per candidate before falling back to a
+/// deterministic probe. Collisions are rare until a group's candidate
+/// list approaches the size of the system, so 64 is generous.
+const MAX_ATTEMPTS: u32 = 64;
+
+/// The RUSH-style placement function. Stateless and cheap to copy; all
+/// system topology lives in the [`ClusterMap`].
+#[derive(Clone, Copy, Debug)]
+pub struct Rush {
+    seed: u64,
+}
+
+impl Rush {
+    pub fn new(seed: u64) -> Self {
+        Rush { seed }
+    }
+
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// The infinite-until-exhausted ordered candidate list for a group.
+    pub fn candidates<'a>(&self, map: &'a ClusterMap, group: u64) -> Candidates<'a> {
+        Candidates {
+            seed: self.seed,
+            map,
+            group,
+            index: 0,
+            emitted: Vec::new(),
+        }
+    }
+
+    /// First `n` candidates: the homes of the group's `n` blocks.
+    pub fn place(&self, map: &ClusterMap, group: u64, n: usize) -> Vec<DiskId> {
+        assert!(
+            n as u64 <= map.n_disks() as u64,
+            "cannot place {n} blocks on {} disks",
+            map.n_disks()
+        );
+        self.candidates(map, group).take(n).collect()
+    }
+
+    /// One raw draw: candidate `index`, attempt `attempt` for `group` —
+    /// before distinctness filtering. Exposed for the migration tests.
+    fn raw_draw(&self, map: &ClusterMap, group: u64, index: u64, attempt: u32) -> DiskId {
+        // RUSH descent: visit sub-clusters newest to oldest. At cluster j,
+        // the group's draw lands there with probability
+        // w_j / (w_0 + ... + w_j); otherwise descend. Draws are per-cluster
+        // hashes, so adding cluster J+1 cannot change the draws at <= J —
+        // the key to minimal migration.
+        for j in (0..map.n_clusters()).rev() {
+            let c = map.cluster(j);
+            let take_p = c.total_weight() / map.cum_weight(j);
+            let h = hash::hash_words(self.seed, &[group, index, attempt as u64, j as u64, 0xC1]);
+            if j == 0 || hash::to_unit(h) < take_p {
+                let within =
+                    hash::hash_words(self.seed, &[group, index, attempt as u64, j as u64, 0xD2]);
+                return DiskId(c.first + (within % c.len as u64) as u32);
+            }
+        }
+        unreachable!("descent always terminates at cluster 0")
+    }
+}
+
+/// Iterator over a group's distinct candidate disks.
+pub struct Candidates<'a> {
+    seed: u64,
+    map: &'a ClusterMap,
+    group: u64,
+    index: u64,
+    emitted: Vec<DiskId>,
+}
+
+impl Iterator for Candidates<'_> {
+    type Item = DiskId;
+
+    fn next(&mut self) -> Option<DiskId> {
+        if self.emitted.len() as u64 >= self.map.n_disks() as u64 {
+            return None; // every disk already listed
+        }
+        let rush = Rush { seed: self.seed };
+        for attempt in 0..MAX_ATTEMPTS {
+            let d = rush.raw_draw(self.map, self.group, self.index, attempt);
+            if !self.emitted.contains(&d) {
+                self.emitted.push(d);
+                self.index += 1;
+                return Some(d);
+            }
+        }
+        // Deterministic fallback: probe linearly from a hashed start.
+        // Only reachable when the candidate list is nearly system-sized.
+        let start = hash::hash_words(self.seed, &[self.group, self.index, 0xFA11])
+            % self.map.n_disks() as u64;
+        let n = self.map.n_disks();
+        for off in 0..n {
+            let d = DiskId(((start + off as u64) % n as u64) as u32);
+            if !self.emitted.contains(&d) {
+                self.emitted.push(d);
+                self.index += 1;
+                return Some(d);
+            }
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use farm_des::stats::coefficient_of_variation;
+
+    #[test]
+    fn placement_is_deterministic() {
+        let map = ClusterMap::uniform(64);
+        let rush = Rush::new(99);
+        for g in 0..50u64 {
+            assert_eq!(rush.place(&map, g, 3), rush.place(&map, g, 3));
+        }
+    }
+
+    #[test]
+    fn different_seeds_give_different_placements() {
+        let map = ClusterMap::uniform(64);
+        let a = Rush::new(1);
+        let b = Rush::new(2);
+        let differs = (0..100u64).any(|g| a.place(&map, g, 2) != b.place(&map, g, 2));
+        assert!(differs);
+    }
+
+    #[test]
+    fn candidates_are_distinct() {
+        let map = ClusterMap::uniform(40);
+        let rush = Rush::new(7);
+        for g in 0..20u64 {
+            let cands: Vec<DiskId> = rush.candidates(&map, g).take(40).collect();
+            assert_eq!(cands.len(), 40);
+            let set: std::collections::HashSet<_> = cands.iter().collect();
+            assert_eq!(set.len(), 40, "group {g} repeated a candidate");
+        }
+    }
+
+    #[test]
+    fn candidate_list_exhausts_then_ends() {
+        let map = ClusterMap::uniform(10);
+        let rush = Rush::new(3);
+        let all: Vec<DiskId> = rush.candidates(&map, 5).collect();
+        assert_eq!(all.len(), 10, "must cover every disk exactly once");
+        let mut sorted: Vec<u32> = all.iter().map(|d| d.0).collect();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn prefix_stability() {
+        // Asking for more candidates must not change the earlier ones.
+        let map = ClusterMap::uniform(50);
+        let rush = Rush::new(11);
+        let five = rush.place(&map, 42, 5);
+        let ten = rush.place(&map, 42, 10);
+        assert_eq!(&ten[..5], &five[..]);
+    }
+
+    #[test]
+    fn balance_on_uniform_cluster() {
+        // "each disk gets statistically its fair share": with G groups of
+        // n blocks on N disks, per-disk load should concentrate around
+        // G*n/N with small coefficient of variation.
+        let map = ClusterMap::uniform(100);
+        let rush = Rush::new(5);
+        let mut counts = vec![0u64; 100];
+        let groups = 20_000u64;
+        for g in 0..groups {
+            for d in rush.place(&map, g, 2) {
+                counts[d.0 as usize] += 1;
+            }
+        }
+        let cv = coefficient_of_variation(&counts);
+        // Poisson-like: expected CV ~ 1/sqrt(400) = 0.05.
+        assert!(cv < 0.10, "coefficient of variation {cv} too high");
+    }
+
+    #[test]
+    fn balance_respects_weights() {
+        // A sub-cluster with twice the per-disk weight should receive
+        // twice the per-disk load.
+        let mut map = ClusterMap::uniform(50);
+        map.add_cluster(50, 2.0);
+        let rush = Rush::new(13);
+        let mut light = 0u64;
+        let mut heavy = 0u64;
+        for g in 0..30_000u64 {
+            for d in rush.place(&map, g, 2) {
+                if d.0 < 50 {
+                    light += 1;
+                } else {
+                    heavy += 1;
+                }
+            }
+        }
+        let ratio = heavy as f64 / light as f64;
+        assert!(
+            (ratio - 2.0).abs() < 0.15,
+            "heavy/light load ratio {ratio}, expected ~2"
+        );
+    }
+
+    #[test]
+    fn adding_a_cluster_moves_only_its_fair_share() {
+        // THE RUSH property: growing the system by 25% of total weight
+        // should remap ~25% of block placements and leave the rest alone.
+        let before = ClusterMap::uniform(100);
+        let mut after = before.clone();
+        after.add_cluster(25, 1.0); // new share = 25/125 = 20%
+        let rush = Rush::new(21);
+        let groups = 10_000u64;
+        let mut moved = 0u64;
+        let mut total = 0u64;
+        for g in 0..groups {
+            let old = rush.place(&before, g, 2);
+            let new = rush.place(&after, g, 2);
+            for (o, n) in old.iter().zip(&new) {
+                total += 1;
+                if o != n {
+                    moved += 1;
+                }
+            }
+        }
+        let frac = moved as f64 / total as f64;
+        let share = after.weight_share(1);
+        assert!(
+            (frac - share).abs() < 0.05,
+            "moved {frac:.3}, fair share {share:.3}"
+        );
+        // And every moved block must have landed in the new cluster
+        // (modulo rare collision-chain shifts).
+        let mut moved_elsewhere = 0u64;
+        for g in 0..groups {
+            let old = rush.place(&before, g, 2);
+            let new = rush.place(&after, g, 2);
+            for (o, n) in old.iter().zip(&new) {
+                if o != n && n.0 < 100 {
+                    moved_elsewhere += 1;
+                }
+            }
+        }
+        assert!(
+            (moved_elsewhere as f64) < 0.02 * total as f64,
+            "{moved_elsewhere} of {total} moved to an old disk"
+        );
+    }
+
+    #[test]
+    fn growth_in_stages_matches_direct_construction() {
+        // Placement must depend only on the final map, not the order in
+        // which we queried it along the way.
+        let mut staged = ClusterMap::uniform(30);
+        staged.add_cluster(10, 1.0);
+        staged.add_cluster(20, 0.5);
+        let mut direct = ClusterMap::uniform(30);
+        direct.add_cluster(10, 1.0);
+        direct.add_cluster(20, 0.5);
+        let rush = Rush::new(8);
+        for g in 0..200u64 {
+            assert_eq!(rush.place(&staged, g, 3), rush.place(&direct, g, 3));
+        }
+    }
+
+    #[test]
+    #[should_panic]
+    fn cannot_place_more_blocks_than_disks() {
+        let map = ClusterMap::uniform(3);
+        Rush::new(0).place(&map, 1, 4);
+    }
+
+    #[test]
+    fn replica_spread_across_clusters_is_fair() {
+        // With two equal-weight clusters, each replica independently has
+        // ~50% probability of landing in either.
+        let mut map = ClusterMap::uniform(40);
+        map.add_cluster(40, 1.0);
+        let rush = Rush::new(17);
+        let mut in_new = 0u64;
+        let groups = 20_000u64;
+        for g in 0..groups {
+            let p = rush.place(&map, g, 1)[0];
+            if p.0 >= 40 {
+                in_new += 1;
+            }
+        }
+        let frac = in_new as f64 / groups as f64;
+        assert!((frac - 0.5).abs() < 0.02, "new-cluster share {frac}");
+    }
+}

@@ -1,0 +1,66 @@
+//! The recovery data path itself: stripe a "file" into a redundancy
+//! group, destroy as many blocks as the scheme tolerates, and
+//! reconstruct the file bit-for-bit — the §2.1/Figure 1 pipeline
+//! (files → blocks → redundancy groups) on real bytes.
+//!
+//! ```text
+//! cargo run --release -p farm-experiments --example erasure_roundtrip
+//! ```
+
+use farm_erasure::Scheme;
+
+fn main() {
+    // A pseudo-random 4 MiB "file".
+    let file: Vec<u8> = (0..4 << 20)
+        .map(|i: u64| (i.wrapping_mul(2654435761) >> 13) as u8)
+        .collect();
+
+    for scheme in Scheme::figure3_schemes() {
+        let m = scheme.m as usize;
+        let n = scheme.n as usize;
+        let k = scheme.fault_tolerance() as usize;
+
+        // Stripe the file into m data blocks (pad to a multiple of m).
+        let block_len = file.len().div_ceil(m);
+        let mut data: Vec<Vec<u8>> = (0..m)
+            .map(|i| {
+                let mut b = file[i * block_len..((i + 1) * block_len).min(file.len())].to_vec();
+                b.resize(block_len, 0);
+                b
+            })
+            .collect();
+
+        // Encode the redundancy blocks.
+        let codec = scheme.codec();
+        let refs: Vec<&[u8]> = data.iter().map(|d| d.as_slice()).collect();
+        let parity = codec.encode(&refs);
+        let mut group: Vec<Option<Vec<u8>>> = data.drain(..).chain(parity).map(Some).collect();
+        assert_eq!(group.len(), n);
+
+        // Simulate k simultaneous disk failures: drop the first k blocks
+        // (the hardest pattern for systematic codes — data, not parity).
+        for slot in group.iter_mut().take(k) {
+            *slot = None;
+        }
+
+        // FARM's rebuild step: reconstruct every lost block.
+        let ok = codec.reconstruct(&mut group);
+        assert!(ok, "{scheme} must survive {k} losses");
+
+        // Reassemble and verify the file.
+        let mut rebuilt = Vec::with_capacity(file.len());
+        for block in group.iter().take(m) {
+            rebuilt.extend_from_slice(block.as_ref().expect("reconstructed"));
+        }
+        rebuilt.truncate(file.len());
+        assert_eq!(rebuilt, file, "{scheme} corrupted the file");
+
+        println!(
+            "{scheme:>5}: stored {n} x {block_len} B blocks (efficiency {:>4.0}%), \
+             lost {k} block(s), file recovered bit-for-bit",
+            100.0 * scheme.storage_efficiency()
+        );
+    }
+
+    println!("\nevery Figure 3 scheme round-trips through loss and reconstruction.");
+}

@@ -1,0 +1,56 @@
+//! Designing a multi-petabyte archive: compare redundancy schemes on
+//! reliability, storage overhead and rebuild traffic — the §1 scenario
+//! (a two-petabyte store for large-scale scientific simulation, where
+//! "losing just the data from a single drive can result in the loss of a
+//! large file spread over thousands of drives").
+//!
+//! ```text
+//! cargo run --release -p farm-experiments --example petabyte_reliability [--full]
+//! ```
+
+use farm_core::prelude::*;
+
+fn main() {
+    let full = std::env::args().any(|a| a == "--full");
+    let total = if full { 2 * PIB } else { PIB / 4 };
+    let trials = if full { 100 } else { 40 };
+
+    println!(
+        "candidate designs for a {}-PiB archive (FARM recovery, 100 GiB groups, {trials} trials)\n",
+        total >> 50
+    );
+    println!(
+        "{:>7}  {:>10} {:>7} {:>9} {:>12} {:>14}",
+        "scheme", "tolerance", "disks", "overhead", "P(loss) 6y", "$ @ $100/TiB"
+    );
+
+    for scheme in Scheme::figure3_schemes() {
+        let cfg = SystemConfig {
+            total_user_bytes: total,
+            scheme,
+            ..SystemConfig::default()
+        };
+        let summary = run_trials(&cfg, 7, trials, TrialMode::UntilLoss);
+        let raw_tib = cfg.total_stored_bytes() >> 40;
+        // §2.4: "At $1/GB, the difference between two- and three-way
+        // mirroring amounts to millions of dollars" — same arithmetic at
+        // a (more modern) $100/TiB.
+        let cost = raw_tib * 100;
+        println!(
+            "{:>7}  {:>10} {:>7} {:>8.0}% {:>11.1}% {:>13}$",
+            scheme.to_string(),
+            format!("{} disks", scheme.fault_tolerance()),
+            cfg.n_disks(),
+            100.0 * (1.0 / scheme.storage_efficiency() - 1.0),
+            100.0 * summary.p_loss.value(),
+            cost,
+        );
+    }
+
+    println!(
+        "\nreading: mirroring rebuilds fastest but costs 100% overhead; \
+         RAID-5-like single parity is cheap but fragile at petabyte scale; \
+         double-fault-tolerant codes (4/6, 8/10) give mirroring-class \
+         reliability at a fraction of the cost — the paper's conclusion."
+    );
+}

@@ -1,0 +1,36 @@
+#!/usr/bin/env bash
+# Regenerate every table and figure of the paper and store the outputs
+# under results/. Pass --quick for a fast smoke sweep (default here is
+# the paper-scale --full run; budget ~1 h on one core).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+MODE="${1:---full}"
+TRIALS="${2:-100}"
+OUT=results
+mkdir -p "$OUT"
+
+cargo build --release -p farm-experiments --bins
+
+run() {
+    local name="$1"; shift
+    echo "=== $name $* ==="
+    local t0=$SECONDS
+    cargo run --release -q -p farm-experiments --bin "$name" -- "$@" \
+        | tee "$OUT/$name.txt"
+    echo "($name took $((SECONDS - t0)) s)"
+}
+
+run table1
+run table2 "$MODE"
+run fig3 "$MODE" --trials "$TRIALS"
+run fig4 "$MODE" --trials "$TRIALS"
+run fig5 "$MODE" --trials "$TRIALS"
+run fig6 "$MODE"
+run fig7 "$MODE" --trials "$TRIALS"
+run fig8 "$MODE" --trials "$TRIALS"
+run redirection "$MODE" --trials "$TRIALS"
+run ablations "$MODE" --trials "$TRIALS"
+run latent "$MODE" --trials "$TRIALS"
+
+echo "all outputs in $OUT/"

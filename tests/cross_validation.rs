@@ -1,0 +1,141 @@
+//! Cross-validation of the simulator against the closed-form analytic
+//! model (`farm_core::analytic`) in regimes where the analytic
+//! assumptions hold: constant hazard, zero detection latency, FARM
+//! recovery with ample bandwidth (so the repair window is deterministic
+//! and small), independent-ish groups.
+
+use farm_core::analytic;
+use farm_core::prelude::*;
+use farm_des::time::SECONDS_PER_HOUR;
+use farm_disk::failure::Hazard;
+
+/// Constant-hazard configuration tuned so the analytic model applies:
+/// the rate must stay low enough that the population (and therefore the
+/// per-group environment) is roughly stationary over six years.
+fn analytic_friendly(rate_per_1000h: f64) -> SystemConfig {
+    SystemConfig {
+        total_user_bytes: PIB / 8,
+        group_user_bytes: 10 * GIB,
+        detection_latency: Duration::ZERO,
+        recovery_bandwidth: 30 * MIB,
+        hazard: Hazard::constant(rate_per_1000h),
+        ..SystemConfig::default()
+    }
+}
+
+#[test]
+fn simulated_loss_probability_matches_birth_death_model() {
+    // 0.5% per 1000 h loses ~23% of drives over six years — high enough
+    // for measurable system-level loss with many small groups, low
+    // enough that the stationary-population assumption roughly holds.
+    let cfg = SystemConfig {
+        total_user_bytes: PIB,
+        group_user_bytes: GIB,
+        recovery_bandwidth: 16 * MIB,
+        ..analytic_friendly(0.005)
+    };
+    let lambda = 0.005 / (1000.0 * SECONDS_PER_HOUR);
+    // Repair window: detection (0) + rebuild of one 1 GiB block at
+    // 16 MiB/s = 64 s. Queueing adds a little; the model tolerates it.
+    let window = cfg.block_rebuild_secs();
+    let horizon = cfg.sim_duration().as_secs();
+    let predicted = analytic::system_loss_probability(
+        cfg.n_groups(),
+        cfg.scheme.n,
+        cfg.scheme.m,
+        lambda,
+        window,
+        horizon,
+    );
+    let trials = 200;
+    let measured = run_trials(&cfg, 4242, trials, TrialMode::UntilLoss)
+        .p_loss
+        .value();
+    // Independence and stationarity assumptions bias the model;
+    // agreement within a factor of ~2.5 already rules out unit mistakes
+    // (seconds vs hours would be 3600x off, λ vs 2λ clearly visible).
+    assert!(
+        predicted > 0.01 && predicted < 0.5,
+        "test regime drifted: predicted {predicted:.4}"
+    );
+    assert!(
+        measured > 0.4 * predicted && measured < 2.5 * predicted,
+        "measured {measured:.4} vs predicted {predicted:.4}"
+    );
+}
+
+#[test]
+fn mttdl_ordering_matches_analytic_ordering() {
+    // The analytic model and the simulator must rank schemes the same
+    // way on identical inputs.
+    let lambda = 0.1 / (1000.0 * SECONDS_PER_HOUR);
+    let window = 341.0;
+    let m12 = analytic::system_mttdl(1000, 2, 1, lambda, window);
+    let m13 = analytic::system_mttdl(1000, 3, 1, lambda, window);
+    let m45 = analytic::system_mttdl(1000, 5, 4, lambda, window);
+    assert!(m13 > m12, "3-way mirroring outlasts 2-way");
+    assert!(m12 > m45, "2-way mirroring outlasts 4/5 single parity");
+
+    let trials = 200;
+    let mk = |scheme| SystemConfig {
+        scheme,
+        hazard: Hazard::constant(0.1),
+        ..analytic_friendly(0.1)
+    };
+    let p12 = run_trials(&mk(Scheme::new(1, 2)), 5, trials, TrialMode::UntilLoss)
+        .p_loss
+        .value();
+    let p45 = run_trials(&mk(Scheme::new(4, 5)), 5, trials, TrialMode::UntilLoss)
+        .p_loss
+        .value();
+    assert!(
+        p45 >= p12,
+        "4/5 ({p45}) must lose at least as much as 1/2 ({p12}), matching analytic order"
+    );
+}
+
+#[test]
+fn vulnerability_window_matches_rebuild_arithmetic() {
+    // With zero detection latency, FARM and idle pipes, the mean window
+    // should approach block_bytes / bandwidth.
+    let cfg = analytic_friendly(0.01);
+    let summary = run_trials(&cfg, 77, 20, TrialMode::Full);
+    let ideal = cfg.block_rebuild_secs();
+    let measured = summary.mean_vulnerability.mean();
+    assert!(
+        measured >= ideal * 0.99,
+        "window {measured} below physical minimum {ideal}"
+    );
+    assert!(
+        measured <= ideal * 1.5,
+        "window {measured} should be near {ideal} when pipes are idle"
+    );
+}
+
+#[test]
+fn flattened_hazard_preserves_failure_volume_but_not_infancy() {
+    // The bathtub-vs-flat ablation baseline: equal six-year failure
+    // probability, so equal mean failure counts in simulation.
+    let bathtub = SystemConfig {
+        ..analytic_friendly(0.0)
+    };
+    let bathtub = SystemConfig {
+        hazard: Hazard::table1(),
+        ..bathtub
+    };
+    let flat = SystemConfig {
+        hazard: Hazard::table1().flattened(),
+        ..analytic_friendly(0.0)
+    };
+    let trials = 10;
+    let fb = run_trials(&bathtub, 31, trials, TrialMode::Full)
+        .failures
+        .mean();
+    let ff = run_trials(&flat, 31, trials, TrialMode::Full)
+        .failures
+        .mean();
+    assert!(
+        (fb / ff - 1.0).abs() < 0.1,
+        "bathtub {fb} vs flattened {ff} failure counts"
+    );
+}

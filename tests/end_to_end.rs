@@ -1,0 +1,207 @@
+//! End-to-end integration: whole-system simulations exercising every
+//! crate together, asserting the paper's headline findings at reduced
+//! scale.
+
+use farm_core::prelude::*;
+use farm_disk::failure::Hazard;
+
+/// 0.25 PiB system — large enough for meaningful statistics, small
+/// enough for CI.
+fn quarter_pib() -> SystemConfig {
+    SystemConfig {
+        total_user_bytes: PIB / 4,
+        group_user_bytes: 5 * GIB,
+        ..SystemConfig::default()
+    }
+}
+
+#[test]
+fn farm_beats_single_spare_raid() {
+    // The paper's central claim (Figure 3): FARM dramatically lowers the
+    // probability of data loss relative to single-spare rebuild.
+    let trials = 40;
+    let farm = run_trials(&quarter_pib(), 2004, trials, TrialMode::UntilLoss);
+    let raid_cfg = SystemConfig {
+        recovery: RecoveryPolicy::SingleSpare,
+        ..quarter_pib()
+    };
+    let raid = run_trials(&raid_cfg, 2004, trials, TrialMode::UntilLoss);
+    assert!(
+        raid.p_loss.value() > farm.p_loss.value(),
+        "RAID {} must lose more than FARM {}",
+        raid.p_loss.value(),
+        farm.p_loss.value()
+    );
+    // And the gap is substantial, not marginal.
+    assert!(
+        raid.p_loss.value() >= farm.p_loss.value() + 0.05,
+        "expected a >5-point reliability gap, got RAID {} vs FARM {}",
+        raid.p_loss.value(),
+        farm.p_loss.value()
+    );
+}
+
+#[test]
+fn higher_fault_tolerance_means_less_loss() {
+    // Figure 3's scheme ordering: double-fault-tolerant schemes keep
+    // P(loss) near zero while single-fault schemes lose data.
+    let trials = 30;
+    let mk = |scheme| SystemConfig {
+        scheme,
+        group_user_bytes: 10 * GIB,
+        hazard: Hazard::table1().with_multiplier(2.0),
+        ..quarter_pib()
+    };
+    let p12 = run_trials(&mk(Scheme::new(1, 2)), 1, trials, TrialMode::UntilLoss)
+        .p_loss
+        .value();
+    let p13 = run_trials(&mk(Scheme::new(1, 3)), 1, trials, TrialMode::UntilLoss)
+        .p_loss
+        .value();
+    assert!(
+        p13 <= p12,
+        "3-way mirroring ({p13}) must not lose more than 2-way ({p12})"
+    );
+}
+
+#[test]
+fn detection_latency_hurts_reliability() {
+    // Figure 4: longer detection latency, higher P(loss) — strongest for
+    // small groups where the latency dominates the window.
+    let trials = 40;
+    let mk = |secs: f64| SystemConfig {
+        group_user_bytes: GIB,
+        detection_latency: Duration::from_secs(secs),
+        ..quarter_pib()
+    };
+    let fast = run_trials(&mk(0.0), 3, trials, TrialMode::UntilLoss)
+        .p_loss
+        .value();
+    let slow = run_trials(&mk(3600.0), 3, trials, TrialMode::UntilLoss)
+        .p_loss
+        .value();
+    assert!(
+        slow >= fast,
+        "1 h detection ({slow}) must not beat instant detection ({fast})"
+    );
+    assert!(
+        slow > 0.0,
+        "an hour of latency on 1 GiB groups must show losses"
+    );
+}
+
+#[test]
+fn recovery_bandwidth_matters_more_without_farm() {
+    // Figure 5: bandwidth helps dramatically without FARM; with FARM the
+    // windows are already small.
+    let trials = 30;
+    let mk = |recovery, bw: u64| SystemConfig {
+        recovery,
+        group_user_bytes: GIB,
+        recovery_bandwidth: bw * MIB,
+        ..quarter_pib()
+    };
+    let raid_slow = run_trials(
+        &mk(RecoveryPolicy::SingleSpare, 8),
+        9,
+        trials,
+        TrialMode::UntilLoss,
+    )
+    .p_loss
+    .value();
+    let raid_fast = run_trials(
+        &mk(RecoveryPolicy::SingleSpare, 40),
+        9,
+        trials,
+        TrialMode::UntilLoss,
+    )
+    .p_loss
+    .value();
+    assert!(
+        raid_fast < raid_slow,
+        "5x bandwidth must help RAID: 8 MiB/s {raid_slow} vs 40 MiB/s {raid_fast}"
+    );
+    let farm_slow = run_trials(
+        &mk(RecoveryPolicy::Farm, 8),
+        9,
+        trials,
+        TrialMode::UntilLoss,
+    )
+    .p_loss
+    .value();
+    assert!(
+        farm_slow <= raid_slow,
+        "FARM at 8 MiB/s ({farm_slow}) must not lose more than RAID at 8 MiB/s ({raid_slow})"
+    );
+}
+
+#[test]
+fn loss_probability_grows_with_scale() {
+    // Figure 8: P(loss) approximately linear in system size.
+    let trials = 40;
+    let mk = |total: u64| SystemConfig {
+        total_user_bytes: total,
+        group_user_bytes: 2 * GIB,
+        ..SystemConfig::default()
+    };
+    let small = run_trials(&mk(PIB / 16), 11, trials, TrialMode::UntilLoss)
+        .p_loss
+        .value();
+    let large = run_trials(&mk(PIB / 2), 11, trials, TrialMode::UntilLoss)
+        .p_loss
+        .value();
+    assert!(
+        large >= small,
+        "8x the system ({large}) must not lose less than the small one ({small})"
+    );
+}
+
+#[test]
+fn doubled_failure_rates_hurt() {
+    // Figure 8(b): doubling drive failure rates more than doubles loss
+    // (we assert the direction, not the factor, at this scale).
+    let trials = 40;
+    let mk = |mult: f64| SystemConfig {
+        group_user_bytes: GIB,
+        hazard: Hazard::table1().with_multiplier(mult),
+        ..quarter_pib()
+    };
+    let base = run_trials(&mk(1.0), 13, trials, TrialMode::UntilLoss)
+        .p_loss
+        .value();
+    let doubled = run_trials(&mk(2.0), 13, trials, TrialMode::UntilLoss)
+        .p_loss
+        .value();
+    assert!(
+        doubled >= base,
+        "2x failure rates ({doubled}) must not beat baseline ({base})"
+    );
+}
+
+#[test]
+fn six_year_failure_count_matches_bathtub_integral() {
+    let cfg = quarter_pib();
+    let summary = run_trials(&cfg, 17, 10, TrialMode::Full);
+    let expected = cfg
+        .hazard
+        .failure_probability(Duration::ZERO, Duration::from_years(6.0))
+        * cfg.n_disks() as f64;
+    let got = summary.failures.mean();
+    assert!(
+        (got / expected - 1.0).abs() < 0.15,
+        "mean failures {got} vs analytic {expected}"
+    );
+}
+
+#[test]
+fn redirection_is_rare() {
+    // §2.3: fewer than 8% of systems see even one redirection... at the
+    // paper's scale. At quarter scale with 5 GiB groups the exposure is
+    // smaller still; assert the weaker bound.
+    let summary = run_trials(&quarter_pib(), 19, 20, TrialMode::Full);
+    assert!(
+        summary.p_redirection.value() <= 0.25,
+        "redirection in {}% of systems",
+        100.0 * summary.p_redirection.value()
+    );
+}

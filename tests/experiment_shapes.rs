@@ -1,0 +1,190 @@
+//! Shape tests for the experiment harness: at reduced scale, each
+//! figure's qualitative finding must already be visible in the rows the
+//! harness produces (who wins, monotonicity, orderings) — the criteria
+//! EXPERIMENTS.md tracks at full scale.
+
+use farm_experiments::cli::Options;
+use farm_experiments::{fig3, fig4, fig5, fig6, fig7, fig8, redirection, tables};
+
+/// Enough scale/trials for direction, small enough for CI (~seconds per
+/// experiment).
+fn opts() -> Options {
+    Options {
+        trials: 12,
+        seed: 2004,
+        scale: 1.0 / 16.0,
+        threads: farm_core::montecarlo::default_threads(),
+        quick: true,
+    }
+}
+
+#[test]
+fn fig3_farm_never_loses_more_than_raid() {
+    let mut o = opts();
+    o.trials = 8;
+    let rows = fig3::run(&o);
+    assert_eq!(rows.len(), 12);
+    let mut farm_total = 0.0;
+    let mut raid_total = 0.0;
+    for r in &rows {
+        farm_total += r.with_farm.value();
+        raid_total += r.without_farm.value();
+    }
+    assert!(
+        raid_total >= farm_total,
+        "summed P(loss): RAID {raid_total} vs FARM {farm_total}"
+    );
+}
+
+#[test]
+fn fig4_latency_monotonicity_for_small_groups() {
+    let mut o = opts();
+    o.trials = 16;
+    let rows = fig4::run(&o);
+    // For the smallest group size, an hour of latency must not beat
+    // instant detection.
+    let p = |gib: u64, min: f64| {
+        rows.iter()
+            .find(|r| r.group_gib == gib && r.latency_minutes == min)
+            .unwrap()
+            .p_loss
+            .value()
+    };
+    assert!(
+        p(1, 60.0) >= p(1, 0.0),
+        "1 GiB: 60 min {} vs 0 min {}",
+        p(1, 60.0),
+        p(1, 0.0)
+    );
+    // Small groups are more latency-sensitive than large ones (§3.3):
+    // compare the *ratio-normalized* sensitivity via raw deltas.
+    let small_delta = p(1, 60.0) - p(1, 0.0);
+    let large_delta = p(100, 60.0) - p(100, 0.0);
+    assert!(
+        small_delta >= large_delta - 0.1,
+        "1 GiB delta {small_delta} vs 100 GiB delta {large_delta}"
+    );
+}
+
+#[test]
+fn fig5_bandwidth_helps_raid_more() {
+    let mut o = opts();
+    o.trials = 16;
+    let rows = fig5::run(&o);
+    let p = |farm: bool, gib: u64, bw: u64| {
+        rows.iter()
+            .find(|r| r.with_farm == farm && r.group_gib == gib && r.bandwidth_mib == bw)
+            .unwrap()
+            .p_loss
+            .value()
+    };
+    // Without FARM, 8 -> 40 MiB/s must help.
+    assert!(p(false, 1, 40) <= p(false, 1, 8));
+    // FARM at any bandwidth beats (or ties) RAID at the same bandwidth.
+    for &bw in &fig5::BANDWIDTHS_MIB {
+        assert!(
+            p(true, 1, bw) <= p(false, 1, bw),
+            "bw {bw}: FARM {} vs RAID {}",
+            p(true, 1, bw),
+            p(false, 1, bw)
+        );
+    }
+}
+
+#[test]
+fn fig6_utilization_sigma_orders_by_group_size() {
+    let rows = fig6::run(&opts());
+    let sigma = |gib: u64| {
+        rows.iter()
+            .find(|r| r.group_gib == gib)
+            .unwrap()
+            .final_state
+            .std_dev()
+    };
+    assert!(
+        sigma(1) < sigma(50),
+        "σ(1 GiB) {} must be below σ(50 GiB) {}",
+        sigma(1),
+        sigma(50)
+    );
+}
+
+#[test]
+fn fig7_replacement_timing_is_a_minor_effect() {
+    let mut o = opts();
+    o.trials = 10;
+    let rows = fig7::run(&o);
+    assert_eq!(rows.len(), 4);
+    // The cohort effect is invisible at these batch sizes: the spread of
+    // P(loss) across thresholds stays within the CI noise band.
+    let values: Vec<f64> = rows.iter().map(|r| r.p_loss.value()).collect();
+    let max = values.iter().cloned().fold(0.0, f64::max);
+    let min = values.iter().cloned().fold(1.0, f64::min);
+    let widest_ci = rows
+        .iter()
+        .map(|r| r.p_loss.ci95_half_width())
+        .fold(0.0, f64::max);
+    assert!(
+        max - min <= 2.0 * widest_ci + 0.15,
+        "replacement timing moved P(loss) by {} (CI half-width {widest_ci})",
+        max - min
+    );
+}
+
+#[test]
+fn fig8_loss_grows_with_scale_for_weak_schemes() {
+    let mut o = opts();
+    o.trials = 12;
+    o.scale = 1.0 / 8.0;
+    let rows = fig8::run(&o);
+    let p = |pib: f64, scheme: farm_erasure::Scheme, mult: f64| {
+        rows.iter()
+            .find(|r| r.capacity_pib == pib && r.scheme == scheme && r.hazard_multiplier == mult)
+            .unwrap()
+            .p_loss
+            .value()
+    };
+    let s12 = farm_erasure::Scheme::new(1, 2);
+    assert!(
+        p(5.0, s12, 1.0) >= p(0.1, s12, 1.0),
+        "1/2 at 5 PiB ({}) vs 0.1 PiB ({})",
+        p(5.0, s12, 1.0),
+        p(0.1, s12, 1.0)
+    );
+    // Doubling failure rates must not reduce loss at the largest scale.
+    assert!(p(5.0, s12, 2.0) >= p(5.0, s12, 1.0));
+    // Double-fault-tolerant schemes stay near zero everywhere.
+    let s8 = farm_erasure::Scheme::new(8, 10);
+    for &pib in &fig8::CAPACITIES_PIB {
+        assert!(
+            p(pib, s8, 1.0) <= 0.25,
+            "8/10 at {pib} PiB lost {}",
+            p(pib, s8, 1.0)
+        );
+    }
+}
+
+#[test]
+fn redirection_stays_below_the_papers_bound() {
+    let mut o = opts();
+    o.trials = 15;
+    let rows = redirection::run(&o);
+    for r in &rows {
+        assert!(
+            r.p_redirection.value() <= 0.30,
+            "group {} GiB: redirection in {}% of systems",
+            r.group_gib,
+            100.0 * r.p_redirection.value()
+        );
+    }
+}
+
+#[test]
+fn tables_render() {
+    // Smoke: the table binaries' code paths produce sane rows.
+    let rows = tables::table1_rows();
+    assert_eq!(rows.len(), 4);
+    let cfg = farm_core::SystemConfig::default();
+    let t2 = tables::table2_rows(&cfg);
+    assert!(t2.len() >= 8);
+}

@@ -1,0 +1,231 @@
+//! Property-based tests on the core data structures and invariants,
+//! spanning crates.
+
+use farm_des::rng::SeedFactory;
+use farm_des::stats::Running;
+use farm_des::time::Duration;
+use farm_des::{EventQueue, SimTime};
+use farm_disk::failure::Hazard;
+use farm_erasure::{evenodd::EvenOdd, gf256, Scheme};
+use farm_placement::{ClusterMap, Rush};
+use proptest::prelude::*;
+
+proptest! {
+    // ----- GF(256) field laws ------------------------------------------
+
+    #[test]
+    fn gf256_mul_commutes(a: u8, b: u8) {
+        prop_assert_eq!(gf256::mul(a, b), gf256::mul(b, a));
+    }
+
+    #[test]
+    fn gf256_mul_associates(a: u8, b: u8, c: u8) {
+        prop_assert_eq!(
+            gf256::mul(gf256::mul(a, b), c),
+            gf256::mul(a, gf256::mul(b, c))
+        );
+    }
+
+    #[test]
+    fn gf256_distributes(a: u8, b: u8, c: u8) {
+        prop_assert_eq!(
+            gf256::mul(a, gf256::add(b, c)),
+            gf256::add(gf256::mul(a, b), gf256::mul(a, c))
+        );
+    }
+
+    #[test]
+    fn gf256_division_inverts_multiplication(a: u8, b in 1u8..) {
+        prop_assert_eq!(gf256::div(gf256::mul(a, b), b), a);
+    }
+
+    // ----- Reed–Solomon round trip --------------------------------------
+
+    #[test]
+    fn rs_roundtrip_arbitrary_data_and_losses(
+        seed: u64,
+        len in 1usize..200,
+        scheme_idx in 0usize..6,
+        loss_seed: u64,
+    ) {
+        let scheme = Scheme::figure3_schemes()[scheme_idx];
+        let m = scheme.m as usize;
+        let n = scheme.n as usize;
+        let codec = scheme.codec();
+        let mut rng = SeedFactory::new(seed).stream(0);
+        let data: Vec<Vec<u8>> = (0..m)
+            .map(|_| (0..len).map(|_| rng.bits() as u8).collect())
+            .collect();
+        let refs: Vec<&[u8]> = data.iter().map(|d| d.as_slice()).collect();
+        let parity = codec.encode(&refs);
+        let all: Vec<Vec<u8>> = data.iter().cloned().chain(parity).collect();
+
+        // Lose a random tolerable subset.
+        let k = scheme.fault_tolerance() as usize;
+        let mut loss_rng = SeedFactory::new(loss_seed).stream(1);
+        let lost = loss_rng.sample_distinct(n as u64, k);
+        let mut working: Vec<Option<Vec<u8>>> = all.iter().cloned().map(Some).collect();
+        for &l in &lost {
+            working[l as usize] = None;
+        }
+        prop_assert!(codec.reconstruct(&mut working));
+        for (w, a) in working.iter().zip(&all) {
+            prop_assert_eq!(w.as_ref().unwrap(), a);
+        }
+    }
+
+    #[test]
+    fn evenodd_double_erasure_roundtrip(
+        m in 1usize..9,
+        chunks in 1usize..4,
+        seed: u64,
+        a_pick: u64,
+        b_pick: u64,
+    ) {
+        let code = EvenOdd::new(m);
+        let col_len = code.rows() * chunks * 3;
+        let mut rng = SeedFactory::new(seed).stream(9);
+        let data: Vec<Vec<u8>> = (0..m)
+            .map(|_| (0..col_len).map(|_| rng.bits() as u8).collect())
+            .collect();
+        let (p, q) = code.encode(&data);
+        let all: Vec<Vec<u8>> = data.iter().cloned().chain([p, q]).collect();
+        let total = m + 2;
+        let a = (a_pick % total as u64) as usize;
+        let b = (b_pick % total as u64) as usize;
+        let mut cols: Vec<Option<Vec<u8>>> = all.iter().cloned().map(Some).collect();
+        cols[a] = None;
+        cols[b] = None;
+        prop_assert!(code.reconstruct(&mut cols));
+        for (i, c) in all.iter().enumerate() {
+            prop_assert_eq!(cols[i].as_ref().unwrap(), c);
+        }
+    }
+
+    // ----- Placement ----------------------------------------------------
+
+    #[test]
+    fn rush_candidates_distinct_and_deterministic(
+        seed: u64,
+        group: u64,
+        disks in 4u32..200,
+        take in 1usize..8,
+    ) {
+        let map = ClusterMap::uniform(disks);
+        let rush = Rush::new(seed);
+        let take = take.min(disks as usize);
+        let a = rush.place(&map, group, take);
+        let b = rush.place(&map, group, take);
+        prop_assert_eq!(&a, &b);
+        let set: std::collections::HashSet<_> = a.iter().collect();
+        prop_assert_eq!(set.len(), take);
+    }
+
+    #[test]
+    fn rush_growth_only_moves_to_new_cluster_or_stays(
+        seed: u64,
+        groups in 1u64..200,
+        old in 8u32..80,
+        added in 1u32..40,
+    ) {
+        let before = ClusterMap::uniform(old);
+        let mut after = before.clone();
+        after.add_cluster(added, 1.0);
+        let rush = Rush::new(seed);
+        let mut moved_within_old = 0u32;
+        let mut total = 0u32;
+        for g in 0..groups {
+            let a = rush.place(&before, g, 2);
+            let b = rush.place(&after, g, 2);
+            for (x, y) in a.iter().zip(&b) {
+                total += 1;
+                if x != y && y.0 < old {
+                    moved_within_old += 1;
+                }
+            }
+        }
+        // Collision-chain shifts may move a candidate between old disks,
+        // but only rarely; the bulk of churn must target the new cluster.
+        prop_assert!(
+            moved_within_old as f64 <= 0.05 * total as f64 + 2.0,
+            "{} of {} placements moved between old disks",
+            moved_within_old,
+            total
+        );
+    }
+
+    // ----- Event queue ---------------------------------------------------
+
+    #[test]
+    fn event_queue_pops_sorted(times in prop::collection::vec(0.0f64..1e6, 1..200)) {
+        let mut q = EventQueue::new();
+        for (i, &t) in times.iter().enumerate() {
+            q.schedule(SimTime::from_secs(t), i);
+        }
+        let mut last = SimTime::ZERO;
+        let mut count = 0;
+        while let Some((t, _)) = q.pop() {
+            prop_assert!(t >= last);
+            last = t;
+            count += 1;
+        }
+        prop_assert_eq!(count, times.len());
+    }
+
+    // ----- Hazard sampling ------------------------------------------------
+
+    #[test]
+    fn hazard_ttf_is_positive_and_monotone_in_hazard(
+        seed: u64,
+        age_months in 0.0f64..60.0,
+    ) {
+        let h = Hazard::table1();
+        let mut rng = SeedFactory::new(seed).stream(0);
+        let ttf = h.sample_ttf(Duration::from_months(age_months), &mut rng);
+        prop_assert!(ttf.as_secs() > 0.0);
+
+        // Same uniform draw, doubled hazard => shorter or equal lifetime.
+        let h2 = Hazard::table1().with_multiplier(2.0);
+        let mut rng_a = SeedFactory::new(seed).stream(1);
+        let mut rng_b = SeedFactory::new(seed).stream(1);
+        let t1 = h.sample_ttf(Duration::ZERO, &mut rng_a);
+        let t2 = h2.sample_ttf(Duration::ZERO, &mut rng_b);
+        prop_assert!(t2 <= t1 + Duration::from_secs(1e-6));
+    }
+
+    // ----- Statistics ------------------------------------------------------
+
+    #[test]
+    fn running_merge_is_associative_enough(
+        xs in prop::collection::vec(-1e6f64..1e6, 0..100),
+        split in 0usize..100,
+    ) {
+        let split = split.min(xs.len());
+        let mut whole = Running::new();
+        whole.extend(xs.iter().copied());
+        let mut left = Running::new();
+        left.extend(xs[..split].iter().copied());
+        let mut right = Running::new();
+        right.extend(xs[split..].iter().copied());
+        left.merge(&right);
+        prop_assert_eq!(left.count(), whole.count());
+        if whole.count() > 0 {
+            prop_assert!((left.mean() - whole.mean()).abs() < 1e-6 * (1.0 + whole.mean().abs()));
+        }
+    }
+
+    // ----- Scheme arithmetic ------------------------------------------------
+
+    #[test]
+    fn scheme_sizes_are_consistent(m in 1u32..16, extra in 1u32..8, group_mult in 1u64..64) {
+        let scheme = Scheme::new(m, m + extra);
+        let group = group_mult * m as u64 * (1 << 20);
+        prop_assert_eq!(scheme.block_bytes(group) * m as u64, group);
+        prop_assert_eq!(
+            scheme.stored_bytes(group),
+            scheme.block_bytes(group) * (m + extra) as u64
+        );
+        let eff = scheme.storage_efficiency();
+        prop_assert!(eff > 0.0 && eff < 1.0);
+    }
+}
