@@ -2,7 +2,7 @@
 //!
 //! The paper runs 100 trials per configuration (Figure 3). Each trial is
 //! a pure function of `(config, master_seed, trial_index)`, so trials
-//! fan out across threads with crossbeam and the aggregate is identical
+//! fan out across scoped threads and the aggregate is identical
 //! regardless of thread count.
 
 use crate::config::SystemConfig;
@@ -42,8 +42,16 @@ pub fn run_trials(cfg: &SystemConfig, master_seed: u64, trials: u64, mode: Trial
 
 /// Degree of parallelism: physical parallelism, bounded so that large
 /// per-trial state (a 2 PiB system with 1 GiB groups holds a few
-/// million block records) does not exhaust memory.
+/// million block records) does not exhaust memory. A `FARM_THREADS`
+/// environment variable overrides the default — used by the benchmark
+/// harness to compare single-thread and saturated runs.
 pub fn default_threads() -> usize {
+    if let Ok(v) = std::env::var("FARM_THREADS") {
+        match v.trim().parse::<usize>() {
+            Ok(n) if n >= 1 => return n,
+            _ => eprintln!("ignoring invalid FARM_THREADS={v:?} (want an integer >= 1)"),
+        }
+    }
     std::thread::available_parallelism()
         .map(|n| n.get())
         .unwrap_or(1)
@@ -68,11 +76,11 @@ pub fn run_trials_with_threads(
     }
     let next = AtomicU64::new(0);
     let mut partials: Vec<McSummary> = Vec::new();
-    crossbeam::thread::scope(|scope| {
+    std::thread::scope(|scope| {
         let mut handles = Vec::with_capacity(threads);
         for _ in 0..threads {
             let next = &next;
-            handles.push(scope.spawn(move |_| {
+            handles.push(scope.spawn(move || {
                 let mut local = McSummary::new();
                 loop {
                     let t = next.fetch_add(1, Ordering::Relaxed);
@@ -87,8 +95,7 @@ pub fn run_trials_with_threads(
         for h in handles {
             partials.push(h.join().expect("trial thread panicked"));
         }
-    })
-    .expect("crossbeam scope");
+    });
     let mut summary = McSummary::new();
     for p in &partials {
         summary.merge(p);

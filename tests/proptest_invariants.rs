@@ -1,58 +1,88 @@
 //! Property-based tests on the core data structures and invariants,
 //! spanning crates.
+//!
+//! The build environment is offline, so instead of the `proptest` crate
+//! these drive each property over many deterministically generated cases
+//! from the workspace's own [`SeedFactory`]/[`RngStream`]. Every case is
+//! reproducible from the constants below; on failure the assert message
+//! carries the case index so it can be replayed in isolation.
 
-use farm_des::rng::SeedFactory;
+use farm_des::rng::{RngStream, SeedFactory};
 use farm_des::stats::Running;
 use farm_des::time::Duration;
 use farm_des::{EventQueue, SimTime};
 use farm_disk::failure::Hazard;
 use farm_erasure::{evenodd::EvenOdd, gf256, Scheme};
 use farm_placement::{ClusterMap, Rush};
-use proptest::prelude::*;
 
-proptest! {
-    // ----- GF(256) field laws ------------------------------------------
+/// Master seed for every generated case in this file.
+const MASTER: u64 = 0xFA12_31AB_CD00_7E57;
 
-    #[test]
-    fn gf256_mul_commutes(a: u8, b: u8) {
-        prop_assert_eq!(gf256::mul(a, b), gf256::mul(b, a));
+/// Per-property case stream: property `label`, case `i`.
+fn cases(label: u64, count: u64) -> impl Iterator<Item = (u64, RngStream)> {
+    let factory = SeedFactory::new(MASTER);
+    (0..count).map(move |i| (i, factory.stream2(label, i)))
+}
+
+// ----- GF(256) field laws ------------------------------------------------
+
+#[test]
+fn gf256_mul_commutes() {
+    for a in 0..=255u8 {
+        for b in 0..=255u8 {
+            assert_eq!(gf256::mul(a, b), gf256::mul(b, a), "a={a} b={b}");
+        }
     }
+}
 
-    #[test]
-    fn gf256_mul_associates(a: u8, b: u8, c: u8) {
-        prop_assert_eq!(
+#[test]
+fn gf256_mul_associates() {
+    for (i, mut rng) in cases(1, 4000) {
+        let a = rng.bits() as u8;
+        let b = rng.bits() as u8;
+        let c = rng.bits() as u8;
+        assert_eq!(
             gf256::mul(gf256::mul(a, b), c),
-            gf256::mul(a, gf256::mul(b, c))
+            gf256::mul(a, gf256::mul(b, c)),
+            "case {i}: a={a} b={b} c={c}"
         );
     }
+}
 
-    #[test]
-    fn gf256_distributes(a: u8, b: u8, c: u8) {
-        prop_assert_eq!(
+#[test]
+fn gf256_distributes() {
+    for (i, mut rng) in cases(2, 4000) {
+        let a = rng.bits() as u8;
+        let b = rng.bits() as u8;
+        let c = rng.bits() as u8;
+        assert_eq!(
             gf256::mul(a, gf256::add(b, c)),
-            gf256::add(gf256::mul(a, b), gf256::mul(a, c))
+            gf256::add(gf256::mul(a, b), gf256::mul(a, c)),
+            "case {i}: a={a} b={b} c={c}"
         );
     }
+}
 
-    #[test]
-    fn gf256_division_inverts_multiplication(a: u8, b in 1u8..) {
-        prop_assert_eq!(gf256::div(gf256::mul(a, b), b), a);
+#[test]
+fn gf256_division_inverts_multiplication() {
+    for a in 0..=255u8 {
+        for b in 1..=255u8 {
+            assert_eq!(gf256::div(gf256::mul(a, b), b), a, "a={a} b={b}");
+        }
     }
+}
 
-    // ----- Reed–Solomon round trip --------------------------------------
+// ----- Reed–Solomon round trip -------------------------------------------
 
-    #[test]
-    fn rs_roundtrip_arbitrary_data_and_losses(
-        seed: u64,
-        len in 1usize..200,
-        scheme_idx in 0usize..6,
-        loss_seed: u64,
-    ) {
+#[test]
+fn rs_roundtrip_arbitrary_data_and_losses() {
+    for (i, mut rng) in cases(3, 60) {
+        let scheme_idx = rng.below(6) as usize;
+        let len = 1 + rng.below(199) as usize;
         let scheme = Scheme::figure3_schemes()[scheme_idx];
         let m = scheme.m as usize;
         let n = scheme.n as usize;
         let codec = scheme.codec();
-        let mut rng = SeedFactory::new(seed).stream(0);
         let data: Vec<Vec<u8>> = (0..m)
             .map(|_| (0..len).map(|_| rng.bits() as u8).collect())
             .collect();
@@ -62,72 +92,75 @@ proptest! {
 
         // Lose a random tolerable subset.
         let k = scheme.fault_tolerance() as usize;
-        let mut loss_rng = SeedFactory::new(loss_seed).stream(1);
-        let lost = loss_rng.sample_distinct(n as u64, k);
+        let lost = rng.sample_distinct(n as u64, k);
         let mut working: Vec<Option<Vec<u8>>> = all.iter().cloned().map(Some).collect();
         for &l in &lost {
             working[l as usize] = None;
         }
-        prop_assert!(codec.reconstruct(&mut working));
-        for (w, a) in working.iter().zip(&all) {
-            prop_assert_eq!(w.as_ref().unwrap(), a);
+        assert!(
+            codec.reconstruct(&mut working),
+            "case {i}: scheme {scheme:?} failed to reconstruct losses {lost:?}"
+        );
+        for (col, (w, a)) in working.iter().zip(&all).enumerate() {
+            assert_eq!(w.as_ref().unwrap(), a, "case {i}: column {col} differs");
         }
     }
+}
 
-    #[test]
-    fn evenodd_double_erasure_roundtrip(
-        m in 1usize..9,
-        chunks in 1usize..4,
-        seed: u64,
-        a_pick: u64,
-        b_pick: u64,
-    ) {
+#[test]
+fn evenodd_double_erasure_roundtrip() {
+    for (i, mut rng) in cases(4, 60) {
+        let m = 1 + rng.below(8) as usize;
+        let chunks = 1 + rng.below(3) as usize;
         let code = EvenOdd::new(m);
         let col_len = code.rows() * chunks * 3;
-        let mut rng = SeedFactory::new(seed).stream(9);
         let data: Vec<Vec<u8>> = (0..m)
             .map(|_| (0..col_len).map(|_| rng.bits() as u8).collect())
             .collect();
         let (p, q) = code.encode(&data);
         let all: Vec<Vec<u8>> = data.iter().cloned().chain([p, q]).collect();
         let total = m + 2;
-        let a = (a_pick % total as u64) as usize;
-        let b = (b_pick % total as u64) as usize;
+        let a = rng.below(total as u64) as usize;
+        let b = rng.below(total as u64) as usize;
         let mut cols: Vec<Option<Vec<u8>>> = all.iter().cloned().map(Some).collect();
         cols[a] = None;
         cols[b] = None;
-        prop_assert!(code.reconstruct(&mut cols));
-        for (i, c) in all.iter().enumerate() {
-            prop_assert_eq!(cols[i].as_ref().unwrap(), c);
+        assert!(
+            code.reconstruct(&mut cols),
+            "case {i}: EvenOdd(m={m}) failed on erasures ({a}, {b})"
+        );
+        for (col, c) in all.iter().enumerate() {
+            assert_eq!(cols[col].as_ref().unwrap(), c, "case {i}: column {col}");
         }
     }
+}
 
-    // ----- Placement ----------------------------------------------------
+// ----- Placement ---------------------------------------------------------
 
-    #[test]
-    fn rush_candidates_distinct_and_deterministic(
-        seed: u64,
-        group: u64,
-        disks in 4u32..200,
-        take in 1usize..8,
-    ) {
+#[test]
+fn rush_candidates_distinct_and_deterministic() {
+    for (i, mut rng) in cases(5, 120) {
+        let seed = rng.bits();
+        let group = rng.bits();
+        let disks = 4 + rng.below(196) as u32;
+        let take = (1 + rng.below(7) as usize).min(disks as usize);
         let map = ClusterMap::uniform(disks);
         let rush = Rush::new(seed);
-        let take = take.min(disks as usize);
         let a = rush.place(&map, group, take);
         let b = rush.place(&map, group, take);
-        prop_assert_eq!(&a, &b);
+        assert_eq!(a, b, "case {i}: placement not deterministic");
         let set: std::collections::HashSet<_> = a.iter().collect();
-        prop_assert_eq!(set.len(), take);
+        assert_eq!(set.len(), take, "case {i}: duplicate candidates in {a:?}");
     }
+}
 
-    #[test]
-    fn rush_growth_only_moves_to_new_cluster_or_stays(
-        seed: u64,
-        groups in 1u64..200,
-        old in 8u32..80,
-        added in 1u32..40,
-    ) {
+#[test]
+fn rush_growth_only_moves_to_new_cluster_or_stays() {
+    for (i, mut rng) in cases(6, 25) {
+        let seed = rng.bits();
+        let groups = 1 + rng.below(199);
+        let old = 8 + rng.below(72) as u32;
+        let added = 1 + rng.below(39) as u32;
         let before = ClusterMap::uniform(old);
         let mut after = before.clone();
         after.add_cluster(added, 1.0);
@@ -146,43 +179,46 @@ proptest! {
         }
         // Collision-chain shifts may move a candidate between old disks,
         // but only rarely; the bulk of churn must target the new cluster.
-        prop_assert!(
+        assert!(
             moved_within_old as f64 <= 0.05 * total as f64 + 2.0,
-            "{} of {} placements moved between old disks",
-            moved_within_old,
-            total
+            "case {i}: {moved_within_old} of {total} placements moved between old disks"
         );
     }
+}
 
-    // ----- Event queue ---------------------------------------------------
+// ----- Event queue -------------------------------------------------------
 
-    #[test]
-    fn event_queue_pops_sorted(times in prop::collection::vec(0.0f64..1e6, 1..200)) {
+#[test]
+fn event_queue_pops_sorted() {
+    for (i, mut rng) in cases(7, 50) {
+        let n = 1 + rng.below(199) as usize;
+        let times: Vec<f64> = (0..n).map(|_| rng.uniform() * 1e6).collect();
         let mut q = EventQueue::new();
-        for (i, &t) in times.iter().enumerate() {
-            q.schedule(SimTime::from_secs(t), i);
+        for (j, &t) in times.iter().enumerate() {
+            q.schedule(SimTime::from_secs(t), j);
         }
         let mut last = SimTime::ZERO;
         let mut count = 0;
         while let Some((t, _)) = q.pop() {
-            prop_assert!(t >= last);
+            assert!(t >= last, "case {i}: pop went backwards");
             last = t;
             count += 1;
         }
-        prop_assert_eq!(count, times.len());
+        assert_eq!(count, times.len(), "case {i}: lost events");
     }
+}
 
-    // ----- Hazard sampling ------------------------------------------------
+// ----- Hazard sampling ---------------------------------------------------
 
-    #[test]
-    fn hazard_ttf_is_positive_and_monotone_in_hazard(
-        seed: u64,
-        age_months in 0.0f64..60.0,
-    ) {
+#[test]
+fn hazard_ttf_is_positive_and_monotone_in_hazard() {
+    for (i, mut rng) in cases(8, 200) {
+        let seed = rng.bits();
+        let age_months = rng.uniform() * 60.0;
         let h = Hazard::table1();
-        let mut rng = SeedFactory::new(seed).stream(0);
-        let ttf = h.sample_ttf(Duration::from_months(age_months), &mut rng);
-        prop_assert!(ttf.as_secs() > 0.0);
+        let mut draw = SeedFactory::new(seed).stream(0);
+        let ttf = h.sample_ttf(Duration::from_months(age_months), &mut draw);
+        assert!(ttf.as_secs() > 0.0, "case {i}: non-positive TTF");
 
         // Same uniform draw, doubled hazard => shorter or equal lifetime.
         let h2 = Hazard::table1().with_multiplier(2.0);
@@ -190,17 +226,21 @@ proptest! {
         let mut rng_b = SeedFactory::new(seed).stream(1);
         let t1 = h.sample_ttf(Duration::ZERO, &mut rng_a);
         let t2 = h2.sample_ttf(Duration::ZERO, &mut rng_b);
-        prop_assert!(t2 <= t1 + Duration::from_secs(1e-6));
+        assert!(
+            t2 <= t1 + Duration::from_secs(1e-6),
+            "case {i}: doubled hazard lengthened lifetime"
+        );
     }
+}
 
-    // ----- Statistics ------------------------------------------------------
+// ----- Statistics --------------------------------------------------------
 
-    #[test]
-    fn running_merge_is_associative_enough(
-        xs in prop::collection::vec(-1e6f64..1e6, 0..100),
-        split in 0usize..100,
-    ) {
-        let split = split.min(xs.len());
+#[test]
+fn running_merge_is_associative_enough() {
+    for (i, mut rng) in cases(9, 200) {
+        let n = rng.below(100) as usize;
+        let xs: Vec<f64> = (0..n).map(|_| (rng.uniform() - 0.5) * 2e6).collect();
+        let split = if n == 0 { 0 } else { rng.below(n as u64 + 1) as usize };
         let mut whole = Running::new();
         whole.extend(xs.iter().copied());
         let mut left = Running::new();
@@ -208,24 +248,35 @@ proptest! {
         let mut right = Running::new();
         right.extend(xs[split..].iter().copied());
         left.merge(&right);
-        prop_assert_eq!(left.count(), whole.count());
+        assert_eq!(left.count(), whole.count(), "case {i}");
         if whole.count() > 0 {
-            prop_assert!((left.mean() - whole.mean()).abs() < 1e-6 * (1.0 + whole.mean().abs()));
+            assert!(
+                (left.mean() - whole.mean()).abs() < 1e-6 * (1.0 + whole.mean().abs()),
+                "case {i}: merged mean {} vs whole {}",
+                left.mean(),
+                whole.mean()
+            );
         }
     }
+}
 
-    // ----- Scheme arithmetic ------------------------------------------------
+// ----- Scheme arithmetic -------------------------------------------------
 
-    #[test]
-    fn scheme_sizes_are_consistent(m in 1u32..16, extra in 1u32..8, group_mult in 1u64..64) {
+#[test]
+fn scheme_sizes_are_consistent() {
+    for (i, mut rng) in cases(10, 300) {
+        let m = 1 + rng.below(15) as u32;
+        let extra = 1 + rng.below(7) as u32;
+        let group_mult = 1 + rng.below(63);
         let scheme = Scheme::new(m, m + extra);
         let group = group_mult * m as u64 * (1 << 20);
-        prop_assert_eq!(scheme.block_bytes(group) * m as u64, group);
-        prop_assert_eq!(
+        assert_eq!(scheme.block_bytes(group) * m as u64, group, "case {i}");
+        assert_eq!(
             scheme.stored_bytes(group),
-            scheme.block_bytes(group) * (m + extra) as u64
+            scheme.block_bytes(group) * (m + extra) as u64,
+            "case {i}"
         );
         let eff = scheme.storage_efficiency();
-        prop_assert!(eff > 0.0 && eff < 1.0);
+        assert!(eff > 0.0 && eff < 1.0, "case {i}: efficiency {eff}");
     }
 }

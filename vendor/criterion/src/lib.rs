@@ -1,0 +1,278 @@
+//! Offline stand-in for `criterion`.
+//!
+//! Implements the API surface the workspace's benches use — benchmark
+//! groups, `bench_with_input`, `Bencher::iter`, `Throughput`,
+//! `criterion_group!`/`criterion_main!` — over a simple wall-clock
+//! harness: calibrate an iteration count to fill the measurement window,
+//! take a handful of samples, report the median ns/iter (plus derived
+//! element/byte throughput). No statistics beyond that, no HTML reports,
+//! no dependencies.
+//!
+//! Set `FARM_BENCH_MS` to change the per-benchmark measurement window
+//! (milliseconds, default 300).
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Throughput annotation: turns ns/iter into elements/sec or bytes/sec.
+#[derive(Clone, Copy, Debug)]
+pub enum Throughput {
+    Elements(u64),
+    Bytes(u64),
+}
+
+/// A benchmark label: `group/function/parameter`.
+pub struct BenchmarkId {
+    function: Option<String>,
+    parameter: Option<String>,
+}
+
+impl BenchmarkId {
+    pub fn new<S: fmt::Display, P: fmt::Display>(function: S, parameter: P) -> Self {
+        BenchmarkId {
+            function: Some(function.to_string()),
+            parameter: Some(parameter.to_string()),
+        }
+    }
+
+    pub fn from_parameter<P: fmt::Display>(parameter: P) -> Self {
+        BenchmarkId {
+            function: None,
+            parameter: Some(parameter.to_string()),
+        }
+    }
+}
+
+impl fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match (&self.function, &self.parameter) {
+            (Some(func), Some(p)) => write!(f, "{func}/{p}"),
+            (Some(func), None) => write!(f, "{func}"),
+            (None, Some(p)) => write!(f, "{p}"),
+            (None, None) => Ok(()),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId {
+            function: Some(s.to_string()),
+            parameter: None,
+        }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        BenchmarkId {
+            function: Some(s),
+            parameter: None,
+        }
+    }
+}
+
+/// Runs closures and records how long one iteration takes.
+pub struct Bencher {
+    measure_for: Duration,
+    median_ns: f64,
+}
+
+impl Bencher {
+    /// Measure `f`: calibrate an iteration count that fills roughly a
+    /// fifth of the window, then take samples until the window closes.
+    pub fn iter<R, F: FnMut() -> R>(&mut self, mut f: F) {
+        // One untimed warm-up call; also protects against zero-cost loops
+        // being optimized away via black_box.
+        black_box(f());
+
+        // Calibrate: how many iterations fit in ~1/16 of the window?
+        let probe_start = Instant::now();
+        black_box(f());
+        let once = probe_start.elapsed().max(Duration::from_nanos(1));
+        let slot = self.measure_for.max(Duration::from_millis(1)) / 16;
+        let batch = (slot.as_nanos() / once.as_nanos()).clamp(1, 1 << 24) as u64;
+
+        let mut samples: Vec<f64> = Vec::new();
+        let deadline = Instant::now() + self.measure_for;
+        loop {
+            let start = Instant::now();
+            for _ in 0..batch {
+                black_box(f());
+            }
+            let elapsed = start.elapsed();
+            samples.push(elapsed.as_nanos() as f64 / batch as f64);
+            if Instant::now() >= deadline {
+                break;
+            }
+        }
+        samples.sort_by(f64::total_cmp);
+        self.median_ns = samples[samples.len() / 2];
+    }
+}
+
+fn measure_window() -> Duration {
+    let ms = std::env::var("FARM_BENCH_MS")
+        .ok()
+        .and_then(|v| v.parse::<u64>().ok())
+        .unwrap_or(300);
+    Duration::from_millis(ms)
+}
+
+fn report(label: &str, median_ns: f64, throughput: Option<Throughput>) {
+    let human = |ns: f64| -> String {
+        if ns >= 1e9 {
+            format!("{:.3} s", ns / 1e9)
+        } else if ns >= 1e6 {
+            format!("{:.3} ms", ns / 1e6)
+        } else if ns >= 1e3 {
+            format!("{:.3} µs", ns / 1e3)
+        } else {
+            format!("{ns:.1} ns")
+        }
+    };
+    let rate = match throughput {
+        Some(Throughput::Elements(n)) => {
+            format!("  {:.3} Melem/s", n as f64 / median_ns * 1e3)
+        }
+        Some(Throughput::Bytes(n)) => {
+            format!("  {:.3} MiB/s", n as f64 / median_ns * 1e9 / (1 << 20) as f64)
+        }
+        None => String::new(),
+    };
+    println!("bench: {label:<60} {:>12}/iter{rate}", human(median_ns));
+}
+
+/// Top-level harness handle, compatible with criterion's `Criterion`.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            _parent: self,
+            name: name.into(),
+            throughput: None,
+        }
+    }
+
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        mut f: F,
+    ) -> &mut Self {
+        let id: BenchmarkId = id.into();
+        let mut b = Bencher {
+            measure_for: measure_window(),
+            median_ns: 0.0,
+        };
+        f(&mut b);
+        report(&id.to_string(), b.median_ns, None);
+        self
+    }
+}
+
+/// A named group of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    _parent: &'a mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Accepted for compatibility; the stub sizes samples by wall clock.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    pub fn measurement_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        mut f: F,
+    ) -> &mut Self {
+        let id: BenchmarkId = id.into();
+        let mut b = Bencher {
+            measure_for: measure_window(),
+            median_ns: 0.0,
+        };
+        f(&mut b);
+        report(&format!("{}/{id}", self.name), b.median_ns, self.throughput);
+        self
+    }
+
+    pub fn bench_with_input<I: ?Sized, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self {
+        let mut b = Bencher {
+            measure_for: measure_window(),
+            median_ns: 0.0,
+        };
+        f(&mut b, input);
+        report(&format!("{}/{id}", self.name), b.median_ns, self.throughput);
+        self
+    }
+
+    pub fn finish(self) {}
+}
+
+/// Expands to a function running each benchmark target in order.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Expands to `main`, running each group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_measures_something() {
+        std::env::set_var("FARM_BENCH_MS", "10");
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("stub");
+        group.throughput(Throughput::Elements(1));
+        group.bench_function("noop_sum", |b| {
+            let mut x = 0u64;
+            b.iter(|| {
+                x = x.wrapping_add(black_box(1));
+                x
+            })
+        });
+        group.finish();
+    }
+
+    #[test]
+    fn benchmark_id_formats() {
+        assert_eq!(BenchmarkId::new("f", 32).to_string(), "f/32");
+        assert_eq!(BenchmarkId::from_parameter("p").to_string(), "p");
+    }
+}

@@ -1,0 +1,20 @@
+//! Offline stand-in for `serde`.
+//!
+//! The build environment has no access to crates.io, so this crate keeps
+//! the workspace's `#[derive(Serialize, Deserialize)]` annotations
+//! compiling without pulling in the real serde. `Serialize` and
+//! `Deserialize` are marker traits blanket-implemented for every type;
+//! the derive macros (re-exported from the sibling `serde_derive` stub)
+//! expand to nothing. Nothing in the workspace performs real
+//! serialization through serde — results files are written as JSON by
+//! hand — so the markers are all that is needed. If a future change
+//! needs real serde, replace this directory with a vendored copy of the
+//! genuine crate; no call site has to change.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+pub trait Serialize {}
+impl<T: ?Sized> Serialize for T {}
+
+pub trait Deserialize {}
+impl<T: ?Sized> Deserialize for T {}
