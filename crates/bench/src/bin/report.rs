@@ -1,0 +1,168 @@
+//! Benchmark trajectory report: trial throughput at tracked configs.
+//!
+//! ```text
+//! cargo run --release -p farm-bench --bin report -- --label after
+//! ```
+//!
+//! Runs the small and medium `bench_sim` configurations, times full
+//! six-year Monte-Carlo trials single-threaded (events/sec — the
+//! optimization-tracking metric, independent of core count) and at the
+//! default thread count (trials/sec), samples peak RSS, and merges the
+//! labelled result set into a JSON file (default `BENCH_PR1.json`).
+//! Re-running with an existing label replaces that label's entry, so a
+//! "before" run survives an "after" run of the same file.
+
+use farm_bench::json::Json;
+use farm_bench::rss::peak_rss_bytes;
+use farm_core::prelude::*;
+use std::collections::BTreeMap;
+use std::time::Instant;
+
+struct ConfigSpec {
+    name: &'static str,
+    cfg: SystemConfig,
+    trials: u64,
+}
+
+fn tracked_configs() -> Vec<ConfigSpec> {
+    let base = |total: u64, group: u64| SystemConfig {
+        total_user_bytes: total,
+        group_user_bytes: group,
+        ..SystemConfig::default()
+    };
+    vec![
+        ConfigSpec {
+            name: "small_64TiB_10GiB",
+            cfg: base(64 * TIB, 10 * GIB),
+            trials: 1500,
+        },
+        ConfigSpec {
+            name: "medium_256TiB_10GiB",
+            cfg: base(256 * TIB, 10 * GIB),
+            trials: 400,
+        },
+    ]
+}
+
+struct RunResult {
+    name: &'static str,
+    trials: u64,
+    events: u64,
+    wall_secs: f64,
+    events_per_sec: f64,
+    parallel_trials_per_sec: f64,
+    peak_rss_bytes: u64,
+}
+
+fn measure(spec: &ConfigSpec) -> RunResult {
+    // Warm-up: fault in code paths and the allocator before timing.
+    run_trials_with_threads(&spec.cfg, 1, 1, TrialMode::Full, 1);
+
+    // Single-threaded timed run: the per-core throughput number that
+    // optimizations must move.
+    let start = Instant::now();
+    let summary = run_trials_with_threads(&spec.cfg, 2, spec.trials, TrialMode::Full, 1);
+    let wall = start.elapsed().as_secs_f64();
+    let events = (summary.events.mean() * summary.trials() as f64).round() as u64;
+
+    // Parallel throughput at the default thread count.
+    let threads = default_threads();
+    let pstart = Instant::now();
+    run_trials_with_threads(&spec.cfg, 2, spec.trials, TrialMode::Full, threads);
+    let pwall = pstart.elapsed().as_secs_f64();
+
+    RunResult {
+        name: spec.name,
+        trials: spec.trials,
+        events,
+        wall_secs: wall,
+        events_per_sec: events as f64 / wall,
+        parallel_trials_per_sec: spec.trials as f64 / pwall,
+        peak_rss_bytes: peak_rss_bytes(),
+    }
+}
+
+fn result_to_json(r: &RunResult) -> Json {
+    Json::Obj(BTreeMap::from([
+        ("config".into(), Json::str(r.name)),
+        ("trials".into(), Json::num(r.trials as f64)),
+        ("events".into(), Json::num(r.events as f64)),
+        ("wall_secs".into(), Json::num((r.wall_secs * 1e3).round() / 1e3)),
+        (
+            "events_per_sec".into(),
+            Json::num(r.events_per_sec.round()),
+        ),
+        (
+            "parallel_trials_per_sec".into(),
+            Json::num((r.parallel_trials_per_sec * 1e3).round() / 1e3),
+        ),
+        (
+            "peak_rss_bytes".into(),
+            Json::num(r.peak_rss_bytes as f64),
+        ),
+    ]))
+}
+
+/// Replace-or-append this label's entry in the report document.
+fn merge_into(doc: Json, label: &str, results: &[RunResult]) -> Json {
+    let mut runs: Vec<Json> = doc
+        .get("runs")
+        .and_then(|r| r.as_arr())
+        .map(|r| r.to_vec())
+        .unwrap_or_default();
+    runs.retain(|r| r.get("label").and_then(|l| l.as_str()) != Some(label));
+    runs.push(Json::Obj(BTreeMap::from([
+        ("label".into(), Json::str(label)),
+        (
+            "configs".into(),
+            Json::Arr(results.iter().map(result_to_json).collect()),
+        ),
+    ])));
+    Json::Obj(BTreeMap::from([
+        ("benchmark".into(), Json::str("farm trial throughput")),
+        ("runs".into(), Json::Arr(runs)),
+    ]))
+}
+
+fn main() {
+    let mut label = String::from("run");
+    let mut out = String::from("BENCH_PR1.json");
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--label" => label = args.next().expect("--label needs a value"),
+            "--out" => out = args.next().expect("--out needs a value"),
+            "--help" | "-h" => {
+                println!("usage: report [--label NAME] [--out FILE.json]");
+                return;
+            }
+            other => {
+                eprintln!("unknown argument {other:?} (see --help)");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    let mut results = Vec::new();
+    for spec in tracked_configs() {
+        eprintln!("measuring {} ({} trials)...", spec.name, spec.trials);
+        let r = measure(&spec);
+        println!(
+            "{:<22} {:>9.1} events/sec  {:>6.3} trials/sec ({} threads)  peak RSS {} MiB",
+            r.name,
+            r.events_per_sec,
+            r.parallel_trials_per_sec,
+            default_threads(),
+            r.peak_rss_bytes >> 20,
+        );
+        results.push(r);
+    }
+
+    let existing = std::fs::read_to_string(&out)
+        .ok()
+        .and_then(|s| Json::parse(&s).ok())
+        .unwrap_or(Json::Null);
+    let doc = merge_into(existing, &label, &results);
+    std::fs::write(&out, doc.pretty()).expect("write report");
+    eprintln!("wrote label {label:?} to {out}");
+}

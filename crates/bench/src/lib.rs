@@ -1,1 +1,4 @@
-//! Shared helpers for FARM benchmarks (see benches/).
+//! Shared helpers for FARM benchmarks (see benches/ and src/bin/).
+
+pub mod json;
+pub mod rss;

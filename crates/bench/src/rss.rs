@@ -1,0 +1,30 @@
+//! Peak resident-set-size of the current process.
+
+/// Peak RSS (VmHWM) in bytes, from `/proc/self/status`. Returns 0 on
+/// platforms without procfs — the report records it as "unknown".
+pub fn peak_rss_bytes() -> u64 {
+    let Ok(status) = std::fs::read_to_string("/proc/self/status") else {
+        return 0;
+    };
+    for line in status.lines() {
+        if let Some(rest) = line.strip_prefix("VmHWM:") {
+            let kib: u64 = rest
+                .trim()
+                .trim_end_matches("kB")
+                .trim()
+                .parse()
+                .unwrap_or(0);
+            return kib * 1024;
+        }
+    }
+    0
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    #[cfg(target_os = "linux")]
+    fn peak_rss_is_nonzero_on_linux() {
+        assert!(super::peak_rss_bytes() > 0);
+    }
+}

@@ -56,7 +56,9 @@ pub use sim::{Event, Simulation};
 pub mod prelude {
     pub use crate::config::{RecoveryPolicy, ReplacementPolicy, SystemConfig, WorkloadConfig};
     pub use crate::metrics::{McSummary, TrialMetrics};
-    pub use crate::montecarlo::{run_trial, run_trials, run_trials_with_threads, TrialMode};
+    pub use crate::montecarlo::{
+        default_threads, run_trial, run_trials, run_trials_with_threads, TrialMode,
+    };
     pub use crate::sim::Simulation;
     pub use farm_des::time::Duration;
     pub use farm_disk::model::{GIB, MIB, PIB, TIB};

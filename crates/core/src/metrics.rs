@@ -30,6 +30,9 @@ pub struct TrialMetrics {
     pub max_vulnerability_secs: f64,
     /// Sum of vulnerability windows, for averaging.
     pub total_vulnerability_secs: f64,
+    /// Discrete events the trial's main loop processed — the unit the
+    /// benchmark trajectory reports throughput in (events/sec).
+    pub events_processed: u64,
 }
 
 impl TrialMetrics {
@@ -46,6 +49,7 @@ impl TrialMetrics {
             batches_added: 0,
             max_vulnerability_secs: 0.0,
             total_vulnerability_secs: 0.0,
+            events_processed: 0,
         }
     }
 
@@ -95,6 +99,8 @@ pub struct McSummary {
     pub redirections: Running,
     pub lost_groups: Running,
     pub mean_vulnerability: Running,
+    /// Events processed per trial (throughput accounting).
+    pub events: Running,
 }
 
 impl McSummary {
@@ -107,6 +113,7 @@ impl McSummary {
             redirections: Running::new(),
             lost_groups: Running::new(),
             mean_vulnerability: Running::new(),
+            events: Running::new(),
         }
     }
 
@@ -119,6 +126,7 @@ impl McSummary {
         self.redirections.push(t.redirections as f64);
         self.lost_groups.push(t.lost_groups as f64);
         self.mean_vulnerability.push(t.mean_vulnerability_secs());
+        self.events.push(t.events_processed as f64);
     }
 
     pub fn merge(&mut self, other: &McSummary) {
@@ -129,6 +137,7 @@ impl McSummary {
         self.redirections.merge(&other.redirections);
         self.lost_groups.merge(&other.lost_groups);
         self.mean_vulnerability.merge(&other.mean_vulnerability);
+        self.events.merge(&other.events);
     }
 
     pub fn trials(&self) -> u64 {

@@ -294,6 +294,7 @@ impl Simulation {
                 break;
             }
             self.now = t;
+            self.metrics.events_processed += 1;
             match ev {
                 Event::Failure(d) => self.on_failure(d),
                 Event::Detect(d) => self.on_detect(d),
