@@ -87,19 +87,16 @@ fn result_to_json(r: &RunResult) -> Json {
         ("config".into(), Json::str(r.name)),
         ("trials".into(), Json::num(r.trials as f64)),
         ("events".into(), Json::num(r.events as f64)),
-        ("wall_secs".into(), Json::num((r.wall_secs * 1e3).round() / 1e3)),
         (
-            "events_per_sec".into(),
-            Json::num(r.events_per_sec.round()),
+            "wall_secs".into(),
+            Json::num((r.wall_secs * 1e3).round() / 1e3),
         ),
+        ("events_per_sec".into(), Json::num(r.events_per_sec.round())),
         (
             "parallel_trials_per_sec".into(),
             Json::num((r.parallel_trials_per_sec * 1e3).round() / 1e3),
         ),
-        (
-            "peak_rss_bytes".into(),
-            Json::num(r.peak_rss_bytes as f64),
-        ),
+        ("peak_rss_bytes".into(), Json::num(r.peak_rss_bytes as f64)),
     ]))
 }
 

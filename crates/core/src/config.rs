@@ -2,6 +2,7 @@
 //! experiment sweeps.
 
 use farm_des::time::Duration;
+use farm_des::QueueKind;
 use farm_disk::failure::Hazard;
 use farm_disk::health::SmartConfig;
 use farm_disk::model::{GIB, MIB, PIB, TIB};
@@ -121,6 +122,10 @@ pub struct SystemConfig {
     /// Model per-disk recovery-bandwidth contention (rebuilds sharing a
     /// disk queue). Disabling it is the "infinite parallelism" ablation.
     pub model_contention: bool,
+    /// Future-event-list implementation. Both kinds produce bit-identical
+    /// trials (pop order is fully specified); this only trades constant
+    /// factors in the event loop.
+    pub queue: QueueKind,
 }
 
 impl Default for SystemConfig {
@@ -143,6 +148,7 @@ impl Default for SystemConfig {
             latent: None,
             target_policy: TargetPolicy::CandidateWalk,
             model_contention: true,
+            queue: QueueKind::default(),
         }
     }
 }
@@ -201,7 +207,7 @@ impl SystemConfig {
         if self.group_user_bytes == 0 || self.total_user_bytes == 0 {
             return Err("sizes must be positive".into());
         }
-        if self.group_user_bytes % self.scheme.m as u64 != 0 {
+        if !self.group_user_bytes.is_multiple_of(self.scheme.m as u64) {
             return Err(format!(
                 "group size must divide into {} data blocks",
                 self.scheme.m
@@ -288,16 +294,20 @@ mod tests {
 
     #[test]
     fn validation_catches_bad_configs() {
-        let mut c = SystemConfig::default();
-        c.recovery_bandwidth = 200 * MIB; // exceeds device bandwidth
+        let mut c = SystemConfig {
+            recovery_bandwidth: 200 * MIB, // exceeds device bandwidth
+            ..SystemConfig::default()
+        };
         assert!(c.validate().is_err());
         c.recovery_bandwidth = 0;
         assert!(c.validate().is_err());
         c.recovery_bandwidth = 40 * MIB; // Figure 5's top sweep point
         assert!(c.validate().is_ok());
 
-        let mut c = SystemConfig::default();
-        c.target_utilization = 0.9; // violates 40% reservation
+        let c = SystemConfig {
+            target_utilization: 0.9, // violates 40% reservation
+            ..SystemConfig::default()
+        };
         assert!(c.validate().is_err());
 
         let mut c = SystemConfig {
@@ -308,9 +318,11 @@ mod tests {
         c.group_user_bytes = 100 * GIB; // 100 GiB / 8 is fine (12.5 GiB)
         assert!(c.validate().is_ok());
 
-        let mut c = SystemConfig::default();
-        c.scheme = Scheme::new(3, 4);
         // 100 GiB not divisible by 3 data blocks.
+        let c = SystemConfig {
+            scheme: Scheme::new(3, 4),
+            ..SystemConfig::default()
+        };
         assert!(c.validate().is_err());
     }
 

@@ -5,57 +5,130 @@
 //! total block count); `idx < m` are data blocks, the rest are
 //! parity/replicas. The paper's `<grp_id, rep_id>` labels map directly.
 
+use farm_des::time::SimTime;
 use farm_placement::DiskId;
 use serde::{Deserialize, Serialize};
 
-/// A reference to one block of one redundancy group.
-#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Serialize, Deserialize)]
-pub struct BlockRef {
-    pub group: u32,
-    pub idx: u8,
+/// A reference to one block of one redundancy group, packed as
+/// `group << 8 | idx`. The packing matters: the reverse index stores one
+/// `BlockRef` per placed block (millions at paper scale), and the
+/// failure path snapshots and scans those lists — 4 bytes per entry
+/// means half the cache lines of the naive `(u32, u8)` pair.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct BlockRef(u32);
+
+impl BlockRef {
+    pub const MAX_GROUPS: u32 = 1 << 24;
+
+    #[inline]
+    pub fn new(group: u32, idx: u8) -> Self {
+        debug_assert!(group < Self::MAX_GROUPS, "group {group} overflows BlockRef");
+        BlockRef(group << 8 | idx as u32)
+    }
+
+    #[inline]
+    pub fn group(self) -> u32 {
+        self.0 >> 8
+    }
+
+    #[inline]
+    pub fn idx(self) -> u8 {
+        self.0 as u8
+    }
+}
+
+impl std::fmt::Debug for BlockRef {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("BlockRef")
+            .field("group", &self.group())
+            .field("idx", &self.idx())
+            .finish()
+    }
+}
+
+/// One disk's slice of the reverse-index arena: `arena[start..start+len]`
+/// holds its blocks, with room to grow until `len == cap`. A span that
+/// outgrows its capacity is relocated to the end of the arena (the old
+/// slot becomes a hole — rare enough that the waste is irrelevant).
+#[derive(Clone, Copy, Debug)]
+struct DiskSpan {
+    start: u32,
+    len: u32,
+    cap: u32,
 }
 
 /// Placement state of all groups.
 #[derive(Clone, Debug)]
 pub struct GroupLayout {
     n_groups: u32,
+    /// Groups recorded so far via [`GroupLayout::push_group`].
+    pushed_groups: u32,
     /// Blocks per group (the scheme's n).
     blocks_per_group: u8,
     /// homes[group * n + idx] = disk currently hosting (or being rebuilt
     /// into) that block.
     homes: Vec<DiskId>,
-    /// Reverse index: blocks hosted on each disk. Grows as spares join.
-    disk_blocks: Vec<Vec<BlockRef>>,
-    /// Per-block "unavailable" flag (lost, or rebuild still in flight).
-    missing: Vec<bool>,
+    /// Reverse index: blocks hosted on each disk, as spans into one
+    /// shared arena (see [`DiskSpan`]). One allocation instead of one
+    /// `Vec` per disk: initial placement scatters ~`blocks` pushes across
+    /// every disk, and a contiguous arena keeps that traffic inside a
+    /// couple hundred KiB instead of a thousand separate heap buffers.
+    arena: Vec<BlockRef>,
+    spans: Vec<DiskSpan>,
+    /// Per-block `epoch << 1 | missing`. The epoch is bumped whenever a
+    /// rebuild is started or redirected so stale completion events can
+    /// be recognized; the low bit is the "unavailable" flag. Dense slot
+    /// addressing: at most a few blocks are unavailable at once, but a
+    /// slot array beats a heap-allocated map on the failure hot path.
+    /// Kept apart from `vulnerable` below: epoch/missing checks run on
+    /// every event, so the hot array is 4 bytes per block (and its
+    /// all-zero initial state comes straight from the zeroed allocator).
+    flags: Vec<u32>,
+    /// Seconds at which each block became unavailable — the open end of
+    /// its window of vulnerability; `f64::INFINITY` when available.
+    /// Touched only when a window actually opens or closes.
+    vulnerable: Vec<f64>,
     /// Per-group count of unavailable blocks.
     missing_count: Vec<u8>,
     /// Per-group data-lost flag: more blocks unavailable than the scheme
     /// tolerates at some instant.
     dead: Vec<bool>,
-    /// Per-block epoch, bumped whenever a rebuild is started or redirected
-    /// so stale completion events can be recognized.
-    epoch: Vec<u32>,
 }
 
 impl GroupLayout {
     pub fn new(n_groups: u32, blocks_per_group: u8, n_disks: u32) -> Self {
+        assert!(
+            n_groups < BlockRef::MAX_GROUPS,
+            "group count overflows BlockRef"
+        );
         let blocks = n_groups as usize * blocks_per_group as usize;
+        let per_disk = blocks / (n_disks.max(1) as usize) + 8;
         GroupLayout {
             n_groups,
+            pushed_groups: 0,
             blocks_per_group,
             homes: Vec::with_capacity(blocks),
-            disk_blocks: vec![Vec::new(); n_disks as usize],
-            missing: vec![false; blocks],
+            // Pre-size every span for the balanced load RUSH delivers
+            // (~blocks/disks each, CV a few percent); the slack means
+            // span relocation is a cold path even under heavy rebuilds.
+            arena: vec![BlockRef(0); per_disk * n_disks as usize],
+            spans: (0..n_disks as usize)
+                .map(|i| DiskSpan {
+                    start: (i * per_disk) as u32,
+                    len: 0,
+                    cap: per_disk as u32,
+                })
+                .collect(),
+            flags: vec![0; blocks],
+            vulnerable: vec![f64::INFINITY; blocks],
             missing_count: vec![0; n_groups as usize],
             dead: vec![false; n_groups as usize],
-            epoch: vec![0; blocks],
         }
     }
 
     #[inline]
     fn slot(&self, b: BlockRef) -> usize {
-        b.group as usize * self.blocks_per_group as usize + b.idx as usize
+        b.group() as usize * self.blocks_per_group as usize + b.idx() as usize
     }
 
     pub fn n_groups(&self) -> u32 {
@@ -70,15 +143,47 @@ impl GroupLayout {
     /// group order with exactly `blocks_per_group` homes.
     pub fn push_group(&mut self, homes: &[DiskId]) {
         assert_eq!(homes.len(), self.blocks_per_group as usize);
-        let group = (self.homes.len() / self.blocks_per_group as usize) as u32;
+        // Counter, not `homes.len() / blocks_per_group`: this runs once
+        // per group during construction and a division by a runtime value
+        // is ~20 cycles the placement loop would pay 26k times.
+        let group = self.pushed_groups;
         assert!(group < self.n_groups, "too many groups pushed");
+        self.pushed_groups += 1;
         for (idx, &d) in homes.iter().enumerate() {
             self.homes.push(d);
-            self.disk_blocks[d.0 as usize].push(BlockRef {
-                group,
-                idx: idx as u8,
-            });
+            self.push_block(d.0 as usize, BlockRef::new(group, idx as u8));
         }
+    }
+
+    /// Append `b` to a disk's span, relocating the span when it is full.
+    #[inline]
+    fn push_block(&mut self, di: usize, b: BlockRef) {
+        if self.spans[di].len == self.spans[di].cap {
+            self.grow_span(di);
+        }
+        let s = self.spans[di];
+        self.arena[(s.start + s.len) as usize] = b;
+        self.spans[di].len += 1;
+    }
+
+    /// Move a full span to the end of the arena with doubled capacity.
+    /// The vacated range becomes a hole; relocations are rare enough
+    /// (slack of 8 over RUSH's near-uniform load) that the waste stays
+    /// negligible.
+    #[cold]
+    fn grow_span(&mut self, di: usize) {
+        let s = self.spans[di];
+        let new_cap = (s.cap * 2).max(8);
+        let new_start = self.arena.len() as u32;
+        self.arena
+            .extend_from_within(s.start as usize..(s.start + s.len) as usize);
+        self.arena
+            .resize(new_start as usize + new_cap as usize, BlockRef(0));
+        self.spans[di] = DiskSpan {
+            start: new_start,
+            len: s.len,
+            cap: new_cap,
+        };
     }
 
     /// All block homes of a group.
@@ -93,17 +198,27 @@ impl GroupLayout {
 
     /// Blocks currently homed on a disk (live or rebuilding into it).
     pub fn blocks_on(&self, disk: DiskId) -> &[BlockRef] {
-        &self.disk_blocks[disk.0 as usize]
+        let s = self.spans[disk.0 as usize];
+        &self.arena[s.start as usize..(s.start + s.len) as usize]
     }
 
     /// Extend the reverse index when new drives (spares, batches) join.
+    /// New spans start empty; their first block relocates them to the
+    /// end of the arena.
     pub fn grow_disks(&mut self, new_total: u32) {
-        assert!(new_total as usize >= self.disk_blocks.len());
-        self.disk_blocks.resize(new_total as usize, Vec::new());
+        assert!(new_total as usize >= self.spans.len());
+        self.spans.resize(
+            new_total as usize,
+            DiskSpan {
+                start: 0,
+                len: 0,
+                cap: 0,
+            },
+        );
     }
 
     pub fn n_disks(&self) -> u32 {
-        self.disk_blocks.len() as u32
+        self.spans.len() as u32
     }
 
     /// Re-home a block (rebuild target chosen, redirection, migration).
@@ -113,13 +228,16 @@ impl GroupLayout {
         if from == to {
             return;
         }
-        let list = &mut self.disk_blocks[from.0 as usize];
+        let s = self.spans[from.0 as usize];
+        let list = &mut self.arena[s.start as usize..(s.start + s.len) as usize];
         let pos = list
             .iter()
             .position(|&x| x == b)
             .expect("block present in reverse index");
-        list.swap_remove(pos);
-        self.disk_blocks[to.0 as usize].push(b);
+        // swap_remove within the span.
+        list[pos] = list[s.len as usize - 1];
+        self.spans[from.0 as usize].len -= 1;
+        self.push_block(to.0 as usize, b);
         self.homes[slot] = to;
     }
 
@@ -132,24 +250,24 @@ impl GroupLayout {
     // ----- availability state ------------------------------------------
 
     pub fn is_missing(&self, b: BlockRef) -> bool {
-        self.missing[self.slot(b)]
+        self.flags[self.slot(b)] & 1 != 0
     }
 
     /// Mark a block unavailable. Returns the group's new missing count.
     pub fn mark_missing(&mut self, b: BlockRef) -> u8 {
         let slot = self.slot(b);
-        assert!(!self.missing[slot], "block {b:?} already missing");
-        self.missing[slot] = true;
-        self.missing_count[b.group as usize] += 1;
-        self.missing_count[b.group as usize]
+        assert!(self.flags[slot] & 1 == 0, "block {b:?} already missing");
+        self.flags[slot] |= 1;
+        self.missing_count[b.group() as usize] += 1;
+        self.missing_count[b.group() as usize]
     }
 
     /// Mark a block available again (rebuild completed).
     pub fn mark_available(&mut self, b: BlockRef) {
         let slot = self.slot(b);
-        assert!(self.missing[slot], "block {b:?} was not missing");
-        self.missing[slot] = false;
-        self.missing_count[b.group as usize] -= 1;
+        assert!(self.flags[slot] & 1 != 0, "block {b:?} was not missing");
+        self.flags[slot] &= !1;
+        self.missing_count[b.group() as usize] -= 1;
     }
 
     pub fn missing_count(&self, group: u32) -> u8 {
@@ -168,16 +286,42 @@ impl GroupLayout {
         self.dead.iter().filter(|&&d| d).count() as u64
     }
 
+    // ----- windows of vulnerability -------------------------------------
+
+    /// Open a block's window of vulnerability at instant `t`.
+    pub fn set_vulnerable(&mut self, b: BlockRef, t: SimTime) {
+        let slot = self.slot(b);
+        debug_assert!(
+            self.vulnerable[slot].is_infinite(),
+            "block {b:?} already vulnerable"
+        );
+        self.vulnerable[slot] = t.as_secs();
+    }
+
+    /// Close a block's window, returning when it opened (if it was open).
+    pub fn take_vulnerable(&mut self, b: BlockRef) -> Option<SimTime> {
+        let slot = self.slot(b);
+        let since = self.vulnerable[slot];
+        self.vulnerable[slot] = f64::INFINITY;
+        since.is_finite().then(|| SimTime::from_secs(since))
+    }
+
+    /// When the block became unavailable, if it currently is.
+    pub fn vulnerable_since(&self, b: BlockRef) -> Option<SimTime> {
+        let since = self.vulnerable[self.slot(b)];
+        since.is_finite().then(|| SimTime::from_secs(since))
+    }
+
     // ----- rebuild epochs -----------------------------------------------
 
     pub fn epoch(&self, b: BlockRef) -> u32 {
-        self.epoch[self.slot(b)]
+        self.flags[self.slot(b)] >> 1
     }
 
     pub fn bump_epoch(&mut self, b: BlockRef) -> u32 {
         let slot = self.slot(b);
-        self.epoch[slot] += 1;
-        self.epoch[slot]
+        self.flags[slot] += 2;
+        self.flags[slot] >> 1
     }
 }
 
@@ -202,22 +346,22 @@ mod tests {
         let l = layout_3_groups();
         assert_eq!(l.homes_of(0), &[d(0), d(1)]);
         assert_eq!(l.homes_of(1), &[d(1), d(2)]);
-        assert_eq!(l.home(BlockRef { group: 2, idx: 1 }), d(4));
+        assert_eq!(l.home(BlockRef::new(2, 1)), d(4));
     }
 
     #[test]
     fn reverse_index_matches_homes() {
         let l = layout_3_groups();
         assert_eq!(l.blocks_on(d(1)).len(), 2); // group 0 idx 1, group 1 idx 0
-        assert!(l.blocks_on(d(1)).contains(&BlockRef { group: 0, idx: 1 }));
-        assert!(l.blocks_on(d(1)).contains(&BlockRef { group: 1, idx: 0 }));
+        assert!(l.blocks_on(d(1)).contains(&BlockRef::new(0, 1)));
+        assert!(l.blocks_on(d(1)).contains(&BlockRef::new(1, 0)));
         assert!(l.blocks_on(d(0)).len() == 1);
     }
 
     #[test]
     fn move_block_updates_both_directions() {
         let mut l = layout_3_groups();
-        let b = BlockRef { group: 0, idx: 1 };
+        let b = BlockRef::new(0, 1);
         l.move_block(b, d(4));
         assert_eq!(l.home(b), d(4));
         assert!(!l.blocks_on(d(1)).contains(&b));
@@ -227,7 +371,7 @@ mod tests {
     #[test]
     fn move_block_to_same_disk_is_noop() {
         let mut l = layout_3_groups();
-        let b = BlockRef { group: 0, idx: 0 };
+        let b = BlockRef::new(0, 0);
         l.move_block(b, d(0));
         assert_eq!(l.home(b), d(0));
         assert_eq!(l.blocks_on(d(0)).len(), 1);
@@ -244,8 +388,8 @@ mod tests {
     #[test]
     fn missing_accounting() {
         let mut l = layout_3_groups();
-        let b0 = BlockRef { group: 0, idx: 0 };
-        let b1 = BlockRef { group: 0, idx: 1 };
+        let b0 = BlockRef::new(0, 0);
+        let b1 = BlockRef::new(0, 1);
         assert_eq!(l.mark_missing(b0), 1);
         assert!(l.is_missing(b0));
         assert_eq!(l.mark_missing(b1), 2);
@@ -259,7 +403,7 @@ mod tests {
     #[should_panic]
     fn double_mark_missing_panics() {
         let mut l = layout_3_groups();
-        let b = BlockRef { group: 0, idx: 0 };
+        let b = BlockRef::new(0, 0);
         l.mark_missing(b);
         l.mark_missing(b);
     }
@@ -274,9 +418,23 @@ mod tests {
     }
 
     #[test]
+    fn vulnerability_windows_open_and_close() {
+        let mut l = layout_3_groups();
+        let b = BlockRef::new(1, 1);
+        let t = SimTime::ZERO + farm_des::time::Duration::from_secs(42.0);
+        assert_eq!(l.vulnerable_since(b), None);
+        l.set_vulnerable(b, t);
+        assert_eq!(l.vulnerable_since(b), Some(t));
+        assert_eq!(l.take_vulnerable(b), Some(t));
+        // Closing is idempotent and fully clears the slot.
+        assert_eq!(l.take_vulnerable(b), None);
+        assert_eq!(l.vulnerable_since(b), None);
+    }
+
+    #[test]
     fn epochs_invalidate_stale_events() {
         let mut l = layout_3_groups();
-        let b = BlockRef { group: 2, idx: 0 };
+        let b = BlockRef::new(2, 0);
         assert_eq!(l.epoch(b), 0);
         assert_eq!(l.bump_epoch(b), 1);
         assert_eq!(l.bump_epoch(b), 2);
@@ -288,7 +446,7 @@ mod tests {
         let mut l = layout_3_groups();
         l.grow_disks(8);
         assert_eq!(l.n_disks(), 8);
-        let b = BlockRef { group: 0, idx: 0 };
+        let b = BlockRef::new(0, 0);
         l.move_block(b, d(7));
         assert!(l.blocks_on(d(7)).contains(&b));
     }

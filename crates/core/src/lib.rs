@@ -61,6 +61,7 @@ pub mod prelude {
     };
     pub use crate::sim::Simulation;
     pub use farm_des::time::Duration;
+    pub use farm_des::QueueKind;
     pub use farm_disk::model::{GIB, MIB, PIB, TIB};
     pub use farm_erasure::Scheme;
 }

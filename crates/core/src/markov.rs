@@ -105,6 +105,10 @@ fn solve(a: &mut [Vec<f64>]) -> Vec<f64> {
             }
             let f = a[row][col];
             if f != 0.0 {
+                // Indexed on purpose: `a[col]` and `a[row]` are two rows
+                // of the same matrix, so an iterator over one would hold
+                // a borrow that blocks reading the other.
+                #[allow(clippy::needless_range_loop)]
                 for c in col..=n {
                     let v = a[col][c];
                     a[row][c] -= f * v;

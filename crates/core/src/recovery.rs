@@ -31,13 +31,18 @@ impl Simulation {
     }
 
     /// §2.3's policy: walk the group's placement candidate list.
-    fn choose_target_candidate_walk(&self, group: u32, block_bytes: u64) -> Option<DiskId> {
+    fn choose_target_candidate_walk(&mut self, group: u32, block_bytes: u64) -> Option<DiskId> {
         let rush = self.rush();
         let now = self.now();
+        // The walk holds the scratch mutably while the loop body consults
+        // `&self` accessors, so lift it out of the struct for the
+        // duration. It must be put back on every path — no early returns.
+        let mut scratch = std::mem::take(&mut self.rush_scratch);
+        let mut chosen: Option<DiskId> = None;
         let mut fallback: Option<DiskId> = None;
         let mut fallback_suspect: Option<DiskId> = None;
         let mut scanned = 0usize;
-        for cand in rush.candidates(self.cluster_map(), group as u64) {
+        for cand in rush.walk(self.cluster_map(), group as u64, &mut scratch) {
             let disk = self.disk(cand);
             // Hard constraints (a)–(c).
             if !disk.is_active()
@@ -54,7 +59,8 @@ impl Simulation {
             }
             // Soft constraint: prefer an idle recovery pipe.
             if self.recovery_busy_until(cand) <= now {
-                return Some(cand);
+                chosen = Some(cand);
+                break;
             }
             fallback.get_or_insert(cand);
             scanned += 1;
@@ -62,7 +68,8 @@ impl Simulation {
                 break;
             }
         }
-        fallback.or(fallback_suspect)
+        self.rush_scratch = scratch;
+        chosen.or(fallback).or(fallback_suspect)
     }
 
     /// Ablation baseline: a uniformly random active disk meeting only the
@@ -89,17 +96,15 @@ impl Simulation {
 
     /// The rebuild sources: the `rebuild_sources()` least-busy available
     /// buddies of the group (one replica for mirroring, `m` blocks for
-    /// erasure-coded schemes).
-    pub(crate) fn choose_sources(&self, b: BlockRef) -> Vec<DiskId> {
+    /// erasure-coded schemes). Fills the caller-provided buffer so the
+    /// rebuild hot path can reuse one allocation across a whole trial.
+    pub(crate) fn choose_sources_into(&self, b: BlockRef, sources: &mut Vec<DiskId>) {
+        sources.clear();
         let wanted = self.config().scheme.rebuild_sources() as usize;
         let layout = self.layout();
         let n = layout.blocks_per_group();
-        let mut sources: Vec<DiskId> = Vec::with_capacity(n as usize);
         for idx in 0..n {
-            let other = BlockRef {
-                group: b.group,
-                idx,
-            };
+            let other = BlockRef::new(b.group(), idx);
             if other == b || layout.is_missing(other) {
                 continue;
             }
@@ -118,7 +123,6 @@ impl Simulation {
                 .then(a.cmp(&z))
         });
         sources.truncate(wanted);
-        sources
     }
 
     /// Start a rebuild for an unavailable block. `forced_target` is set
@@ -126,11 +130,11 @@ impl Simulation {
     /// list.
     pub(crate) fn schedule_rebuild(&mut self, b: BlockRef, forced_target: Option<DiskId>) {
         debug_assert!(self.layout().is_missing(b));
-        debug_assert!(!self.layout().is_dead(b.group));
+        debug_assert!(!self.layout().is_dead(b.group()));
         let block_bytes = self.config().block_bytes();
         let target = match forced_target {
             Some(t) => t,
-            None => match self.choose_target(b.group, block_bytes) {
+            None => match self.choose_target(b.group(), block_bytes) {
                 Some(t) => t,
                 None => {
                     // No eligible target anywhere: the block cannot be
@@ -147,11 +151,14 @@ impl Simulation {
         // undiscovered defect. A tripped source is unusable for this
         // reconstruction; if the group has no spare redundancy beyond
         // the m blocks the rebuild needs, the block is unrecoverable.
-        let sources = self.choose_sources(b);
+        // The source list lives in a reusable scratch; it must be put
+        // back on every return path below.
+        let mut sources = std::mem::take(&mut self.sources_scratch);
+        self.choose_sources_into(b, &mut sources);
         if self.config().latent.is_some() {
             let n = self.config().scheme.n;
             let m = self.config().scheme.m;
-            let available = n - self.layout().missing_count(b.group) as u32;
+            let available = n - self.layout().missing_count(b.group()) as u32;
             let mut trips = 0u32;
             for &s in &sources {
                 if self.latent_read_trips(s, block_bytes) {
@@ -164,8 +171,9 @@ impl Simulation {
                     // Not enough clean redundancy left to reconstruct.
                     let now = self.now();
                     let bytes = self.config().group_user_bytes;
-                    self.layout_mut().mark_dead(b.group);
+                    self.layout_mut().mark_dead(b.group());
                     self.metrics_mut().record_loss(bytes, now);
+                    self.sources_scratch = sources;
                     return;
                 }
                 // Otherwise alternates exist; re-sourcing is free in this
@@ -199,5 +207,6 @@ impl Simulation {
             }
         }
         self.schedule(done, Event::RebuildDone { block: b, epoch });
+        self.sources_scratch = sources;
     }
 }

@@ -63,10 +63,7 @@ impl Simulation {
                 if new_home.0 < first_new {
                     continue; // not remapped into the batch
                 }
-                let b = crate::layout::BlockRef {
-                    group: g,
-                    idx: idx as u8,
-                };
+                let b = crate::layout::BlockRef::new(g, idx as u8);
                 let cur = self.layout().home(b);
                 if cur == new_home
                     || self.layout().is_missing(b)

@@ -22,11 +22,10 @@ use crate::metrics::TrialMetrics;
 use crate::workload;
 use farm_des::rng::SeedFactory;
 use farm_des::time::{Duration, SimTime};
-use farm_des::EventQueue;
+use farm_des::AnyQueue;
 use farm_disk::health::SmartVerdict;
 use farm_disk::model::Disk;
-use farm_placement::{ClusterMap, DiskId, Rush};
-use std::collections::HashMap;
+use farm_placement::{ClusterMap, DiskId, Rush, RushScratch};
 
 /// Simulation events.
 #[derive(Clone, Copy, Debug)]
@@ -52,6 +51,10 @@ mod streams {
 pub struct Simulation {
     cfg: SystemConfig,
     rush: Rush,
+    /// Reusable dedup state for RUSH candidate walks (placement and
+    /// recovery-target selection run one walk at a time, so a single
+    /// scratch serves every hot path without allocating).
+    pub(crate) rush_scratch: RushScratch,
     map: ClusterMap,
     disks: Vec<Disk>,
     smart: Vec<SmartVerdict>,
@@ -60,13 +63,16 @@ pub struct Simulation {
     /// Per-disk recovery pipe: busy until this instant.
     recovery_busy: Vec<SimTime>,
     layout: GroupLayout,
-    queue: EventQueue<Event>,
+    queue: AnyQueue<Event>,
     now: SimTime,
     horizon: SimTime,
     seeds: SeedFactory,
     metrics: TrialMetrics,
-    /// When each currently-unavailable block became vulnerable.
-    vulnerable_since: HashMap<BlockRef, SimTime>,
+    /// Reusable buffer for the blocks of a failed drive (`on_failure` /
+    /// `on_detect` snapshot the reverse index before mutating it).
+    blocks_scratch: Vec<BlockRef>,
+    /// Reusable buffer for rebuild-source selection.
+    pub(crate) sources_scratch: Vec<DiskId>,
     /// Failed drives in the placement population since the last batch.
     pub(crate) failed_since_batch: u32,
     /// Rebuilds that found no eligible target (should stay at zero).
@@ -91,21 +97,24 @@ impl Simulation {
         let rush = Rush::new(seeds.child(0xFA).master());
         let n_groups = u32::try_from(cfg.n_groups()).expect("group count fits u32");
         let n = cfg.scheme.n as u8;
+        let queue_kind = cfg.queue;
         let mut sim = Simulation {
             layout: GroupLayout::new(n_groups, n, n_disks),
             cfg,
             rush,
+            rush_scratch: RushScratch::new(),
             map,
-            disks: Vec::new(),
-            smart: Vec::new(),
-            fail_time: Vec::new(),
-            recovery_busy: Vec::new(),
-            queue: EventQueue::new(),
+            disks: Vec::with_capacity(n_disks as usize),
+            smart: Vec::with_capacity(n_disks as usize),
+            fail_time: Vec::with_capacity(n_disks as usize),
+            recovery_busy: Vec::with_capacity(n_disks as usize),
+            queue: AnyQueue::new(queue_kind),
             now: SimTime::ZERO,
             horizon: SimTime::ZERO,
             seeds,
             metrics: TrialMetrics::new(),
-            vulnerable_since: HashMap::new(),
+            blocks_scratch: Vec::new(),
+            sources_scratch: Vec::new(),
             failed_since_batch: 0,
             no_target_events: 0,
             ablation_rng: seeds.stream(streams::ABLATION),
@@ -162,7 +171,7 @@ impl Simulation {
         let mut homes: Vec<DiskId> = Vec::with_capacity(n);
         for g in 0..self.layout.n_groups() {
             homes.clear();
-            for d in self.rush.candidates(&self.map, g as u64) {
+            for d in self.rush.walk(&self.map, g as u64, &mut self.rush_scratch) {
                 if self.disks[d.0 as usize].has_space_for(block_bytes) {
                     homes.push(d);
                     if homes.len() == n {
@@ -315,10 +324,13 @@ impl Simulation {
         self.metrics.disk_failures += 1;
         self.disks[d.0 as usize].fail();
 
-        // Classify every block homed here.
-        let blocks: Vec<BlockRef> = self.layout.blocks_on(d).to_vec();
-        for b in blocks {
-            if self.layout.is_dead(b.group) {
+        // Classify every block homed here. Snapshot the reverse index
+        // into the reusable scratch (the loop body mutates the layout).
+        let mut blocks = std::mem::take(&mut self.blocks_scratch);
+        blocks.clear();
+        blocks.extend_from_slice(self.layout.blocks_on(d));
+        for &b in &blocks {
+            if self.layout.is_dead(b.group()) {
                 continue;
             }
             if self.layout.is_missing(b) {
@@ -329,15 +341,16 @@ impl Simulation {
                 self.layout.bump_epoch(b);
             } else {
                 let missing = self.layout.mark_missing(b);
-                self.vulnerable_since.insert(b, self.now);
+                self.layout.set_vulnerable(b, self.now);
                 let available = self.cfg.scheme.n - missing as u32;
                 if available < self.cfg.scheme.m {
-                    self.layout.mark_dead(b.group);
+                    self.layout.mark_dead(b.group());
                     self.metrics
                         .record_loss(self.cfg.group_user_bytes, self.now);
                 }
             }
         }
+        self.blocks_scratch = blocks;
 
         // Batch replacement bookkeeping (only the placement population).
         if d.0 < self.map.n_disks() {
@@ -352,34 +365,36 @@ impl Simulation {
     fn on_detect(&mut self, d: DiskId) {
         // Start (or restart, after redirection) a rebuild for every
         // unavailable block still homed on the dead drive.
-        let blocks: Vec<BlockRef> = self
-            .layout
-            .blocks_on(d)
-            .iter()
-            .copied()
-            .filter(|&b| self.layout.is_missing(b) && !self.layout.is_dead(b.group))
-            .collect();
-        if blocks.is_empty() {
-            return;
-        }
-        let forced_target = match self.cfg.recovery {
-            RecoveryPolicy::Farm => None,
-            RecoveryPolicy::SingleSpare => {
-                // One dedicated replacement drive per failed disk
-                // (Figure 2(c)): all rebuilds converge on it.
-                Some(self.add_disk(self.now))
+        let mut blocks = std::mem::take(&mut self.blocks_scratch);
+        blocks.clear();
+        blocks.extend(
+            self.layout
+                .blocks_on(d)
+                .iter()
+                .copied()
+                .filter(|&b| self.layout.is_missing(b) && !self.layout.is_dead(b.group())),
+        );
+        if !blocks.is_empty() {
+            let forced_target = match self.cfg.recovery {
+                RecoveryPolicy::Farm => None,
+                RecoveryPolicy::SingleSpare => {
+                    // One dedicated replacement drive per failed disk
+                    // (Figure 2(c)): all rebuilds converge on it.
+                    Some(self.add_disk(self.now))
+                }
+            };
+            for &b in &blocks {
+                self.schedule_rebuild(b, forced_target);
             }
-        };
-        for b in blocks {
-            self.schedule_rebuild(b, forced_target);
         }
+        self.blocks_scratch = blocks;
     }
 
     fn on_rebuild_done(&mut self, b: BlockRef, epoch: u32) {
         if self.layout.epoch(b) != epoch {
             return; // redirected or otherwise superseded
         }
-        if self.layout.is_dead(b.group) {
+        if self.layout.is_dead(b.group()) {
             // The group lost data while this rebuild was in flight; the
             // reconstructed block is useless. Release the reservation.
             let home = self.layout.home(b);
@@ -387,12 +402,12 @@ impl Simulation {
                 let bytes = self.cfg.block_bytes();
                 self.disks[home.0 as usize].release(bytes);
             }
-            self.vulnerable_since.remove(&b);
+            self.layout.take_vulnerable(b);
             return;
         }
         self.layout.mark_available(b);
         self.metrics.rebuilds_completed += 1;
-        if let Some(since) = self.vulnerable_since.remove(&b) {
+        if let Some(since) = self.layout.take_vulnerable(b) {
             self.metrics
                 .record_vulnerability((self.now - since).as_secs());
         }

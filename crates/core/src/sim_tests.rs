@@ -228,10 +228,7 @@ fn conservation_of_blocks() {
         let distinct: std::collections::HashSet<_> = homes.iter().collect();
         assert_eq!(distinct.len(), homes.len(), "group {g} doubled up");
         for (idx, &d) in homes.iter().enumerate() {
-            let b = crate::layout::BlockRef {
-                group: g,
-                idx: idx as u8,
-            };
+            let b = crate::layout::BlockRef::new(g, idx as u8);
             if !layout.is_missing(b) {
                 assert!(
                     sim.disk(d).is_active(),
@@ -261,7 +258,7 @@ fn disk_usage_matches_layout() {
             // in-flight rebuilds reserve space at start, so count missing
             // blocks homed here too — unless their group is dead and the
             // completion already released the reservation.
-            .filter(|b| !sim.layout().is_dead(b.group) || !sim.layout().is_missing(**b))
+            .filter(|b| !sim.layout().is_dead(b.group()) || !sim.layout().is_missing(**b))
             .count() as u64
             * bb;
         let used = sim.disk(d).used;

@@ -1,0 +1,116 @@
+//! A runtime-selectable future event list.
+//!
+//! The simulator's inner loop is schedule/pop on one of these; which
+//! concrete structure wins depends on the event population (binary heaps
+//! for small queues, calendar queues for large steady-state ones), so the
+//! choice is a [`QueueKind`] configuration knob rather than a compile-time
+//! commitment. Both variants pop in identical order — time-ascending with
+//! FIFO tie-breaking — so swapping kinds never changes simulation results
+//! (asserted by farm-core's determinism tests).
+
+use crate::calendar::CalendarQueue;
+use crate::queue::EventQueue;
+use crate::time::SimTime;
+use serde::{Deserialize, Serialize};
+
+/// Which future-event-list implementation a simulation uses.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub enum QueueKind {
+    /// The cancellable binary-heap [`EventQueue`] (default).
+    #[default]
+    Heap,
+    /// The O(1)-amortized [`CalendarQueue`] (no cancellation support —
+    /// usable when the workload never cancels, as the FARM simulator
+    /// doesn't).
+    Calendar,
+}
+
+/// A future event list of a configured [`QueueKind`].
+///
+/// Exposes the intersection of the two implementations' APIs (no
+/// `cancel`; the calendar queue has no handles).
+pub enum AnyQueue<E> {
+    Heap(EventQueue<E>),
+    Calendar(CalendarQueue<E>),
+}
+
+impl<E> AnyQueue<E> {
+    pub fn new(kind: QueueKind) -> Self {
+        match kind {
+            QueueKind::Heap => AnyQueue::Heap(EventQueue::new()),
+            QueueKind::Calendar => AnyQueue::Calendar(CalendarQueue::new()),
+        }
+    }
+
+    pub fn kind(&self) -> QueueKind {
+        match self {
+            AnyQueue::Heap(_) => QueueKind::Heap,
+            AnyQueue::Calendar(_) => QueueKind::Calendar,
+        }
+    }
+
+    pub fn schedule(&mut self, time: SimTime, event: E) {
+        match self {
+            AnyQueue::Heap(q) => {
+                q.schedule(time, event);
+            }
+            AnyQueue::Calendar(q) => q.schedule(time, event),
+        }
+    }
+
+    pub fn pop(&mut self) -> Option<(SimTime, E)> {
+        match self {
+            AnyQueue::Heap(q) => q.pop(),
+            AnyQueue::Calendar(q) => q.pop(),
+        }
+    }
+
+    pub fn len(&self) -> usize {
+        match self {
+            AnyQueue::Heap(q) => q.len(),
+            AnyQueue::Calendar(q) => q.len(),
+        }
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+impl<E> Default for AnyQueue<E> {
+    fn default() -> Self {
+        AnyQueue::new(QueueKind::default())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(secs: f64) -> SimTime {
+        SimTime::from_secs(secs)
+    }
+
+    #[test]
+    fn both_kinds_pop_identically() {
+        let mut heap = AnyQueue::new(QueueKind::Heap);
+        let mut cal = AnyQueue::new(QueueKind::Calendar);
+        assert_eq!(heap.kind(), QueueKind::Heap);
+        assert_eq!(cal.kind(), QueueKind::Calendar);
+        for (i, secs) in [5.0, 1.0, 1.0, 9.0, 0.25, 1.0].into_iter().enumerate() {
+            heap.schedule(t(secs), i);
+            cal.schedule(t(secs), i);
+        }
+        assert_eq!(heap.len(), cal.len());
+        while let Some(a) = heap.pop() {
+            assert_eq!(Some(a), cal.pop());
+        }
+        assert!(cal.is_empty());
+    }
+
+    #[test]
+    fn default_is_the_heap() {
+        let q: AnyQueue<u8> = AnyQueue::default();
+        assert_eq!(q.kind(), QueueKind::Heap);
+    }
+}

@@ -31,7 +31,7 @@ pub fn next_odd_prime(n: usize) -> usize {
         }
         let mut d = 2;
         while d * d <= x {
-            if x % d == 0 {
+            if x.is_multiple_of(d) {
                 return false;
             }
             d += 1;
@@ -76,7 +76,7 @@ impl EvenOdd {
 
     fn cell_len(&self, col_len: usize) -> usize {
         assert!(
-            col_len % self.rows() == 0 && col_len > 0,
+            col_len.is_multiple_of(self.rows()) && col_len > 0,
             "column length {} must be a positive multiple of {}",
             col_len,
             self.rows()
@@ -106,8 +106,8 @@ impl EvenOdd {
         let mut pcol = vec![0u8; col_len];
         for i in 0..self.rows() {
             let dst = &mut pcol[i * cell..(i + 1) * cell];
-            for j in 0..self.m {
-                xor_into(dst, &data[j][i * cell..(i + 1) * cell]);
+            for dcol in data {
+                xor_into(dst, &dcol[i * cell..(i + 1) * cell]);
             }
         }
 
@@ -272,11 +272,11 @@ impl EvenOdd {
         // Known part of each diagonal sum: XOR of intact data cells.
         // diag_known[l] = XOR_{j' != j, i + j' ≡ l} a_{i,j'}
         let mut diag_known = vec![vec![0u8; cell]; p];
-        for jj in 0..self.m {
+        for (jj, slot) in cols.iter().enumerate().take(self.m) {
             if jj == j {
                 continue;
             }
-            let col = cols[jj].as_ref().expect("intact data");
+            let col = slot.as_ref().expect("intact data");
             for i in 0..rows {
                 let l = (i + jj) % p;
                 xor_into(&mut diag_known[l], &col[i * cell..(i + 1) * cell]);
@@ -355,11 +355,11 @@ impl EvenOdd {
         // Known row sums (excluding the two missing columns).
         let mut row_known = vec![vec![0u8; cell]; rows];
         let mut diag_known = vec![vec![0u8; cell]; p];
-        for jj in 0..self.m {
+        for (jj, slot) in cols.iter().enumerate().take(self.m) {
             if jj == r || jj == s {
                 continue;
             }
-            let col = cols[jj].as_ref().expect("intact");
+            let col = slot.as_ref().expect("intact");
             for i in 0..rows {
                 xor_into(&mut row_known[i], &col[i * cell..(i + 1) * cell]);
                 let l = (i + jj) % p;

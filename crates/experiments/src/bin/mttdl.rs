@@ -46,9 +46,8 @@ fn main() {
 
         let chain = GroupChain::new(scheme.n, scheme.m, lambda, 1.0 / window);
         let p_exact = chain.system_loss_probability(groups, horizon);
-        let p_approx = analytic::system_loss_probability(
-            groups, scheme.n, scheme.m, lambda, window, horizon,
-        );
+        let p_approx =
+            analytic::system_loss_probability(groups, scheme.n, scheme.m, lambda, window, horizon);
         let sim = run_trials_with_threads(
             &cfg,
             opts.seed,

@@ -114,7 +114,7 @@ mod tests {
     fn quick_scale_keeps_groups_smaller_than_disks() {
         let opts = Options::quick_default();
         for g in group_sizes(&opts) {
-            assert!(g >= GIB && g <= 500 * GIB);
+            assert!((GIB..=500 * GIB).contains(&g));
         }
     }
 }

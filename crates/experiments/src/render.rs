@@ -60,7 +60,7 @@ pub fn bytes(b: u64) -> String {
     const GIB: u64 = 1 << 30;
     const TIB: u64 = 1 << 40;
     const PIB: u64 = 1 << 50;
-    if b >= PIB && b % PIB == 0 {
+    if b >= PIB && b.is_multiple_of(PIB) {
         format!("{} PiB", b / PIB)
     } else if b >= TIB {
         format!("{:.1} TiB", b as f64 / TIB as f64)

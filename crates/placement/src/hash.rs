@@ -21,10 +21,18 @@ pub fn combine(a: u64, b: u64) -> u64 {
     mix64(a.wrapping_mul(0xA24B_AED4_963E_E407) ^ b.wrapping_mul(0x9FB2_1C65_1E98_DF25))
 }
 
+/// The per-seed initial state of [`hash_words`]'s fold, exposed so hot
+/// paths can cache partial key prefixes:
+/// `hash_words(seed, &[a, b]) == combine(combine(hash_prefix(seed), a), b)`.
+#[inline]
+pub fn hash_prefix(seed: u64) -> u64 {
+    mix64(seed ^ 0x1405_7B7E_F767_814F)
+}
+
 /// Hash an arbitrary-length key of words.
 #[inline]
 pub fn hash_words(seed: u64, words: &[u64]) -> u64 {
-    let mut h = mix64(seed ^ 0x1405_7B7E_F767_814F);
+    let mut h = hash_prefix(seed);
     for &w in words {
         h = combine(h, w);
     }
@@ -58,6 +66,18 @@ mod tests {
     #[test]
     fn combine_is_order_sensitive() {
         assert_ne!(combine(1, 2), combine(2, 1));
+    }
+
+    #[test]
+    fn prefix_caching_equals_the_full_fold() {
+        for seed in [0u64, 9, u64::MAX] {
+            let p = hash_prefix(seed);
+            assert_eq!(hash_words(seed, &[]), p);
+            assert_eq!(
+                hash_words(seed, &[3, 1, 4]),
+                combine(combine(combine(p, 3), 1), 4)
+            );
+        }
     }
 
     #[test]

@@ -40,6 +40,55 @@ impl Hrw {
     pub fn candidates(&self, map: &ClusterMap, group: u64) -> Vec<DiskId> {
         self.place(map, group, map.n_disks() as usize)
     }
+
+    /// The `n` best-ranked disks written into `out`, reusing `scratch`'s
+    /// score buffer — allocation-free once the buffers are warm, and
+    /// O(N + n log n) via a top-n partition instead of `place`'s full
+    /// O(N log N) sort. Produces exactly `place`'s ordering.
+    pub fn place_into(
+        &self,
+        map: &ClusterMap,
+        group: u64,
+        n: usize,
+        scratch: &mut HrwScratch,
+        out: &mut Vec<DiskId>,
+    ) {
+        assert!(n as u64 <= map.n_disks() as u64);
+        out.clear();
+        if n == 0 {
+            return;
+        }
+        let scored = &mut scratch.scored;
+        scored.clear();
+        scored.extend(
+            map.iter_disks()
+                .map(|d| (self.score(group, d, map.disk_weight(d)), d)),
+        );
+        if n < scored.len() {
+            scored.select_nth_unstable_by(n - 1, |a, b| a.0.total_cmp(&b.0));
+            scored.truncate(n);
+        }
+        scored.sort_by(|a, b| a.0.total_cmp(&b.0));
+        out.extend(scored.iter().map(|&(_, d)| d));
+    }
+
+    /// Full candidate ordering into a reusable buffer (see
+    /// [`Hrw::place_into`]).
+    pub fn candidates_into(
+        &self,
+        map: &ClusterMap,
+        group: u64,
+        scratch: &mut HrwScratch,
+        out: &mut Vec<DiskId>,
+    ) {
+        self.place_into(map, group, map.n_disks() as usize, scratch, out);
+    }
+}
+
+/// Reusable score buffer for [`Hrw::place_into`].
+#[derive(Clone, Debug, Default)]
+pub struct HrwScratch {
+    scored: Vec<(f64, DiskId)>,
 }
 
 #[cfg(test)]
@@ -97,6 +146,32 @@ mod tests {
         }
         let ratio = heavy as f64 / light as f64;
         assert!((ratio - 3.0).abs() < 0.25, "ratio {ratio}, expected ~3");
+    }
+
+    #[test]
+    fn place_into_matches_place_exactly() {
+        let mut weighted = ClusterMap::uniform(25);
+        weighted.add_cluster(15, 2.5);
+        let maps = [ClusterMap::uniform(40), weighted];
+        let hrw = Hrw::new(11);
+        let mut scratch = HrwScratch::default();
+        let mut out = Vec::new();
+        for map in &maps {
+            let total = map.n_disks() as usize;
+            for g in 0..200u64 {
+                for n in [0, 1, 2, 5, total / 2, total] {
+                    hrw.place_into(map, g, n, &mut scratch, &mut out);
+                    assert_eq!(
+                        out,
+                        hrw.place(map, g, n),
+                        "group {g}, n {n} diverged from the full-sort path"
+                    );
+                }
+                // Full ranking via the reusable-buffer entry point.
+                hrw.candidates_into(map, g, &mut scratch, &mut out);
+                assert_eq!(out, hrw.candidates(map, g));
+            }
+        }
     }
 
     #[test]

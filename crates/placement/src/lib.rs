@@ -41,5 +41,5 @@ pub mod hrw;
 pub mod rush;
 
 pub use cluster::{ClusterMap, DiskId, SubCluster};
-pub use hrw::Hrw;
-pub use rush::{Candidates, Rush};
+pub use hrw::{Hrw, HrwScratch};
+pub use rush::{Candidates, Rush, RushScratch, Walk};

@@ -46,13 +46,43 @@ impl Rush {
     }
 
     /// The infinite-until-exhausted ordered candidate list for a group.
+    ///
+    /// Self-contained: owns its dedup state, allocating one stamp array
+    /// per call. Hot paths that walk candidates per group or per rebuild
+    /// should hold a [`RushScratch`] and use [`Rush::walk`] instead,
+    /// which emits the identical sequence without allocating.
     pub fn candidates<'a>(&self, map: &'a ClusterMap, group: u64) -> Candidates<'a> {
+        let mut scratch = RushScratch::new();
+        scratch.begin(map.n_disks());
         Candidates {
-            seed: self.seed,
+            rush: *self,
             map,
             group,
+            gkey: hash::combine(hash::hash_prefix(self.seed), group),
             index: 0,
-            emitted: Vec::new(),
+            scratch,
+        }
+    }
+
+    /// [`Rush::candidates`] without the allocation: dedup state lives in
+    /// the caller's reusable `scratch` (reset here, O(1) amortized), so
+    /// a walk costs only hashing. The emitted sequence is bit-identical
+    /// to `candidates` — both run the same draw-and-dedup loop, and the
+    /// golden-sequence test pins them together.
+    pub fn walk<'m, 's>(
+        &self,
+        map: &'m ClusterMap,
+        group: u64,
+        scratch: &'s mut RushScratch,
+    ) -> Walk<'m, 's> {
+        scratch.begin(map.n_disks());
+        Walk {
+            rush: *self,
+            map,
+            group,
+            gkey: hash::combine(hash::hash_prefix(self.seed), group),
+            index: 0,
+            scratch,
         }
     }
 
@@ -67,7 +97,11 @@ impl Rush {
     }
 
     /// One raw draw: candidate `index`, attempt `attempt` for `group` —
-    /// before distinctness filtering. Exposed for the migration tests.
+    /// before distinctness filtering. This is the readable specification
+    /// of the draw; the hot path below ([`Rush::draw_with_prefix`])
+    /// computes the identical value with the hash prefix factored out,
+    /// and the golden-sequence test holds the two together.
+    #[cfg_attr(not(test), allow(dead_code))]
     fn raw_draw(&self, map: &ClusterMap, group: u64, index: u64, attempt: u32) -> DiskId {
         // RUSH descent: visit sub-clusters newest to oldest. At cluster j,
         // the group's draw lands there with probability
@@ -86,47 +120,179 @@ impl Rush {
         }
         unreachable!("descent always terminates at cluster 0")
     }
+
+    /// [`Rush::raw_draw`] with the `(seed, group, index, attempt)` hash
+    /// prefix already folded (see [`hash::hash_prefix`]): the descent
+    /// only appends `(cluster, tag)` per step, and the descent hash —
+    /// which `raw_draw` computes and discards at cluster 0 — is skipped
+    /// there, so the common single-cluster map costs two `combine`s per
+    /// draw instead of two full five-word hashes.
+    #[inline]
+    fn draw_with_prefix(map: &ClusterMap, prefix: u64) -> DiskId {
+        for j in (1..map.n_clusters()).rev() {
+            let c = map.cluster(j);
+            let take_p = c.total_weight() / map.cum_weight(j);
+            let h = hash::combine(hash::combine(prefix, j as u64), 0xC1);
+            if hash::to_unit(h) < take_p {
+                let within = hash::combine(hash::combine(prefix, j as u64), 0xD2);
+                return DiskId(c.first + map.rem_cluster_len(j, within) as u32);
+            }
+        }
+        let c = map.cluster(0);
+        let within = hash::combine(hash::combine(prefix, 0), 0xD2);
+        DiskId(c.first + map.rem_cluster_len(0, within) as u32)
+    }
 }
 
-/// Iterator over a group's distinct candidate disks.
+/// Reusable dedup state for candidate walks.
+///
+/// A walk must never repeat a disk. Instead of collecting emitted disks
+/// into a `Vec` and scanning it per draw (O(k²) per walk, one heap
+/// allocation each), the scratch keeps one stamp per disk: a disk is
+/// "already emitted" iff its stamp equals the current walk's generation.
+/// Starting a new walk just increments the generation — O(1) reset, no
+/// clearing — and on the (once per 2³² walks) wrap-around the stamps are
+/// refilled with the never-matching 0.
+#[derive(Clone, Debug, Default)]
+pub struct RushScratch {
+    stamp: Vec<u32>,
+    generation: u32,
+    emitted: u32,
+    fallback_probes: u64,
+}
+
+impl RushScratch {
+    pub fn new() -> Self {
+        RushScratch::default()
+    }
+
+    /// How many walk steps exhausted their hash attempts and used the
+    /// deterministic linear probe. Only reachable when a walk has nearly
+    /// covered the whole system; exposed so tests can pin that branch.
+    pub fn fallback_probes(&self) -> u64 {
+        self.fallback_probes
+    }
+
+    fn begin(&mut self, n_disks: u32) {
+        if self.stamp.len() < n_disks as usize {
+            self.stamp.resize(n_disks as usize, 0);
+        }
+        self.generation = self.generation.wrapping_add(1);
+        if self.generation == 0 {
+            self.stamp.fill(0);
+            self.generation = 1;
+        }
+        self.emitted = 0;
+    }
+
+    /// Mark `d` emitted. Returns false if it already was, this walk.
+    #[inline]
+    fn mark(&mut self, d: DiskId) -> bool {
+        let s = &mut self.stamp[d.0 as usize];
+        if *s == self.generation {
+            false
+        } else {
+            *s = self.generation;
+            self.emitted += 1;
+            true
+        }
+    }
+}
+
+/// One step of the distinct-candidate sequence. Shared by both iterator
+/// types so their output cannot diverge.
+fn next_distinct(
+    rush: Rush,
+    map: &ClusterMap,
+    group: u64,
+    gkey: u64,
+    index: &mut u64,
+    scratch: &mut RushScratch,
+) -> Option<DiskId> {
+    let n = map.n_disks();
+    if scratch.emitted >= n {
+        return None; // every disk already listed
+    }
+    // `gkey` is combine(hash_prefix(seed), group), folded once per walk;
+    // the candidate index folds once per candidate, each attempt appends
+    // one more word.
+    let key = hash::combine(gkey, *index);
+    for attempt in 0..MAX_ATTEMPTS {
+        let d = Rush::draw_with_prefix(map, hash::combine(key, attempt as u64));
+        if scratch.mark(d) {
+            *index += 1;
+            return Some(d);
+        }
+    }
+    // Deterministic fallback: probe linearly from a hashed start.
+    // Only reachable when the candidate list is nearly system-sized.
+    scratch.fallback_probes += 1;
+    let start = hash::hash_words(rush.seed, &[group, *index, 0xFA11]) % n as u64;
+    for off in 0..n {
+        let d = DiskId(((start + off as u64) % n as u64) as u32);
+        if scratch.mark(d) {
+            *index += 1;
+            return Some(d);
+        }
+    }
+    None
+}
+
+/// Iterator over a group's distinct candidate disks (owns its scratch).
 pub struct Candidates<'a> {
-    seed: u64,
+    rush: Rush,
     map: &'a ClusterMap,
     group: u64,
+    gkey: u64,
     index: u64,
-    emitted: Vec<DiskId>,
+    scratch: RushScratch,
+}
+
+impl Candidates<'_> {
+    /// See [`RushScratch::fallback_probes`].
+    pub fn fallback_probes(&self) -> u64 {
+        self.scratch.fallback_probes()
+    }
 }
 
 impl Iterator for Candidates<'_> {
     type Item = DiskId;
 
     fn next(&mut self) -> Option<DiskId> {
-        if self.emitted.len() as u64 >= self.map.n_disks() as u64 {
-            return None; // every disk already listed
-        }
-        let rush = Rush { seed: self.seed };
-        for attempt in 0..MAX_ATTEMPTS {
-            let d = rush.raw_draw(self.map, self.group, self.index, attempt);
-            if !self.emitted.contains(&d) {
-                self.emitted.push(d);
-                self.index += 1;
-                return Some(d);
-            }
-        }
-        // Deterministic fallback: probe linearly from a hashed start.
-        // Only reachable when the candidate list is nearly system-sized.
-        let start = hash::hash_words(self.seed, &[self.group, self.index, 0xFA11])
-            % self.map.n_disks() as u64;
-        let n = self.map.n_disks();
-        for off in 0..n {
-            let d = DiskId(((start + off as u64) % n as u64) as u32);
-            if !self.emitted.contains(&d) {
-                self.emitted.push(d);
-                self.index += 1;
-                return Some(d);
-            }
-        }
-        None
+        next_distinct(
+            self.rush,
+            self.map,
+            self.group,
+            self.gkey,
+            &mut self.index,
+            &mut self.scratch,
+        )
+    }
+}
+
+/// Iterator over a group's distinct candidate disks, deduplicating
+/// through a borrowed [`RushScratch`] — the allocation-free hot path.
+pub struct Walk<'m, 's> {
+    rush: Rush,
+    map: &'m ClusterMap,
+    group: u64,
+    gkey: u64,
+    index: u64,
+    scratch: &'s mut RushScratch,
+}
+
+impl Iterator for Walk<'_, '_> {
+    type Item = DiskId;
+
+    fn next(&mut self) -> Option<DiskId> {
+        next_distinct(
+            self.rush,
+            self.map,
+            self.group,
+            self.gkey,
+            &mut self.index,
+            self.scratch,
+        )
     }
 }
 
@@ -134,6 +300,126 @@ impl Iterator for Candidates<'_> {
 mod tests {
     use super::*;
     use farm_des::stats::coefficient_of_variation;
+
+    /// The pre-scratch candidate iterator, verbatim: `Vec` of emitted
+    /// disks, linear `contains` dedup. The golden-sequence tests pin the
+    /// production iterators to this reference so the generation-stamp
+    /// rewrite provably emits the identical order.
+    fn legacy_candidates(rush: &Rush, map: &ClusterMap, group: u64) -> Vec<DiskId> {
+        let mut emitted: Vec<DiskId> = Vec::new();
+        let mut index = 0u64;
+        'outer: while (emitted.len() as u64) < map.n_disks() as u64 {
+            for attempt in 0..MAX_ATTEMPTS {
+                let d = rush.raw_draw(map, group, index, attempt);
+                if !emitted.contains(&d) {
+                    emitted.push(d);
+                    index += 1;
+                    continue 'outer;
+                }
+            }
+            let start = hash::hash_words(rush.seed, &[group, index, 0xFA11]) % map.n_disks() as u64;
+            let n = map.n_disks();
+            for off in 0..n {
+                let d = DiskId(((start + off as u64) % n as u64) as u32);
+                if !emitted.contains(&d) {
+                    emitted.push(d);
+                    index += 1;
+                    continue 'outer;
+                }
+            }
+            break;
+        }
+        emitted
+    }
+
+    #[test]
+    fn golden_sequence_matches_legacy_iterator() {
+        // Full exhaustion (every disk, including the fallback-probe tail)
+        // across shapes: uniform, weighted multi-cluster, tiny.
+        let mut weighted = ClusterMap::uniform(48);
+        weighted.add_cluster(16, 2.0);
+        weighted.add_cluster(32, 0.5);
+        let maps = [ClusterMap::uniform(96), weighted, ClusterMap::uniform(3)];
+        for (m, map) in maps.iter().enumerate() {
+            for seed in [0u64, 7, 0xDEAD_BEEF] {
+                let rush = Rush::new(seed);
+                let mut scratch = RushScratch::new();
+                for group in 0..40u64 {
+                    let golden = legacy_candidates(&rush, map, group);
+                    let via_candidates: Vec<DiskId> = rush.candidates(map, group).collect();
+                    let via_walk: Vec<DiskId> = rush.walk(map, group, &mut scratch).collect();
+                    assert_eq!(
+                        golden, via_candidates,
+                        "candidates diverged (map {m}, seed {seed}, group {group})"
+                    );
+                    assert_eq!(
+                        golden, via_walk,
+                        "walk diverged (map {m}, seed {seed}, group {group})"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn walk_scratch_survives_generation_wraparound() {
+        let map = ClusterMap::uniform(32);
+        let rush = Rush::new(5);
+        let mut scratch = RushScratch::new();
+        // Park the generation counter just below the wrap so the next
+        // few walks cross it; emitted sequences must be unaffected.
+        scratch.generation = u32::MAX - 2;
+        for group in 0..6u64 {
+            let expected: Vec<DiskId> = rush.candidates(&map, group).take(8).collect();
+            let got: Vec<DiskId> = rush.walk(&map, group, &mut scratch).take(8).collect();
+            assert_eq!(expected, got, "group {group} diverged near the wrap");
+        }
+    }
+
+    #[test]
+    fn abandoned_walk_leaves_scratch_reusable() {
+        // Hot paths routinely stop a walk early (first eligible target
+        // wins); the next walk must still dedup correctly.
+        let map = ClusterMap::uniform(64);
+        let rush = Rush::new(9);
+        let mut scratch = RushScratch::new();
+        let _ = rush.walk(&map, 1, &mut scratch).next();
+        let full: Vec<DiskId> = rush.walk(&map, 2, &mut scratch).collect();
+        assert_eq!(full, rush.candidates(&map, 2).collect::<Vec<_>>());
+        assert_eq!(full.len(), 64);
+    }
+
+    #[test]
+    fn exhaustion_exercises_the_linear_probe_fallback() {
+        // With 512 disks, the last few candidates collide on essentially
+        // every hash attempt (P ≈ (511/512)^64 ≈ 0.88 per draw), so full
+        // exhaustion is all but guaranteed to take the fallback path —
+        // this pins the branch that plain placement never reaches.
+        let map = ClusterMap::uniform(512);
+        let rush = Rush::new(42);
+        let mut iter = rush.candidates(&map, 0);
+        let all: Vec<DiskId> = iter.by_ref().collect();
+        assert!(
+            iter.fallback_probes() > 0,
+            "512-disk exhaustion was expected to hit the fallback probe"
+        );
+        assert_eq!(all.len(), 512);
+        let mut sorted: Vec<u32> = all.iter().map(|d| d.0).collect();
+        sorted.sort_unstable();
+        assert_eq!(
+            sorted,
+            (0..512).collect::<Vec<_>>(),
+            "fallback must stay distinct"
+        );
+        // And the fallback tail is deterministic.
+        let again: Vec<DiskId> = rush.candidates(&map, 0).collect();
+        assert_eq!(all, again);
+        // The scratch-based walk takes the identical tail.
+        let mut scratch = RushScratch::new();
+        let via_walk: Vec<DiskId> = rush.walk(&map, 0, &mut scratch).collect();
+        assert_eq!(all, via_walk);
+        assert!(scratch.fallback_probes() > 0);
+    }
 
     #[test]
     fn placement_is_deterministic() {

@@ -240,7 +240,11 @@ fn running_merge_is_associative_enough() {
     for (i, mut rng) in cases(9, 200) {
         let n = rng.below(100) as usize;
         let xs: Vec<f64> = (0..n).map(|_| (rng.uniform() - 0.5) * 2e6).collect();
-        let split = if n == 0 { 0 } else { rng.below(n as u64 + 1) as usize };
+        let split = if n == 0 {
+            0
+        } else {
+            rng.below(n as u64 + 1) as usize
+        };
         let mut whole = Running::new();
         whole.extend(xs.iter().copied());
         let mut left = Running::new();

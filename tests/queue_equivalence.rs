@@ -1,0 +1,92 @@
+//! The event-queue knob must be invisible to results: the binary-heap
+//! and calendar future event lists both pop time-ascending with FIFO
+//! tie-breaking, so a trial is bit-for-bit identical under either.
+
+use farm_core::prelude::*;
+
+fn base() -> SystemConfig {
+    SystemConfig {
+        total_user_bytes: 32 * TIB,
+        group_user_bytes: 10 * GIB,
+        ..SystemConfig::default()
+    }
+}
+
+fn assert_metrics_identical(a: &TrialMetrics, b: &TrialMetrics, what: &str) {
+    assert_eq!(a.lost_groups, b.lost_groups, "{what}: lost_groups");
+    assert_eq!(a.lost_user_bytes, b.lost_user_bytes, "{what}: lost bytes");
+    assert_eq!(a.first_loss, b.first_loss, "{what}: first_loss");
+    assert_eq!(a.disk_failures, b.disk_failures, "{what}: disk_failures");
+    assert_eq!(
+        a.rebuilds_completed, b.rebuilds_completed,
+        "{what}: rebuilds"
+    );
+    assert_eq!(a.redirections, b.redirections, "{what}: redirections");
+    assert_eq!(a.migrated_blocks, b.migrated_blocks, "{what}: migrations");
+    assert_eq!(a.batches_added, b.batches_added, "{what}: batches");
+    assert_eq!(
+        a.events_processed, b.events_processed,
+        "{what}: events_processed"
+    );
+    // Vulnerability windows are sums of identical f64 terms in identical
+    // order, so even these match exactly.
+    assert_eq!(
+        a.max_vulnerability_secs.to_bits(),
+        b.max_vulnerability_secs.to_bits(),
+        "{what}: max vulnerability"
+    );
+    assert_eq!(
+        a.total_vulnerability_secs.to_bits(),
+        b.total_vulnerability_secs.to_bits(),
+        "{what}: total vulnerability"
+    );
+}
+
+#[test]
+fn heap_and_calendar_queues_produce_identical_trials() {
+    let heap_cfg = base();
+    assert_eq!(heap_cfg.queue, QueueKind::Heap, "heap is the default");
+    let cal_cfg = SystemConfig {
+        queue: QueueKind::Calendar,
+        ..base()
+    };
+    for seed in 0..8u64 {
+        let heap = run_trial(&heap_cfg, 2026, seed, TrialMode::Full);
+        let cal = run_trial(&cal_cfg, 2026, seed, TrialMode::Full);
+        assert_metrics_identical(&heap, &cal, &format!("seed {seed}"));
+    }
+}
+
+#[test]
+fn queue_kinds_agree_under_stressed_recovery() {
+    // Heavier event traffic (fast-failing drives, batch replacement,
+    // erasure coding) exercises far more schedule/pop interleavings.
+    let stressed = |queue| SystemConfig {
+        scheme: Scheme::new(4, 6),
+        hazard: farm_disk::failure::Hazard::table1().with_multiplier(4.0),
+        replacement: ReplacementPolicy::at_fraction(0.04),
+        queue,
+        ..base()
+    };
+    let heap_cfg = stressed(QueueKind::Heap);
+    let cal_cfg = stressed(QueueKind::Calendar);
+    for seed in [1u64, 17, 4242] {
+        let heap = run_trial(&heap_cfg, seed, 0, TrialMode::Full);
+        let cal = run_trial(&cal_cfg, seed, 0, TrialMode::Full);
+        assert_metrics_identical(&heap, &cal, &format!("stressed seed {seed}"));
+        assert!(heap.disk_failures > 0, "stress config must produce events");
+    }
+}
+
+#[test]
+fn multi_trial_summaries_agree_across_queue_kinds() {
+    let cal_cfg = SystemConfig {
+        queue: QueueKind::Calendar,
+        ..base()
+    };
+    let heap = run_trials(&base(), 7, 24, TrialMode::UntilLoss);
+    let cal = run_trials(&cal_cfg, 7, 24, TrialMode::UntilLoss);
+    assert_eq!(heap.p_loss.value(), cal.p_loss.value());
+    assert_eq!(heap.failures.mean(), cal.failures.mean());
+    assert_eq!(heap.events.mean(), cal.events.mean());
+}

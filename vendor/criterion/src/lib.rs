@@ -138,7 +138,10 @@ fn report(label: &str, median_ns: f64, throughput: Option<Throughput>) {
             format!("  {:.3} Melem/s", n as f64 / median_ns * 1e3)
         }
         Some(Throughput::Bytes(n)) => {
-            format!("  {:.3} MiB/s", n as f64 / median_ns * 1e9 / (1 << 20) as f64)
+            format!(
+                "  {:.3} MiB/s",
+                n as f64 / median_ns * 1e9 / (1 << 20) as f64
+            )
         }
         None => String::new(),
     };
