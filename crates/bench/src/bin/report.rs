@@ -7,14 +7,20 @@
 //! Runs the small and medium `bench_sim` configurations, times full
 //! six-year Monte-Carlo trials single-threaded (events/sec — the
 //! optimization-tracking metric, independent of core count) and at the
-//! default thread count (trials/sec), samples peak RSS, and merges the
-//! labelled result set into a JSON file (default `BENCH_PR1.json`).
+//! default thread count (trials/sec), samples peak RSS, reports the
+//! vulnerability-window percentiles of the timed batch, measures the
+//! observability overhead (event-loop profiling on vs off), and merges
+//! the labelled result set into a JSON file (default `BENCH_PR1.json`).
 //! Re-running with an existing label replaces that label's entry, so a
 //! "before" run survives an "after" run of the same file.
+//!
+//! `--smoke` shrinks the trial counts ~20× for a CI smoke run (numbers
+//! are noisy; the point is that the pipeline works end to end).
 
 use farm_bench::json::Json;
 use farm_bench::rss::peak_rss_bytes;
 use farm_core::prelude::*;
+use farm_obs::ObsOptions;
 use std::collections::BTreeMap;
 use std::time::Instant;
 
@@ -24,22 +30,23 @@ struct ConfigSpec {
     trials: u64,
 }
 
-fn tracked_configs() -> Vec<ConfigSpec> {
+fn tracked_configs(smoke: bool) -> Vec<ConfigSpec> {
     let base = |total: u64, group: u64| SystemConfig {
         total_user_bytes: total,
         group_user_bytes: group,
         ..SystemConfig::default()
     };
+    let scale = if smoke { 20 } else { 1 };
     vec![
         ConfigSpec {
             name: "small_64TiB_10GiB",
             cfg: base(64 * TIB, 10 * GIB),
-            trials: 1500,
+            trials: 1500 / scale,
         },
         ConfigSpec {
             name: "medium_256TiB_10GiB",
             cfg: base(256 * TIB, 10 * GIB),
-            trials: 400,
+            trials: 400 / scale,
         },
     ]
 }
@@ -52,23 +59,63 @@ struct RunResult {
     events_per_sec: f64,
     parallel_trials_per_sec: f64,
     peak_rss_bytes: u64,
+    /// Vulnerability-window percentiles of the timed batch, seconds.
+    vuln_p50: f64,
+    vuln_p99: f64,
+    vuln_max: f64,
+    /// events/sec with event-loop profiling enabled (overhead probe).
+    profiled_events_per_sec: f64,
+}
+
+/// Time a single-threaded batch with explicit observability options;
+/// returns (summary, events/sec). Benchmarks pin their own options so
+/// stray `FARM_*` variables cannot perturb the numbers.
+fn timed_events_per_sec(
+    spec: &ConfigSpec,
+    trials: u64,
+    obs: &ObsOptions,
+) -> (farm_core::McSummary, f64) {
+    let start = Instant::now();
+    let (summary, _) = run_trials_observed(&spec.cfg, 2, trials, TrialMode::Full, 1, obs);
+    let wall = start.elapsed().as_secs_f64();
+    let events = summary.events.mean() * summary.trials() as f64;
+    (summary, events / wall)
 }
 
 fn measure(spec: &ConfigSpec) -> RunResult {
+    let obs_off = ObsOptions::off();
+    let obs_profiled = ObsOptions {
+        profile: true,
+        ..ObsOptions::off()
+    };
+
     // Warm-up: fault in code paths and the allocator before timing.
-    run_trials_with_threads(&spec.cfg, 1, 1, TrialMode::Full, 1);
+    run_trials_observed(&spec.cfg, 1, 1, TrialMode::Full, 1, &obs_off);
 
     // Single-threaded timed run: the per-core throughput number that
     // optimizations must move.
     let start = Instant::now();
-    let summary = run_trials_with_threads(&spec.cfg, 2, spec.trials, TrialMode::Full, 1);
+    let (summary, _) = run_trials_observed(&spec.cfg, 2, spec.trials, TrialMode::Full, 1, &obs_off);
     let wall = start.elapsed().as_secs_f64();
     let events = (summary.events.mean() * summary.trials() as f64).round() as u64;
+
+    // Overhead probe: the same batch with the event-loop profiler on.
+    // The contract is "zero when off, cheap when on"; tracking the
+    // profiled number catches regressions in the instrumented path too.
+    let probe_trials = (spec.trials / 4).max(1);
+    let (_, profiled_eps) = timed_events_per_sec(spec, probe_trials, &obs_profiled);
 
     // Parallel throughput at the default thread count.
     let threads = default_threads();
     let pstart = Instant::now();
-    run_trials_with_threads(&spec.cfg, 2, spec.trials, TrialMode::Full, threads);
+    run_trials_observed(
+        &spec.cfg,
+        2,
+        spec.trials,
+        TrialMode::Full,
+        threads,
+        &obs_off,
+    );
     let pwall = pstart.elapsed().as_secs_f64();
 
     RunResult {
@@ -79,6 +126,10 @@ fn measure(spec: &ConfigSpec) -> RunResult {
         events_per_sec: events as f64 / wall,
         parallel_trials_per_sec: spec.trials as f64 / pwall,
         peak_rss_bytes: peak_rss_bytes(),
+        vuln_p50: summary.vulnerability.p50(),
+        vuln_p99: summary.vulnerability.p99(),
+        vuln_max: summary.vulnerability.max(),
+        profiled_events_per_sec: profiled_eps,
     }
 }
 
@@ -97,6 +148,13 @@ fn result_to_json(r: &RunResult) -> Json {
             Json::num((r.parallel_trials_per_sec * 1e3).round() / 1e3),
         ),
         ("peak_rss_bytes".into(), Json::num(r.peak_rss_bytes as f64)),
+        ("vuln_p50_secs".into(), Json::num(r.vuln_p50.round())),
+        ("vuln_p99_secs".into(), Json::num(r.vuln_p99.round())),
+        ("vuln_max_secs".into(), Json::num(r.vuln_max.round())),
+        (
+            "profiled_events_per_sec".into(),
+            Json::num(r.profiled_events_per_sec.round()),
+        ),
     ]))
 }
 
@@ -124,13 +182,15 @@ fn merge_into(doc: Json, label: &str, results: &[RunResult]) -> Json {
 fn main() {
     let mut label = String::from("run");
     let mut out = String::from("BENCH_PR1.json");
+    let mut smoke = false;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--label" => label = args.next().expect("--label needs a value"),
             "--out" => out = args.next().expect("--out needs a value"),
+            "--smoke" => smoke = true,
             "--help" | "-h" => {
-                println!("usage: report [--label NAME] [--out FILE.json]");
+                println!("usage: report [--label NAME] [--out FILE.json] [--smoke]");
                 return;
             }
             other => {
@@ -141,7 +201,7 @@ fn main() {
     }
 
     let mut results = Vec::new();
-    for spec in tracked_configs() {
+    for spec in tracked_configs(smoke) {
         eprintln!("measuring {} ({} trials)...", spec.name, spec.trials);
         let r = measure(&spec);
         println!(
@@ -151,6 +211,15 @@ fn main() {
             r.parallel_trials_per_sec,
             default_threads(),
             r.peak_rss_bytes >> 20,
+        );
+        println!(
+            "{:<22} vuln window p50 {:.0}s p99 {:.0}s max {:.0}s  profiled {:.1} events/sec ({:+.1}%)",
+            "",
+            r.vuln_p50,
+            r.vuln_p99,
+            r.vuln_max,
+            r.profiled_events_per_sec,
+            100.0 * (r.profiled_events_per_sec / r.events_per_sec - 1.0),
         );
         results.push(r);
     }

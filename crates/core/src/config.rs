@@ -1,5 +1,11 @@
 //! System configuration: Table 2 of the paper, plus the knobs each
 //! experiment sweeps.
+//!
+//! Observability switches (tracing, profiling, progress) deliberately do
+//! *not* live here: `SystemConfig` fully determines simulation results,
+//! while observability must never affect them. Those knobs come from
+//! `farm-obs` ([`farm_obs::ObsOptions`]) via CLI flags or `FARM_*`
+//! environment variables instead.
 
 use farm_des::time::Duration;
 use farm_des::QueueKind;

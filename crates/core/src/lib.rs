@@ -49,7 +49,9 @@ pub mod workload;
 pub use config::{RecoveryPolicy, ReplacementPolicy, SystemConfig, WorkloadConfig};
 pub use layout::{BlockRef, GroupLayout};
 pub use metrics::{McSummary, TrialMetrics};
-pub use montecarlo::{run_trial, run_trials, run_trials_with_threads, TrialMode};
+pub use montecarlo::{
+    run_trial, run_trials, run_trials_observed, run_trials_with_threads, TrialMode,
+};
 pub use sim::{Event, Simulation};
 
 /// Common imports for examples and experiments.
@@ -57,7 +59,8 @@ pub mod prelude {
     pub use crate::config::{RecoveryPolicy, ReplacementPolicy, SystemConfig, WorkloadConfig};
     pub use crate::metrics::{McSummary, TrialMetrics};
     pub use crate::montecarlo::{
-        default_threads, run_trial, run_trials, run_trials_with_threads, TrialMode,
+        default_threads, run_trial, run_trials, run_trials_observed, run_trials_with_threads,
+        TrialMode,
     };
     pub use crate::sim::Simulation;
     pub use farm_des::time::Duration;

@@ -1,6 +1,6 @@
 //! Per-trial and aggregated metrics.
 
-use farm_des::stats::{Proportion, Running};
+use farm_des::stats::{Histogram, Proportion, Running};
 use farm_des::time::SimTime;
 use serde::{Deserialize, Serialize};
 
@@ -33,6 +33,18 @@ pub struct TrialMetrics {
     /// Discrete events the trial's main loop processed — the unit the
     /// benchmark trajectory reports throughput in (events/sec).
     pub events_processed: u64,
+    /// Rebuilds that found no eligible target anywhere (must stay zero
+    /// at the paper's 40% utilization; asserted by the invariants).
+    pub no_targets: u64,
+    /// Distribution of per-rebuild vulnerability windows, seconds.
+    pub vulnerability: Histogram,
+    /// Distribution of rebuild queueing delays (how long each rebuild
+    /// waited for busy recovery pipes before starting), seconds.
+    pub queue_delay: Histogram,
+    /// Distribution of recovery fan-out: rebuilds launched per detected
+    /// disk failure (FARM spreads these across disks; single-spare RAID
+    /// funnels the same count into one drive).
+    pub fanout: Histogram,
 }
 
 impl TrialMetrics {
@@ -50,6 +62,10 @@ impl TrialMetrics {
             max_vulnerability_secs: 0.0,
             total_vulnerability_secs: 0.0,
             events_processed: 0,
+            no_targets: 0,
+            vulnerability: Histogram::new(),
+            queue_delay: Histogram::new(),
+            fanout: Histogram::new(),
         }
     }
 
@@ -69,6 +85,7 @@ impl TrialMetrics {
     pub fn record_vulnerability(&mut self, secs: f64) {
         self.max_vulnerability_secs = self.max_vulnerability_secs.max(secs);
         self.total_vulnerability_secs += secs;
+        self.vulnerability.record(secs);
     }
 
     pub fn mean_vulnerability_secs(&self) -> f64 {
@@ -101,6 +118,14 @@ pub struct McSummary {
     pub mean_vulnerability: Running,
     /// Events processed per trial (throughput accounting).
     pub events: Running,
+    /// No-eligible-target rebuilds per trial (should stay at zero).
+    pub no_targets: Running,
+    /// Pooled distribution of per-rebuild vulnerability windows, secs.
+    pub vulnerability: Histogram,
+    /// Pooled distribution of rebuild queueing delays, secs.
+    pub queue_delay: Histogram,
+    /// Pooled distribution of rebuild fan-out per detected failure.
+    pub fanout: Histogram,
 }
 
 impl McSummary {
@@ -114,6 +139,10 @@ impl McSummary {
             lost_groups: Running::new(),
             mean_vulnerability: Running::new(),
             events: Running::new(),
+            no_targets: Running::new(),
+            vulnerability: Histogram::new(),
+            queue_delay: Histogram::new(),
+            fanout: Histogram::new(),
         }
     }
 
@@ -127,6 +156,10 @@ impl McSummary {
         self.lost_groups.push(t.lost_groups as f64);
         self.mean_vulnerability.push(t.mean_vulnerability_secs());
         self.events.push(t.events_processed as f64);
+        self.no_targets.push(t.no_targets as f64);
+        self.vulnerability.merge(&t.vulnerability);
+        self.queue_delay.merge(&t.queue_delay);
+        self.fanout.merge(&t.fanout);
     }
 
     pub fn merge(&mut self, other: &McSummary) {
@@ -138,6 +171,10 @@ impl McSummary {
         self.lost_groups.merge(&other.lost_groups);
         self.mean_vulnerability.merge(&other.mean_vulnerability);
         self.events.merge(&other.events);
+        self.no_targets.merge(&other.no_targets);
+        self.vulnerability.merge(&other.vulnerability);
+        self.queue_delay.merge(&other.queue_delay);
+        self.fanout.merge(&other.fanout);
     }
 
     pub fn trials(&self) -> u64 {
@@ -194,6 +231,36 @@ mod tests {
         assert_eq!(s.p_loss.successes, 1);
         assert_eq!(s.p_redirection.successes, 1);
         assert!((s.failures.mean() - 15.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn summary_pools_distributions_and_no_targets() {
+        let mut s = McSummary::new();
+        let mut t1 = TrialMetrics::new();
+        t1.record_vulnerability(10.0);
+        t1.record_vulnerability(100.0);
+        t1.queue_delay.record(0.0);
+        t1.fanout.record(25.0);
+        t1.no_targets = 1;
+        let mut t2 = TrialMetrics::new();
+        t2.record_vulnerability(50.0);
+        s.push(&t1);
+        s.push(&t2);
+        assert_eq!(s.vulnerability.count(), 3);
+        assert_eq!(s.vulnerability.max(), 100.0);
+        assert_eq!(s.queue_delay.count(), 1);
+        assert_eq!(s.fanout.count(), 1);
+        assert_eq!(s.no_targets.count(), 2);
+        assert!((s.no_targets.mean() - 0.5).abs() < 1e-12);
+
+        // Merging summaries pools the histograms too.
+        let mut other = McSummary::new();
+        let mut t3 = TrialMetrics::new();
+        t3.record_vulnerability(20.0);
+        other.push(&t3);
+        s.merge(&other);
+        assert_eq!(s.vulnerability.count(), 4);
+        assert_eq!(s.trials(), 3);
     }
 
     #[test]

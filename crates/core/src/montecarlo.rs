@@ -9,6 +9,7 @@ use crate::config::SystemConfig;
 use crate::metrics::{McSummary, TrialMetrics};
 use crate::sim::Simulation;
 use farm_des::rng::derive_seed;
+use farm_obs::{diag, EventProfile, ObsOptions, Progress, TrialTracer};
 use std::sync::atomic::{AtomicU64, Ordering};
 
 /// How a trial is executed.
@@ -35,6 +36,64 @@ pub fn run_trial(
     }
 }
 
+/// Run one trial with the requested observability attached: profiling
+/// and (for the sampled trial index) tracing. Results are bit-identical
+/// to [`run_trial`] — observability never feeds back into the model.
+fn run_trial_observed(
+    cfg: &SystemConfig,
+    master_seed: u64,
+    trial: u64,
+    mode: TrialMode,
+    obs: &ObsOptions,
+) -> (TrialMetrics, Option<Box<EventProfile>>) {
+    let seed = derive_seed(master_seed, trial);
+    let mut sim = Simulation::new(cfg.clone(), seed);
+    if obs.profile {
+        sim.enable_profiling();
+    }
+    if let Some(spec) = &obs.trace {
+        if spec.trial == trial {
+            match TrialTracer::open(spec) {
+                Ok(t) => sim.set_tracer(t),
+                Err(e) => {
+                    diag::warn_once(
+                        "trace-open",
+                        &format!("cannot open trace sink {:?}: {e}", spec.path),
+                    );
+                }
+            }
+        }
+    }
+    let metrics = match mode {
+        TrialMode::Full => sim.run(),
+        TrialMode::UntilLoss => sim.run_until_loss(),
+    };
+    if let Some(mut t) = sim.take_tracer() {
+        t.emit(
+            sim.now().as_secs(),
+            "trial_end",
+            format_args!(
+                ",\"failures\":{},\"rebuilds\":{},\"redirections\":{},\"lost_groups\":{}",
+                metrics.disk_failures,
+                metrics.rebuilds_completed,
+                metrics.redirections,
+                metrics.lost_groups
+            ),
+        );
+        t.flush();
+    }
+    (metrics, sim.take_profile())
+}
+
+fn merge_profile(acc: &mut Option<EventProfile>, p: Option<Box<EventProfile>>) {
+    if let Some(p) = p {
+        match acc {
+            Some(a) => a.merge(&p),
+            None => *acc = Some(*p),
+        }
+    }
+}
+
 /// Run `trials` independent trials in parallel and aggregate.
 pub fn run_trials(cfg: &SystemConfig, master_seed: u64, trials: u64, mode: TrialMode) -> McSummary {
     run_trials_with_threads(cfg, master_seed, trials, mode, default_threads())
@@ -49,7 +108,12 @@ pub fn default_threads() -> usize {
     if let Ok(v) = std::env::var("FARM_THREADS") {
         match v.trim().parse::<usize>() {
             Ok(n) if n >= 1 => return n,
-            _ => eprintln!("ignoring invalid FARM_THREADS={v:?} (want an integer >= 1)"),
+            _ => {
+                diag::warn_once(
+                    "FARM_THREADS",
+                    &format!("ignoring invalid FARM_THREADS={v:?} (want an integer >= 1)"),
+                );
+            }
         }
     }
     std::thread::available_parallelism()
@@ -59,6 +123,10 @@ pub fn default_threads() -> usize {
 }
 
 /// As [`run_trials`], with an explicit thread count (1 = sequential).
+///
+/// Observability comes from the process-wide [`farm_obs::global`]
+/// options (CLI flags or `FARM_*` environment variables); a profile
+/// requested that way is rendered to stderr when the batch completes.
 pub fn run_trials_with_threads(
     cfg: &SystemConfig,
     master_seed: u64,
@@ -66,41 +134,75 @@ pub fn run_trials_with_threads(
     mode: TrialMode,
     threads: usize,
 ) -> McSummary {
-    assert!(threads >= 1);
-    if threads == 1 || trials <= 1 {
-        let mut summary = McSummary::new();
-        for t in 0..trials {
-            summary.push(&run_trial(cfg, master_seed, t, mode));
-        }
-        return summary;
-    }
-    let next = AtomicU64::new(0);
-    let mut partials: Vec<McSummary> = Vec::new();
-    std::thread::scope(|scope| {
-        let mut handles = Vec::with_capacity(threads);
-        for _ in 0..threads {
-            let next = &next;
-            handles.push(scope.spawn(move || {
-                let mut local = McSummary::new();
-                loop {
-                    let t = next.fetch_add(1, Ordering::Relaxed);
-                    if t >= trials {
-                        break;
-                    }
-                    local.push(&run_trial(cfg, master_seed, t, mode));
-                }
-                local
-            }));
-        }
-        for h in handles {
-            partials.push(h.join().expect("trial thread panicked"));
-        }
-    });
-    let mut summary = McSummary::new();
-    for p in &partials {
-        summary.merge(p);
+    let (summary, profile) =
+        run_trials_observed(cfg, master_seed, trials, mode, threads, farm_obs::global());
+    if let Some(p) = profile {
+        eprint!("{}", p.render());
     }
     summary
+}
+
+/// The full-control entry point: run `trials` trials with explicit
+/// observability options, returning the aggregate and (when profiling
+/// was on) the merged event-loop profile.
+pub fn run_trials_observed(
+    cfg: &SystemConfig,
+    master_seed: u64,
+    trials: u64,
+    mode: TrialMode,
+    threads: usize,
+    obs: &ObsOptions,
+) -> (McSummary, Option<EventProfile>) {
+    assert!(threads >= 1);
+    let progress = Progress::new(trials, obs.progress_enabled());
+    let (summary, profile) = if threads == 1 || trials <= 1 {
+        let mut summary = McSummary::new();
+        let mut profile: Option<EventProfile> = None;
+        for t in 0..trials {
+            let (m, p) = run_trial_observed(cfg, master_seed, t, mode, obs);
+            progress.trial_done(m.lost_data());
+            summary.push(&m);
+            merge_profile(&mut profile, p);
+        }
+        (summary, profile)
+    } else {
+        let next = AtomicU64::new(0);
+        let mut partials: Vec<(McSummary, Option<EventProfile>)> = Vec::new();
+        std::thread::scope(|scope| {
+            let mut handles = Vec::with_capacity(threads);
+            for _ in 0..threads {
+                let next = &next;
+                let progress = &progress;
+                handles.push(scope.spawn(move || {
+                    let mut local = McSummary::new();
+                    let mut local_profile: Option<EventProfile> = None;
+                    loop {
+                        let t = next.fetch_add(1, Ordering::Relaxed);
+                        if t >= trials {
+                            break;
+                        }
+                        let (m, p) = run_trial_observed(cfg, master_seed, t, mode, obs);
+                        progress.trial_done(m.lost_data());
+                        local.push(&m);
+                        merge_profile(&mut local_profile, p);
+                    }
+                    (local, local_profile)
+                }));
+            }
+            for h in handles {
+                partials.push(h.join().expect("trial thread panicked"));
+            }
+        });
+        let mut summary = McSummary::new();
+        let mut profile: Option<EventProfile> = None;
+        for (s, p) in partials {
+            summary.merge(&s);
+            merge_profile(&mut profile, p.map(Box::new));
+        }
+        (summary, profile)
+    };
+    progress.finish();
+    (summary, profile)
 }
 
 #[cfg(test)]
@@ -161,6 +263,27 @@ mod tests {
         assert_eq!(seq.p_loss.successes, par.p_loss.successes);
         assert!((seq.failures.mean() - par.failures.mean()).abs() < 1e-9);
         assert!((seq.rebuilds.mean() - par.rebuilds.mean()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn observed_run_returns_a_profile_that_accounts_for_every_event() {
+        let cfg = tiny();
+        let off = ObsOptions::off();
+        let (base, none) = run_trials_observed(&cfg, 5, 4, TrialMode::Full, 2, &off);
+        assert!(none.is_none(), "no profile requested");
+        let on = ObsOptions {
+            profile: true,
+            ..ObsOptions::off()
+        };
+        let (summary, profile) = run_trials_observed(&cfg, 5, 4, TrialMode::Full, 2, &on);
+        let p = profile.expect("profiling was requested");
+        // The profiler saw exactly the events the metrics counted, and
+        // profiling did not change the simulation.
+        let events = (summary.events.mean() * summary.events.count() as f64).round() as u64;
+        assert_eq!(p.total_events(), events);
+        assert_eq!(p.queue_depth().count(), events);
+        assert_eq!(base.p_loss.successes, summary.p_loss.successes);
+        assert!((base.failures.mean() - summary.failures.mean()).abs() < 1e-12);
     }
 
     #[test]

@@ -8,7 +8,7 @@
 //! monitoring enabled, suspect drives are avoided too.
 
 use crate::layout::BlockRef;
-use crate::sim::{Event, Simulation};
+use crate::sim::{trace_ev, Event, Simulation};
 use farm_des::time::{Duration, SimTime};
 use farm_placement::DiskId;
 
@@ -141,7 +141,14 @@ impl Simulation {
                     // re-protected. Treat as unrecoverable (never happens
                     // at the paper's 40% utilization; counted so tests
                     // can assert that).
-                    self.no_target_events += 1;
+                    self.metrics_mut().no_targets += 1;
+                    trace_ev!(
+                        self,
+                        "no_target",
+                        ",\"group\":{},\"idx\":{}",
+                        b.group(),
+                        b.idx()
+                    );
                     return;
                 }
             },
@@ -197,6 +204,16 @@ impl Simulation {
                 start = std::cmp::max(start, self.recovery_busy_until(s));
             }
         }
+        let wait_secs = (start - now).as_secs();
+        self.metrics_mut().queue_delay.record(wait_secs);
+        trace_ev!(
+            self,
+            "rebuild_start",
+            ",\"group\":{},\"idx\":{},\"target\":{},\"wait\":{wait_secs:.3}",
+            b.group(),
+            b.idx(),
+            target.0
+        );
         let bw = self.recovery_bandwidth_at(start);
         let duration = Duration::from_secs(block_bytes as f64 / bw as f64);
         let done = start + duration;

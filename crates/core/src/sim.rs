@@ -25,7 +25,22 @@ use farm_des::time::{Duration, SimTime};
 use farm_des::AnyQueue;
 use farm_disk::health::SmartVerdict;
 use farm_disk::model::Disk;
+use farm_obs::{EventProfile, TrialTracer};
 use farm_placement::{ClusterMap, DiskId, Rush, RushScratch};
+
+/// Emit one trace record if (and only if) a tracer is attached.
+///
+/// The `format_args!` payload is only built behind the `is_some` check,
+/// so with tracing off (the default) each call site is a single
+/// null-test of the `tracer` box — nothing is formatted or allocated.
+macro_rules! trace_ev {
+    ($sim:expr, $ev:expr, $($fmt:tt)+) => {
+        if $sim.tracer.is_some() {
+            $sim.trace_slow($ev, format_args!($($fmt)+));
+        }
+    };
+}
+pub(crate) use trace_ev;
 
 /// Simulation events.
 #[derive(Clone, Copy, Debug)]
@@ -36,6 +51,21 @@ pub enum Event {
     Detect(DiskId),
     /// A block rebuild finishes (valid only if the epoch still matches).
     RebuildDone { block: BlockRef, epoch: u32 },
+}
+
+impl Event {
+    /// Profiler labels, indexed by [`Event::kind_index`].
+    pub const KIND_LABELS: &'static [&'static str] = &["failure", "detect", "rebuild_done"];
+
+    /// Discriminant index into [`Event::KIND_LABELS`].
+    #[inline]
+    pub fn kind_index(&self) -> usize {
+        match self {
+            Event::Failure(_) => 0,
+            Event::Detect(_) => 1,
+            Event::RebuildDone { .. } => 2,
+        }
+    }
 }
 
 /// Seed-stream labels (one namespace per concern keeps streams
@@ -75,8 +105,11 @@ pub struct Simulation {
     pub(crate) sources_scratch: Vec<DiskId>,
     /// Failed drives in the placement population since the last batch.
     pub(crate) failed_since_batch: u32,
-    /// Rebuilds that found no eligible target (should stay at zero).
-    pub no_target_events: u64,
+    /// Event-loop profiler (observability; `None` = off, the zero-cost
+    /// default — the event loop only ever branches on the `Option`).
+    profiler: Option<Box<EventProfile>>,
+    /// Structured trial tracer (observability; `None` = off).
+    pub(crate) tracer: Option<Box<TrialTracer>>,
     /// RNG used only by ablation policies (random target choice).
     ablation_rng: farm_des::rng::RngStream,
     /// RNG for latent-sector-error sampling.
@@ -116,7 +149,8 @@ impl Simulation {
             blocks_scratch: Vec::new(),
             sources_scratch: Vec::new(),
             failed_since_batch: 0,
-            no_target_events: 0,
+            profiler: None,
+            tracer: None,
             ablation_rng: seeds.stream(streams::ABLATION),
             latent_rng: seeds.stream(streams::LATENT),
         };
@@ -265,6 +299,42 @@ impl Simulation {
         )
     }
 
+    // ----- observability --------------------------------------------------
+
+    /// Profile the event loop (per-event-type counts/time, queue depth).
+    /// Never changes results; costs ~two `Instant` reads per event.
+    pub fn enable_profiling(&mut self) {
+        self.profiler = Some(Box::new(EventProfile::new(Event::KIND_LABELS)));
+    }
+
+    /// Take the accumulated profile (if profiling was enabled).
+    pub fn take_profile(&mut self) -> Option<Box<EventProfile>> {
+        self.profiler.take()
+    }
+
+    /// Attach a structured tracer: every failure/detect/redirect/rebuild
+    /// in this trial emits one JSONL record. Never changes results.
+    pub fn set_tracer(&mut self, tracer: TrialTracer) {
+        self.tracer = Some(Box::new(tracer));
+    }
+
+    /// Detach the tracer (flushes on drop).
+    pub fn take_tracer(&mut self) -> Option<Box<TrialTracer>> {
+        self.tracer.take()
+    }
+
+    /// Cold half of [`trace_ev!`]: formats and emits one trace record.
+    /// Only ever called with a tracer attached, so it can stay out of
+    /// line and keep the handlers' hot code compact.
+    #[cold]
+    #[inline(never)]
+    pub(crate) fn trace_slow(&mut self, ev: &str, extra: std::fmt::Arguments<'_>) {
+        let now = self.now;
+        if let Some(t) = self.tracer.as_deref_mut() {
+            t.emit(now.as_secs(), ev, extra);
+        }
+    }
+
     pub(crate) fn recovery_busy_until(&self, d: DiskId) -> SimTime {
         self.recovery_busy[d.0 as usize]
     }
@@ -298,23 +368,60 @@ impl Simulation {
     }
 
     fn run_inner(&mut self, stop_on_loss: bool) -> TrialMetrics {
+        // The loop is monomorphized twice so that with profiling off (the
+        // default) the hot path carries no clock reads, no `Option`
+        // plumbing — nothing beyond the dispatch itself.
+        if self.profiler.is_some() {
+            self.run_loop_profiled(stop_on_loss);
+        } else {
+            self.run_loop(stop_on_loss);
+        }
+        self.now = self.horizon;
+        self.metrics.clone()
+    }
+
+    #[inline(always)]
+    fn dispatch(&mut self, ev: Event) {
+        match ev {
+            Event::Failure(d) => self.on_failure(d),
+            Event::Detect(d) => self.on_detect(d),
+            Event::RebuildDone { block, epoch } => self.on_rebuild_done(block, epoch),
+        }
+    }
+
+    fn run_loop(&mut self, stop_on_loss: bool) {
         while let Some((t, ev)) = self.queue.pop() {
             if t > self.horizon {
                 break;
             }
             self.now = t;
             self.metrics.events_processed += 1;
-            match ev {
-                Event::Failure(d) => self.on_failure(d),
-                Event::Detect(d) => self.on_detect(d),
-                Event::RebuildDone { block, epoch } => self.on_rebuild_done(block, epoch),
+            self.dispatch(ev);
+            if stop_on_loss && self.metrics.lost_data() {
+                break;
+            }
+        }
+    }
+
+    fn run_loop_profiled(&mut self, stop_on_loss: bool) {
+        while let Some((t, ev)) = self.queue.pop() {
+            if t > self.horizon {
+                break;
+            }
+            self.now = t;
+            self.metrics.events_processed += 1;
+            let t0 = std::time::Instant::now();
+            self.dispatch(ev);
+            let nanos = t0.elapsed().as_nanos() as u64;
+            let depth = self.queue.len() as u64;
+            if let Some(p) = self.profiler.as_deref_mut() {
+                p.record(ev.kind_index(), nanos);
+                p.sample_queue_depth(depth);
             }
             if stop_on_loss && self.metrics.lost_data() {
                 break;
             }
         }
-        self.now = self.horizon;
-        self.metrics.clone()
     }
 
     // ----- event handlers -------------------------------------------------
@@ -323,6 +430,7 @@ impl Simulation {
         debug_assert!(self.disks[d.0 as usize].is_active(), "disk fails once");
         self.metrics.disk_failures += 1;
         self.disks[d.0 as usize].fail();
+        trace_ev!(self, "failure", ",\"disk\":{}", d.0);
 
         // Classify every block homed here. Snapshot the reverse index
         // into the reusable scratch (the loop body mutates the layout).
@@ -339,6 +447,13 @@ impl Simulation {
                 // Detect(d) will pick a fresh target.
                 self.metrics.redirections += 1;
                 self.layout.bump_epoch(b);
+                trace_ev!(
+                    self,
+                    "redirect",
+                    ",\"group\":{},\"idx\":{}",
+                    b.group(),
+                    b.idx()
+                );
             } else {
                 let missing = self.layout.mark_missing(b);
                 self.layout.set_vulnerable(b, self.now);
@@ -347,6 +462,7 @@ impl Simulation {
                     self.layout.mark_dead(b.group());
                     self.metrics
                         .record_loss(self.cfg.group_user_bytes, self.now);
+                    trace_ev!(self, "loss", ",\"group\":{}", b.group());
                 }
             }
         }
@@ -375,6 +491,17 @@ impl Simulation {
                 .filter(|&b| self.layout.is_missing(b) && !self.layout.is_dead(b.group())),
         );
         if !blocks.is_empty() {
+            // Recovery fan-out: how many rebuilds this one detected
+            // failure launches (FARM declusters them; single-spare RAID
+            // funnels the same count into one fresh drive).
+            self.metrics.fanout.record(blocks.len() as f64);
+            trace_ev!(
+                self,
+                "detect",
+                ",\"disk\":{},\"rebuilds\":{}",
+                d.0,
+                blocks.len()
+            );
             let forced_target = match self.cfg.recovery {
                 RecoveryPolicy::Farm => None,
                 RecoveryPolicy::SingleSpare => {
@@ -408,8 +535,15 @@ impl Simulation {
         self.layout.mark_available(b);
         self.metrics.rebuilds_completed += 1;
         if let Some(since) = self.layout.take_vulnerable(b) {
-            self.metrics
-                .record_vulnerability((self.now - since).as_secs());
+            let window = (self.now - since).as_secs();
+            self.metrics.record_vulnerability(window);
+            trace_ev!(
+                self,
+                "rebuild_done",
+                ",\"group\":{},\"idx\":{},\"window\":{window:.3}",
+                b.group(),
+                b.idx()
+            );
         }
     }
 

@@ -77,7 +77,7 @@ fn farm_rebuilds_everything_it_can() {
     // 30 s detection and ~4 GiB blocks is vanishingly unlikely to strand
     // more than a handful).
     assert!(m.rebuilds_completed > 0, "no rebuilds happened");
-    assert_eq!(sim.no_target_events, 0, "recovery target always exists");
+    assert_eq!(m.no_targets, 0, "recovery target always exists");
 }
 
 #[test]
@@ -279,7 +279,7 @@ fn random_target_policy_still_recovers() {
     let mut sim = Simulation::new(cfg, 12);
     let m = sim.run();
     assert!(m.rebuilds_completed > 0);
-    assert_eq!(sim.no_target_events, 0);
+    assert_eq!(m.no_targets, 0);
     // Constraints still hold for live groups.
     for g in 0..sim.layout().n_groups() {
         if sim.layout().is_dead(g) {

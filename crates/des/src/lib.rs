@@ -29,6 +29,7 @@
 
 pub mod anyqueue;
 pub mod calendar;
+pub mod hist;
 pub mod queue;
 pub mod rng;
 pub mod stats;
@@ -36,6 +37,7 @@ pub mod time;
 
 pub use anyqueue::{AnyQueue, QueueKind};
 pub use calendar::CalendarQueue;
+pub use hist::Histogram;
 pub use queue::{EventId, EventQueue};
 pub use rng::{derive_seed, RngStream, SeedFactory};
 pub use time::{Duration, SimTime};

@@ -2,6 +2,11 @@
 
 use serde::{Deserialize, Serialize};
 
+// The log-bucketed distribution accumulator lives in [`crate::hist`]
+// but belongs to the same toolkit, so re-export it here next to
+// `Running` (they are used together in every trial aggregate).
+pub use crate::hist::Histogram;
+
 /// Online mean/variance accumulator (Welford's algorithm).
 #[derive(Clone, Debug, Default, Serialize, Deserialize)]
 pub struct Running {

@@ -9,8 +9,19 @@
 //!   experiment finishes in seconds (default),
 //! * `--full`       — the paper's full 2 PiB scale,
 //! * `--threads T`  — worker threads (default: all cores, capped).
+//!
+//! Observability switches (see `farm-obs`; environment variables
+//! `FARM_TRACE` / `FARM_PROFILE` / `FARM_PROGRESS` work everywhere,
+//! the flags override them):
+//!
+//! * `--trace [N]`   — emit a JSONL trace of trial N (default 0) to
+//!   stderr; route it to a file with `FARM_TRACE=N:path`,
+//! * `--profile`     — print an event-loop profile after each batch,
+//! * `--progress` / `--no-progress` — force batch progress reporting on
+//!   or off (default: on only when stderr is a terminal).
 
 use farm_core::montecarlo;
+use farm_obs::{ObsOptions, TraceSpec};
 
 /// Parsed experiment options.
 #[derive(Clone, Copy, Debug)]
@@ -21,6 +32,12 @@ pub struct Options {
     pub scale: f64,
     pub threads: usize,
     pub quick: bool,
+    /// Trace this trial index as JSONL (`--trace [N]`).
+    pub trace: Option<u64>,
+    /// Force progress reporting on/off (`None` = auto).
+    pub progress: Option<bool>,
+    /// Print an event-loop profile per batch.
+    pub profile: bool,
 }
 
 impl Options {
@@ -31,16 +48,18 @@ impl Options {
             scale: 0.125,
             threads: montecarlo::default_threads(),
             quick: true,
+            trace: None,
+            progress: None,
+            profile: false,
         }
     }
 
     pub fn full_default() -> Self {
         Options {
-            trials: 100,
-            seed: 2004,
             scale: 1.0,
-            threads: montecarlo::default_threads(),
+            trials: 100,
             quick: false,
+            ..Options::quick_default()
         }
     }
 
@@ -49,7 +68,10 @@ impl Options {
     pub fn parse<I: IntoIterator<Item = String>>(args: I) -> Result<Options, String> {
         let mut opts = Options::quick_default();
         let mut explicit_trials = None;
-        let mut it = args.into_iter();
+        let mut trace = None;
+        let mut progress = None;
+        let mut profile = false;
+        let mut it = args.into_iter().peekable();
         while let Some(arg) = it.next() {
             match arg.as_str() {
                 "--quick" => {
@@ -73,9 +95,25 @@ impl Options {
                         return Err("--threads must be >= 1".into());
                     }
                 }
+                "--trace" => {
+                    // Optional trial index; bare `--trace` samples trial 0.
+                    let n = match it.peek() {
+                        Some(v) if !v.starts_with('-') => {
+                            let v = it.next().unwrap();
+                            v.parse::<u64>().map_err(|e| format!("--trace: {e}"))?
+                        }
+                        _ => 0,
+                    };
+                    trace = Some(n);
+                }
+                "--progress" => progress = Some(true),
+                "--no-progress" => progress = Some(false),
+                "--profile" => profile = true,
                 "--help" | "-h" => {
                     return Err(
-                        "options: [--quick|--full] [--trials N] [--seed S] [--threads T]".into(),
+                        "options: [--quick|--full] [--trials N] [--seed S] [--threads T] \
+                         [--trace [N]] [--profile] [--progress|--no-progress]"
+                            .into(),
                     );
                 }
                 other => return Err(format!("unknown argument: {other}")),
@@ -87,13 +125,38 @@ impl Options {
             }
             opts.trials = t;
         }
+        opts.trace = trace;
+        opts.progress = progress;
+        opts.profile = profile;
         Ok(opts)
     }
 
+    /// Resolve the observability switches: environment first, CLI flags
+    /// override. A `--trace N` flag keeps any `FARM_TRACE` output path.
+    pub fn obs_options(&self) -> ObsOptions {
+        let mut o = ObsOptions::from_env();
+        if let Some(p) = self.progress {
+            o.progress = Some(p);
+        }
+        if self.profile {
+            o.profile = true;
+        }
+        if let Some(trial) = self.trace {
+            let path = o.trace.take().and_then(|s| s.path);
+            o.trace = Some(TraceSpec { trial, path });
+        }
+        o
+    }
+
     /// Parse the real process arguments, exiting with a message on error.
+    /// Installs the resolved observability options process-wide so every
+    /// `run_trials*` call in the binary picks them up.
     pub fn from_env() -> Options {
         match Options::parse(std::env::args().skip(1)) {
-            Ok(o) => o,
+            Ok(o) => {
+                farm_obs::set_global(o.obs_options());
+                o
+            }
             Err(msg) => {
                 eprintln!("{msg}");
                 std::process::exit(2);
@@ -159,6 +222,40 @@ mod tests {
         assert!(parse(&["--trials", "zero"]).is_err());
         assert!(parse(&["--trials", "0"]).is_err());
         assert!(parse(&["--threads", "0"]).is_err());
+        assert!(parse(&["--trace", "x"]).is_err());
         assert!(parse(&["--frobnicate"]).is_err());
+    }
+
+    #[test]
+    fn observability_flags() {
+        let o = parse(&[]).unwrap();
+        assert_eq!(o.trace, None);
+        assert_eq!(o.progress, None);
+        assert!(!o.profile);
+
+        let o = parse(&["--trace", "7", "--profile", "--progress"]).unwrap();
+        assert_eq!(o.trace, Some(7));
+        assert!(o.profile);
+        assert_eq!(o.progress, Some(true));
+
+        // Bare --trace defaults to trial 0, even before another flag.
+        let o = parse(&["--trace", "--no-progress"]).unwrap();
+        assert_eq!(o.trace, Some(0));
+        assert_eq!(o.progress, Some(false));
+
+        // Flags survive a later mode switch.
+        let o = parse(&["--trace", "3", "--full"]).unwrap();
+        assert_eq!(o.trace, Some(3));
+        assert!(!o.quick);
+    }
+
+    #[test]
+    fn obs_options_reflect_flags() {
+        let mut o = parse(&["--profile", "--no-progress"]).unwrap();
+        o.trace = Some(5);
+        let obs = o.obs_options();
+        assert!(obs.profile);
+        assert_eq!(obs.progress, Some(false));
+        assert_eq!(obs.trace.as_ref().map(|s| s.trial), Some(5));
     }
 }

@@ -58,7 +58,7 @@ pub(crate) fn test_options() -> Options {
         seed: 7,
         scale: 1.0 / 64.0,
         threads: 2,
-        quick: true,
+        ..Options::quick_default()
     }
 }
 

@@ -6,7 +6,7 @@
 use crate::cli::Options;
 use crate::{base_config, render};
 use farm_core::prelude::*;
-use farm_des::stats::Proportion;
+use farm_des::stats::{Histogram, Proportion};
 
 #[derive(Clone, Debug)]
 pub struct Row {
@@ -16,6 +16,10 @@ pub struct Row {
     /// Mean redirections per trial.
     pub mean_redirections: f64,
     pub mean_rebuilds: f64,
+    /// Pooled distribution of vulnerability windows, seconds.
+    pub vulnerability: Histogram,
+    /// Pooled distribution of rebuild queueing delays, seconds.
+    pub queue_delay: Histogram,
 }
 
 /// Group sizes probed: small groups do many short rebuilds, large groups
@@ -42,6 +46,8 @@ pub fn run(opts: &Options) -> Vec<Row> {
                 p_redirection: summary.p_redirection,
                 mean_redirections: summary.redirections.mean(),
                 mean_rebuilds: summary.rebuilds.mean(),
+                vulnerability: summary.vulnerability.clone(),
+                queue_delay: summary.queue_delay.clone(),
             }
         })
         .collect()
@@ -61,6 +67,8 @@ pub fn print(opts: &Options, rows: &[Row]) {
                 render::pct_ci(r.p_redirection.value(), r.p_redirection.ci95_half_width()),
                 format!("{:.2}", r.mean_redirections),
                 format!("{:.0}", r.mean_rebuilds),
+                render::percentiles_secs(&r.vulnerability),
+                render::percentiles_secs(&r.queue_delay),
             ]
         })
         .collect();
@@ -71,7 +79,9 @@ pub fn print(opts: &Options, rows: &[Row]) {
                 "group size",
                 "systems with redirection",
                 "redirections/run",
-                "rebuilds/run"
+                "rebuilds/run",
+                "vuln window p50/p90/p99/max",
+                "queue delay p50/p90/p99/max"
             ],
             &body
         )
@@ -92,6 +102,9 @@ mod tests {
         for r in &rows {
             assert_eq!(r.p_redirection.trials, 2);
             assert!(r.p_redirection.value() <= 1.0);
+            // Every completed rebuild contributed a vulnerability window.
+            assert!(r.vulnerability.count() > 0);
+            assert!(r.vulnerability.p50() <= r.vulnerability.max());
         }
     }
 }

@@ -1,6 +1,8 @@
 //! Plain-text rendering of experiment results: aligned tables and simple
 //! series listings, one per paper artifact.
 
+use farm_des::stats::Histogram;
+
 /// Print a header banner for an experiment.
 pub fn banner(id: &str, title: &str, mode: &str) {
     println!("================================================================");
@@ -75,6 +77,33 @@ pub fn bytes(b: u64) -> String {
     }
 }
 
+/// Format a duration in seconds in the unit that reads best.
+pub fn secs(s: f64) -> String {
+    if s >= 86400.0 {
+        format!("{:.1}d", s / 86400.0)
+    } else if s >= 3600.0 {
+        format!("{:.1}h", s / 3600.0)
+    } else if s >= 60.0 {
+        format!("{:.1}m", s / 60.0)
+    } else {
+        format!("{s:.1}s")
+    }
+}
+
+/// Summarize a histogram of durations as `p50/p90/p99/max`.
+pub fn percentiles_secs(h: &Histogram) -> String {
+    if h.is_empty() {
+        return "-".into();
+    }
+    format!(
+        "{}/{}/{}/{}",
+        secs(h.p50()),
+        secs(h.p90()),
+        secs(h.p99()),
+        secs(h.max())
+    )
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -110,5 +139,19 @@ mod tests {
         assert_eq!(bytes(100 * (1 << 30)), "100.0 GiB");
         assert_eq!(bytes(16 << 20), "16.0 MiB");
         assert_eq!(bytes(512), "512 B");
+        assert_eq!(secs(12.3), "12.3s");
+        assert_eq!(secs(90.0), "1.5m");
+        assert_eq!(secs(5400.0), "1.5h");
+        assert_eq!(secs(2.0 * 86400.0), "2.0d");
+    }
+
+    #[test]
+    fn percentile_summary() {
+        assert_eq!(percentiles_secs(&Histogram::new()), "-");
+        let mut h = Histogram::new();
+        h.record(10.0);
+        let s = percentiles_secs(&h);
+        assert_eq!(s.matches('/').count(), 3);
+        assert!(s.ends_with("10.0s"), "{s}");
     }
 }

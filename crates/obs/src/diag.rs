@@ -1,0 +1,57 @@
+//! Process-wide diagnostics sink.
+//!
+//! The simulator used to scatter ad-hoc `eprintln!`s; they now funnel
+//! through here so (a) every message carries the same `[farm]` prefix,
+//! (b) repeated warnings (e.g. an invalid `FARM_THREADS` consulted once
+//! per batch) are emitted once per process, and (c) tests can assert on
+//! emission without capturing stderr.
+
+use std::collections::BTreeSet;
+use std::sync::{Mutex, OnceLock};
+
+fn seen() -> &'static Mutex<BTreeSet<String>> {
+    static SEEN: OnceLock<Mutex<BTreeSet<String>>> = OnceLock::new();
+    SEEN.get_or_init(|| Mutex::new(BTreeSet::new()))
+}
+
+/// Emit a warning to stderr.
+pub fn warn(msg: &str) {
+    eprintln!("[farm] warning: {msg}");
+}
+
+/// Emit a warning at most once per process per `key`. Returns whether
+/// this call was the one that emitted (useful in tests, which cannot
+/// easily capture another thread's stderr).
+pub fn warn_once(key: &str, msg: &str) -> bool {
+    let fresh = seen()
+        .lock()
+        .expect("diagnostics registry poisoned")
+        .insert(key.to_string());
+    if fresh {
+        warn(msg);
+    }
+    fresh
+}
+
+/// Has `warn_once` already fired for `key`? (Test hook.)
+pub fn warned(key: &str) -> bool {
+    seen()
+        .lock()
+        .expect("diagnostics registry poisoned")
+        .contains(key)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn warn_once_dedups_by_key() {
+        assert!(!warned("diag-test-a"));
+        assert!(warn_once("diag-test-a", "first"));
+        assert!(!warn_once("diag-test-a", "second"));
+        assert!(warned("diag-test-a"));
+        // A different key is independent.
+        assert!(warn_once("diag-test-b", "other"));
+    }
+}

@@ -1,0 +1,127 @@
+//! # farm-obs — observability for the FARM simulator
+//!
+//! The simulator's results are distributions and its workloads are
+//! long-running Monte-Carlo batches, so this crate provides the layer a
+//! serving system would have:
+//!
+//! * [`profile::EventProfile`] — per-event-type counts and wall time in
+//!   the discrete-event loop, plus queue-depth sampling,
+//! * [`trace::TrialTracer`] — a structured JSONL trace of one sampled
+//!   trial (failures, detections, redirections, rebuilds, losses),
+//! * [`progress::Progress`] — rate-limited stderr progress for
+//!   Monte-Carlo batches (trials done, trials/sec, ETA, losses),
+//! * [`diag`] — a process-wide diagnostics sink with once-per-process
+//!   warning dedup (replaces ad-hoc `eprintln!`s),
+//! * [`ObsOptions`] — the switchboard, populated from `FARM_TRACE` /
+//!   `FARM_PROFILE` / `FARM_PROGRESS` or from CLI flags.
+//!
+//! **Overhead contract:** everything here is *off by default*, and the
+//! disabled path inside the trial event loop is a branch on an
+//! `Option`/`bool` — no allocation, no atomics, no syscalls. Whether
+//! observability is on or off never changes simulation results (pinned
+//! by the golden-metrics determinism test in `tests/observability.rs`).
+
+pub mod diag;
+pub mod profile;
+pub mod progress;
+pub mod trace;
+
+pub use profile::EventProfile;
+pub use progress::Progress;
+pub use trace::{TraceSpec, TrialTracer};
+
+use std::sync::OnceLock;
+
+/// What to observe during a Monte-Carlo run.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct ObsOptions {
+    /// Batch progress reporting on stderr. `None` = auto: on only when
+    /// stderr is a terminal (so CI logs and piped output stay clean).
+    pub progress: Option<bool>,
+    /// Profile the event loop (per-event-type counts/time, queue depth).
+    pub profile: bool,
+    /// Trace one sampled trial as JSONL.
+    pub trace: Option<TraceSpec>,
+}
+
+impl ObsOptions {
+    /// Everything off — the zero-overhead default.
+    pub fn off() -> Self {
+        ObsOptions {
+            progress: Some(false),
+            profile: false,
+            trace: None,
+        }
+    }
+
+    /// Read the `FARM_PROGRESS`, `FARM_PROFILE` and `FARM_TRACE`
+    /// environment variables. Unset variables leave the default
+    /// (progress auto-detects a terminal; profile and trace off).
+    pub fn from_env() -> Self {
+        let mut o = ObsOptions::default();
+        if let Ok(v) = std::env::var("FARM_PROGRESS") {
+            o.progress = Some(env_truthy(&v));
+        }
+        if let Ok(v) = std::env::var("FARM_PROFILE") {
+            o.profile = env_truthy(&v);
+        }
+        if let Ok(v) = std::env::var("FARM_TRACE") {
+            match TraceSpec::parse(&v) {
+                Ok(spec) => o.trace = Some(spec),
+                Err(e) => {
+                    diag::warn_once("FARM_TRACE", &format!("ignoring FARM_TRACE={v:?}: {e}"));
+                }
+            }
+        }
+        o
+    }
+
+    /// Resolve the progress switch (auto = stderr is a terminal).
+    pub fn progress_enabled(&self) -> bool {
+        use std::io::IsTerminal;
+        self.progress
+            .unwrap_or_else(|| std::io::stderr().is_terminal())
+    }
+}
+
+fn env_truthy(v: &str) -> bool {
+    !matches!(v.trim(), "" | "0" | "false" | "off" | "no")
+}
+
+static GLOBAL: OnceLock<ObsOptions> = OnceLock::new();
+
+/// Install process-wide observability options (e.g. from CLI flags).
+/// First caller wins; returns false if options were already installed.
+pub fn set_global(opts: ObsOptions) -> bool {
+    GLOBAL.set(opts).is_ok()
+}
+
+/// The process-wide options: what [`set_global`] installed, else the
+/// environment. Read once and cached — consulting this per batch (not
+/// per trial or per event) keeps the off path free of env syscalls.
+pub fn global() -> &'static ObsOptions {
+    GLOBAL.get_or_init(ObsOptions::from_env)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn off_is_really_off() {
+        let o = ObsOptions::off();
+        assert!(!o.progress_enabled());
+        assert!(!o.profile);
+        assert!(o.trace.is_none());
+    }
+
+    #[test]
+    fn env_truthiness() {
+        for v in ["0", "false", "off", "no", "", "  "] {
+            assert!(!env_truthy(v), "{v:?} should be falsy");
+        }
+        for v in ["1", "true", "yes", "on", "2"] {
+            assert!(env_truthy(v), "{v:?} should be truthy");
+        }
+    }
+}

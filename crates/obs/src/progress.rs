@@ -1,0 +1,155 @@
+//! Monte-Carlo batch progress reporting.
+//!
+//! A 10k-trial full-scale batch runs for minutes with no output; this
+//! reporter writes a rate-limited single-line status to stderr (trials
+//! done, trials/sec, ETA, losses so far). Workers call
+//! [`Progress::trial_done`] once per *trial* — an atomic increment,
+//! nowhere near the event loop — and at most one worker per interval
+//! wins the right to print. Disabled (the default when stderr is not a
+//! terminal), every call is one load-and-branch.
+
+use std::io::Write;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Instant;
+
+/// Minimum milliseconds between status lines.
+const PRINT_INTERVAL_MS: u64 = 250;
+/// Don't print anything for batches that finish quickly.
+const WARMUP_MS: u64 = 1000;
+
+pub struct Progress {
+    enabled: bool,
+    total: u64,
+    done: AtomicU64,
+    losses: AtomicU64,
+    start: Instant,
+    /// Milliseconds since `start` of the last status line (0 = none).
+    last_print_ms: AtomicU64,
+}
+
+impl Progress {
+    pub fn new(total: u64, enabled: bool) -> Self {
+        Progress {
+            enabled,
+            total,
+            done: AtomicU64::new(0),
+            losses: AtomicU64::new(0),
+            start: Instant::now(),
+            last_print_ms: AtomicU64::new(0),
+        }
+    }
+
+    /// Record one finished trial; occasionally prints a status line.
+    pub fn trial_done(&self, lost_data: bool) {
+        if !self.enabled {
+            return;
+        }
+        let done = self.done.fetch_add(1, Ordering::Relaxed) + 1;
+        if lost_data {
+            self.losses.fetch_add(1, Ordering::Relaxed);
+        }
+        let elapsed_ms = self.start.elapsed().as_millis() as u64;
+        if elapsed_ms < WARMUP_MS {
+            return;
+        }
+        let last = self.last_print_ms.load(Ordering::Relaxed);
+        if elapsed_ms.saturating_sub(last) < PRINT_INTERVAL_MS {
+            return;
+        }
+        // One winner per interval; losers skip the syscall entirely.
+        if self
+            .last_print_ms
+            .compare_exchange(last, elapsed_ms, Ordering::Relaxed, Ordering::Relaxed)
+            .is_err()
+        {
+            return;
+        }
+        self.print_line(done, elapsed_ms);
+    }
+
+    fn print_line(&self, done: u64, elapsed_ms: u64) {
+        let secs = (elapsed_ms as f64 / 1e3).max(1e-9);
+        let rate = done as f64 / secs;
+        let eta = if rate > 0.0 && done < self.total {
+            (self.total - done) as f64 / rate
+        } else {
+            0.0
+        };
+        let losses = self.losses.load(Ordering::Relaxed);
+        let mut err = std::io::stderr().lock();
+        let _ = write!(
+            err,
+            "\r[farm] {done}/{} trials ({:.1}%)  {rate:.1} trials/s  ETA {}  losses {losses}   ",
+            self.total,
+            100.0 * done as f64 / self.total.max(1) as f64,
+            fmt_eta(eta),
+        );
+        let _ = err.flush();
+    }
+
+    /// Clear the status line once the batch completes.
+    pub fn finish(&self) {
+        if !self.enabled || self.last_print_ms.load(Ordering::Relaxed) == 0 {
+            return;
+        }
+        let done = self.done.load(Ordering::Relaxed);
+        let elapsed_ms = (self.start.elapsed().as_millis() as u64).max(1);
+        self.print_line(done, elapsed_ms);
+        eprintln!();
+    }
+
+    pub fn done(&self) -> u64 {
+        self.done.load(Ordering::Relaxed)
+    }
+
+    pub fn losses(&self) -> u64 {
+        self.losses.load(Ordering::Relaxed)
+    }
+}
+
+fn fmt_eta(secs: f64) -> String {
+    let s = secs.round() as u64;
+    if s >= 3600 {
+        format!("{}h{:02}m", s / 3600, (s % 3600) / 60)
+    } else if s >= 60 {
+        format!("{}m{:02}s", s / 60, s % 60)
+    } else {
+        format!("{s}s")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_progress_is_silent_and_counts_nothing_visible() {
+        let p = Progress::new(100, false);
+        for i in 0..100 {
+            p.trial_done(i % 10 == 0);
+        }
+        // Disabled short-circuits before any accounting.
+        assert_eq!(p.done(), 0);
+        p.finish(); // must not print or panic
+    }
+
+    #[test]
+    fn enabled_progress_counts_trials_and_losses() {
+        let p = Progress::new(50, true);
+        for i in 0..50 {
+            p.trial_done(i < 3);
+        }
+        assert_eq!(p.done(), 50);
+        assert_eq!(p.losses(), 3);
+        // Within the warm-up window nothing was printed.
+        assert_eq!(p.last_print_ms.load(Ordering::Relaxed), 0);
+        p.finish();
+    }
+
+    #[test]
+    fn eta_formatting() {
+        assert_eq!(fmt_eta(5.4), "5s");
+        assert_eq!(fmt_eta(65.0), "1m05s");
+        assert_eq!(fmt_eta(3725.0), "1h02m");
+    }
+}

@@ -14,7 +14,7 @@ fn opts() -> Options {
         seed: 2004,
         scale: 1.0 / 16.0,
         threads: farm_core::montecarlo::default_threads(),
-        quick: true,
+        ..Options::quick_default()
     }
 }
 

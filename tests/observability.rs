@@ -1,0 +1,147 @@
+//! The observability layer's core contract: whether tracing, profiling
+//! and progress are on or off NEVER changes simulation results. These
+//! tests run the same batch with everything off and everything on and
+//! require the aggregates to match bit for bit.
+
+use farm_core::prelude::*;
+use farm_des::stats::Running;
+use farm_obs::{ObsOptions, TraceSpec};
+
+fn tiny() -> SystemConfig {
+    SystemConfig {
+        total_user_bytes: 2 * TIB,
+        group_user_bytes: 4 * GIB,
+        disk_capacity: 64 * GIB,
+        recovery_bandwidth: 16 * MIB,
+        detection_latency: Duration::from_secs(30.0),
+        ..SystemConfig::default()
+    }
+}
+
+fn assert_running_identical(a: &Running, b: &Running, what: &str) {
+    assert_eq!(a.count(), b.count(), "{what}: count");
+    assert_eq!(a.mean().to_bits(), b.mean().to_bits(), "{what}: mean");
+    assert_eq!(a.min().to_bits(), b.min().to_bits(), "{what}: min");
+    assert_eq!(a.max().to_bits(), b.max().to_bits(), "{what}: max");
+}
+
+fn assert_summaries_identical(a: &McSummary, b: &McSummary) {
+    assert_eq!(a.trials(), b.trials());
+    assert_eq!(a.p_loss.successes, b.p_loss.successes);
+    assert_eq!(a.p_redirection.successes, b.p_redirection.successes);
+    assert_running_identical(&a.failures, &b.failures, "failures");
+    assert_running_identical(&a.rebuilds, &b.rebuilds, "rebuilds");
+    assert_running_identical(&a.redirections, &b.redirections, "redirections");
+    assert_running_identical(&a.lost_groups, &b.lost_groups, "lost_groups");
+    assert_running_identical(
+        &a.mean_vulnerability,
+        &b.mean_vulnerability,
+        "mean_vulnerability",
+    );
+    assert_running_identical(&a.events, &b.events, "events");
+    assert_running_identical(&a.no_targets, &b.no_targets, "no_targets");
+    // The compact form is lossless, so string equality is bit equality.
+    assert_eq!(a.vulnerability.to_compact(), b.vulnerability.to_compact());
+    assert_eq!(a.queue_delay.to_compact(), b.queue_delay.to_compact());
+    assert_eq!(a.fanout.to_compact(), b.fanout.to_compact());
+}
+
+#[test]
+fn golden_metrics_identical_with_observability_on() {
+    let cfg = tiny();
+    let trace_path =
+        std::env::temp_dir().join(format!("farm-obs-golden-{}.jsonl", std::process::id()));
+    let trace_path_s = trace_path.to_str().unwrap().to_string();
+
+    let off = ObsOptions::off();
+    // Everything on: profiling, a trace of trial 1, progress reporting.
+    let on = ObsOptions {
+        progress: Some(true),
+        profile: true,
+        trace: Some(TraceSpec {
+            trial: 1,
+            path: Some(trace_path_s.clone()),
+        }),
+    };
+
+    // Single-threaded so aggregation order is fixed and the comparison
+    // can be exact to the bit.
+    let (base, no_profile) = run_trials_observed(&cfg, 2004, 6, TrialMode::Full, 1, &off);
+    let (full, profile) = run_trials_observed(&cfg, 2004, 6, TrialMode::Full, 1, &on);
+    assert!(no_profile.is_none());
+    assert_summaries_identical(&base, &full);
+
+    // The profiler accounted for exactly the events the metrics counted.
+    let p = profile.expect("profiling was on");
+    let events = (full.events.mean() * full.trials() as f64).round() as u64;
+    assert_eq!(p.total_events(), events);
+    assert_eq!(p.queue_depth().count(), events);
+    assert!(p.total_nanos() > 0, "profiled events took nonzero time");
+
+    // The trace is valid JSONL for the sampled trial and ends with the
+    // batch summary record.
+    let body = std::fs::read_to_string(&trace_path).expect("trace file written");
+    std::fs::remove_file(&trace_path).ok();
+    let lines: Vec<&str> = body.lines().collect();
+    assert!(!lines.is_empty(), "trace has records");
+    for l in &lines {
+        assert!(l.starts_with("{\"trial\":1,\"t\":"), "bad record: {l}");
+        assert!(l.ends_with('}'), "bad record: {l}");
+        assert!(l.contains("\"ev\":\""), "bad record: {l}");
+    }
+    assert!(
+        lines.last().unwrap().contains("\"ev\":\"trial_end\""),
+        "last record is the trial summary"
+    );
+    // Trial 1 of this config sees failures, and every failure is
+    // eventually detected.
+    assert!(lines.iter().any(|l| l.contains("\"ev\":\"failure\"")));
+    assert!(lines.iter().any(|l| l.contains("\"ev\":\"detect\"")));
+}
+
+#[test]
+fn parallel_observed_runs_agree_with_sequential_baseline() {
+    let cfg = tiny();
+    let off = ObsOptions::off();
+    let on = ObsOptions {
+        profile: true,
+        ..ObsOptions::off()
+    };
+    let (seq, _) = run_trials_observed(&cfg, 11, 8, TrialMode::Full, 1, &off);
+    let (par, profile) = run_trials_observed(&cfg, 11, 8, TrialMode::Full, 4, &on);
+    assert_eq!(seq.trials(), par.trials());
+    assert_eq!(seq.p_loss.successes, par.p_loss.successes);
+    assert!((seq.failures.mean() - par.failures.mean()).abs() < 1e-9);
+    // Histogram counts are order-independent even across threads.
+    assert_eq!(seq.vulnerability.count(), par.vulnerability.count());
+    assert_eq!(seq.fanout.count(), par.fanout.count());
+    let p = profile.expect("profiling was on");
+    let events = (par.events.mean() * par.trials() as f64).round() as u64;
+    assert_eq!(p.total_events(), events);
+}
+
+#[test]
+fn tracing_a_single_trial_matches_untraced_metrics() {
+    // Trace overhead must also not perturb a directly-run simulation.
+    let cfg = tiny();
+    let plain = run_trial(&cfg, 7, 3, TrialMode::Full);
+    let path = std::env::temp_dir().join(format!("farm-obs-single-{}.jsonl", std::process::id()));
+    let spec = ObsOptions {
+        trace: Some(TraceSpec {
+            trial: 3,
+            path: Some(path.to_str().unwrap().to_string()),
+        }),
+        ..ObsOptions::off()
+    };
+    let (summary, _) = run_trials_observed(&cfg, 7, 4, TrialMode::Full, 1, &spec);
+    std::fs::remove_file(&path).ok();
+    assert_eq!(summary.trials(), 4);
+    // Trial 3's contribution is inside the aggregate; check the whole
+    // batch against an untraced one.
+    let (untraced, _) = run_trials_observed(&cfg, 7, 4, TrialMode::Full, 1, &ObsOptions::off());
+    assert_summaries_identical(&summary, &untraced);
+    assert_eq!(
+        plain.disk_failures,
+        run_trial(&cfg, 7, 3, TrialMode::Full).disk_failures
+    );
+}

@@ -233,6 +233,33 @@ fn hazard_ttf_is_positive_and_monotone_in_hazard() {
     }
 }
 
+// ----- Whole-system recovery ---------------------------------------------
+
+#[test]
+fn recovery_always_finds_a_target_at_paper_utilization() {
+    // §2.3's hard constraints always leave an eligible target at the
+    // paper's ~40% utilization; the promoted `no_targets` counter must
+    // stay zero for every seed (the single-spare policy provisions its
+    // own fresh drive, so it trivially satisfies this too).
+    use farm_core::prelude::*;
+    for (i, mut rng) in cases(11, 6) {
+        let cfg = SystemConfig {
+            total_user_bytes: 2 * (1 << 40),
+            group_user_bytes: 1 << 32,
+            disk_capacity: 1 << 36,
+            recovery: if rng.below(4) == 0 {
+                RecoveryPolicy::SingleSpare
+            } else {
+                RecoveryPolicy::Farm
+            },
+            ..SystemConfig::default()
+        };
+        let m = run_trial(&cfg, rng.bits(), 0, TrialMode::Full);
+        assert_eq!(m.no_targets, 0, "case {i}: rebuild found no target");
+        assert!(m.disk_failures > 0, "case {i}: trial saw no failures");
+    }
+}
+
 // ----- Statistics --------------------------------------------------------
 
 #[test]

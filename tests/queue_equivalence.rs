@@ -28,6 +28,7 @@ fn assert_metrics_identical(a: &TrialMetrics, b: &TrialMetrics, what: &str) {
         a.events_processed, b.events_processed,
         "{what}: events_processed"
     );
+    assert_eq!(a.no_targets, b.no_targets, "{what}: no_targets");
     // Vulnerability windows are sums of identical f64 terms in identical
     // order, so even these match exactly.
     assert_eq!(
@@ -39,6 +40,23 @@ fn assert_metrics_identical(a: &TrialMetrics, b: &TrialMetrics, what: &str) {
         a.total_vulnerability_secs.to_bits(),
         b.total_vulnerability_secs.to_bits(),
         "{what}: total vulnerability"
+    );
+    // The pooled distributions are built from the same samples in the
+    // same order; the lossless compact form must match byte for byte.
+    assert_eq!(
+        a.vulnerability.to_compact(),
+        b.vulnerability.to_compact(),
+        "{what}: vulnerability histogram"
+    );
+    assert_eq!(
+        a.queue_delay.to_compact(),
+        b.queue_delay.to_compact(),
+        "{what}: queue-delay histogram"
+    );
+    assert_eq!(
+        a.fanout.to_compact(),
+        b.fanout.to_compact(),
+        "{what}: fan-out histogram"
     );
 }
 
