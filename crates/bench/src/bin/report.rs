@@ -9,8 +9,10 @@
 //! optimization-tracking metric, independent of core count) and at the
 //! default thread count (trials/sec), samples peak RSS, reports the
 //! vulnerability-window percentiles of the timed batch, measures the
-//! observability overhead (event-loop profiling on vs off), and merges
-//! the labelled result set into a JSON file (default `BENCH_PR1.json`).
+//! observability overhead (event-loop profiling on vs off), probes the
+//! cluster-state telemetry overhead (timeline + flight recorder on vs
+//! off, interleaved to cancel machine drift), and merges the labelled
+//! result set into a JSON file (default `BENCH_PR3.json`).
 //! Re-running with an existing label replaces that label's entry, so a
 //! "before" run survives an "after" run of the same file.
 //!
@@ -20,7 +22,7 @@
 use farm_bench::json::Json;
 use farm_bench::rss::peak_rss_bytes;
 use farm_core::prelude::*;
-use farm_obs::ObsOptions;
+use farm_obs::{ObsOptions, TimelineSpec};
 use std::collections::BTreeMap;
 use std::time::Instant;
 
@@ -65,6 +67,11 @@ struct RunResult {
     vuln_max: f64,
     /// events/sec with event-loop profiling enabled (overhead probe).
     profiled_events_per_sec: f64,
+    /// events/sec with telemetry fully off / fully on (timeline +
+    /// flight recorder + post-mortems), interleaved in alternating
+    /// chunks so CPU-frequency drift hits both sides equally.
+    telemetry_off_events_per_sec: f64,
+    telemetry_on_events_per_sec: f64,
 }
 
 /// Time a single-threaded batch with explicit observability options;
@@ -80,6 +87,52 @@ fn timed_events_per_sec(
     let wall = start.elapsed().as_secs_f64();
     let events = summary.events.mean() * summary.trials() as f64;
     (summary, events / wall)
+}
+
+/// Probe the full-telemetry overhead: alternate off/on chunks of the
+/// same trial budget and return (off events/sec, on events/sec). The
+/// telemetry artifacts land in the temp dir and are removed afterwards.
+fn telemetry_pair(spec: &ConfigSpec, trials: u64) -> (f64, f64) {
+    let tmp = std::env::temp_dir();
+    let tl = tmp.join(format!(
+        "farm-bench-tl-{}-{}.csv",
+        spec.name,
+        std::process::id()
+    ));
+    let pm = tmp.join(format!(
+        "farm-bench-pm-{}-{}.jsonl",
+        spec.name,
+        std::process::id()
+    ));
+    let obs_off = ObsOptions::off();
+    let obs_on = ObsOptions {
+        timeline: Some(TimelineSpec {
+            path: tl.to_str().unwrap().to_string(),
+            interval_secs: None,
+        }),
+        postmortem: Some(pm.to_str().unwrap().to_string()),
+        ..ObsOptions::off()
+    };
+
+    const CHUNKS: u64 = 4;
+    let per_chunk = (trials / CHUNKS).max(1);
+    let (mut off_events, mut off_wall) = (0.0, 0.0);
+    let (mut on_events, mut on_wall) = (0.0, 0.0);
+    for _ in 0..CHUNKS {
+        for (obs, events, wall) in [
+            (&obs_off, &mut off_events, &mut off_wall),
+            (&obs_on, &mut on_events, &mut on_wall),
+        ] {
+            let start = Instant::now();
+            let (summary, _) =
+                run_trials_observed(&spec.cfg, 2, per_chunk, TrialMode::Full, 1, obs);
+            *wall += start.elapsed().as_secs_f64();
+            *events += summary.events.mean() * summary.trials() as f64;
+        }
+    }
+    std::fs::remove_file(&tl).ok();
+    std::fs::remove_file(&pm).ok();
+    (off_events / off_wall, on_events / on_wall)
 }
 
 fn measure(spec: &ConfigSpec) -> RunResult {
@@ -104,6 +157,10 @@ fn measure(spec: &ConfigSpec) -> RunResult {
     // profiled number catches regressions in the instrumented path too.
     let probe_trials = (spec.trials / 4).max(1);
     let (_, profiled_eps) = timed_events_per_sec(spec, probe_trials, &obs_profiled);
+
+    // Telemetry probe: the timeline sampler + flight recorder, measured
+    // against an interleaved telemetry-off control of the same size.
+    let (telemetry_off_eps, telemetry_on_eps) = telemetry_pair(spec, probe_trials);
 
     // Parallel throughput at the default thread count.
     let threads = default_threads();
@@ -130,6 +187,8 @@ fn measure(spec: &ConfigSpec) -> RunResult {
         vuln_p99: summary.vulnerability.p99(),
         vuln_max: summary.vulnerability.max(),
         profiled_events_per_sec: profiled_eps,
+        telemetry_off_events_per_sec: telemetry_off_eps,
+        telemetry_on_events_per_sec: telemetry_on_eps,
     }
 }
 
@@ -154,6 +213,14 @@ fn result_to_json(r: &RunResult) -> Json {
         (
             "profiled_events_per_sec".into(),
             Json::num(r.profiled_events_per_sec.round()),
+        ),
+        (
+            "telemetry_off_events_per_sec".into(),
+            Json::num(r.telemetry_off_events_per_sec.round()),
+        ),
+        (
+            "telemetry_on_events_per_sec".into(),
+            Json::num(r.telemetry_on_events_per_sec.round()),
         ),
     ]))
 }
@@ -181,7 +248,7 @@ fn merge_into(doc: Json, label: &str, results: &[RunResult]) -> Json {
 
 fn main() {
     let mut label = String::from("run");
-    let mut out = String::from("BENCH_PR1.json");
+    let mut out = String::from("BENCH_PR3.json");
     let mut smoke = false;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -220,6 +287,13 @@ fn main() {
             r.vuln_max,
             r.profiled_events_per_sec,
             100.0 * (r.profiled_events_per_sec / r.events_per_sec - 1.0),
+        );
+        println!(
+            "{:<22} telemetry off {:.1} on {:.1} events/sec ({:+.1}%)",
+            "",
+            r.telemetry_off_events_per_sec,
+            r.telemetry_on_events_per_sec,
+            100.0 * (r.telemetry_on_events_per_sec / r.telemetry_off_events_per_sec - 1.0),
         );
         results.push(r);
     }

@@ -9,7 +9,11 @@ use crate::config::SystemConfig;
 use crate::metrics::{McSummary, TrialMetrics};
 use crate::sim::Simulation;
 use farm_des::rng::derive_seed;
-use farm_obs::{diag, EventProfile, ObsOptions, Progress, TrialTracer};
+use farm_obs::{
+    diag, EventProfile, FlightRecorder, ObsOptions, Progress, TimelineBands, TimelineRecorder,
+    TraceSel, TrialTracer,
+};
+use std::io::Write;
 use std::sync::atomic::{AtomicU64, Ordering};
 
 /// How a trial is executed.
@@ -36,24 +40,50 @@ pub fn run_trial(
     }
 }
 
-/// Run one trial with the requested observability attached: profiling
-/// and (for the sampled trial index) tracing. Results are bit-identical
-/// to [`run_trial`] — observability never feeds back into the model.
+/// Per-trial telemetry a worker carries back to the batch driver: the
+/// trial's timeline rows, any post-mortems its flight recorder emitted,
+/// and (in `FARM_TRACE=loss` mode) the buffered trace of a losing
+/// trial. Empty — and never allocated — when telemetry is off.
+#[derive(Default)]
+struct TrialArtifacts {
+    timeline: Option<Box<TimelineRecorder>>,
+    postmortems: Vec<String>,
+    loss_trace: Option<Vec<u8>>,
+}
+
+/// A worker thread's partial batch result: its local aggregate, merged
+/// profile and the artifacts of the trials it ran.
+type WorkerPartial = (McSummary, Option<EventProfile>, Vec<(u64, TrialArtifacts)>);
+
+/// Does `obs` ask for anything that produces per-trial artifacts?
+fn artifacts_requested(obs: &ObsOptions) -> bool {
+    obs.timeline.is_some()
+        || obs.postmortem.is_some()
+        || matches!(
+            &obs.trace,
+            Some(spec) if spec.sel == TraceSel::Loss
+        )
+}
+
+/// Run one trial with the requested observability attached: profiling,
+/// tracing, the cluster-state timeline and the flight recorder. Results
+/// are bit-identical to [`run_trial`] — observability never feeds back
+/// into the model.
 fn run_trial_observed(
     cfg: &SystemConfig,
     master_seed: u64,
     trial: u64,
     mode: TrialMode,
     obs: &ObsOptions,
-) -> (TrialMetrics, Option<Box<EventProfile>>) {
+) -> (TrialMetrics, Option<Box<EventProfile>>, TrialArtifacts) {
     let seed = derive_seed(master_seed, trial);
     let mut sim = Simulation::new(cfg.clone(), seed);
     if obs.profile {
         sim.enable_profiling();
     }
     if let Some(spec) = &obs.trace {
-        if spec.trial == trial {
-            match TrialTracer::open(spec) {
+        match spec.sel {
+            TraceSel::Trial(sampled) if sampled == trial => match TrialTracer::open(spec, trial) {
                 Ok(t) => sim.set_tracer(t),
                 Err(e) => {
                     diag::warn_once(
@@ -61,13 +91,28 @@ fn run_trial_observed(
                         &format!("cannot open trace sink {:?}: {e}", spec.path),
                     );
                 }
-            }
+            },
+            TraceSel::Trial(_) => {}
+            // Loss mode: trace every trial into memory; the batch
+            // driver keeps only the trials that lost data.
+            TraceSel::Loss => sim.set_tracer(TrialTracer::buffered(trial)),
         }
+    }
+    if let Some(spec) = &obs.timeline {
+        let duration = cfg.sim_duration().as_secs();
+        sim.set_timeline(TimelineRecorder::new(
+            spec.resolve_interval(duration),
+            duration,
+        ));
+    }
+    if obs.postmortem.is_some() {
+        sim.set_flight(FlightRecorder::new(trial, cfg.n_groups() as usize));
     }
     let metrics = match mode {
         TrialMode::Full => sim.run(),
         TrialMode::UntilLoss => sim.run_until_loss(),
     };
+    let mut artifacts = TrialArtifacts::default();
     if let Some(mut t) = sim.take_tracer() {
         t.emit(
             sim.now().as_secs(),
@@ -81,8 +126,17 @@ fn run_trial_observed(
             ),
         );
         t.flush();
+        if let Some(bytes) = t.take_buffer() {
+            if metrics.lost_data() {
+                artifacts.loss_trace = Some(bytes);
+            }
+        }
     }
-    (metrics, sim.take_profile())
+    artifacts.timeline = sim.take_timeline();
+    if let Some(f) = sim.take_flight() {
+        artifacts.postmortems = f.take_postmortems();
+    }
+    (metrics, sim.take_profile(), artifacts)
 }
 
 fn merge_profile(acc: &mut Option<EventProfile>, p: Option<Box<EventProfile>>) {
@@ -155,19 +209,24 @@ pub fn run_trials_observed(
 ) -> (McSummary, Option<EventProfile>) {
     assert!(threads >= 1);
     let progress = Progress::new(trials, obs.progress_enabled());
+    let want_artifacts = artifacts_requested(obs);
+    let mut artifacts: Vec<(u64, TrialArtifacts)> = Vec::new();
     let (summary, profile) = if threads == 1 || trials <= 1 {
         let mut summary = McSummary::new();
         let mut profile: Option<EventProfile> = None;
         for t in 0..trials {
-            let (m, p) = run_trial_observed(cfg, master_seed, t, mode, obs);
+            let (m, p, a) = run_trial_observed(cfg, master_seed, t, mode, obs);
             progress.trial_done(m.lost_data());
             summary.push(&m);
             merge_profile(&mut profile, p);
+            if want_artifacts {
+                artifacts.push((t, a));
+            }
         }
         (summary, profile)
     } else {
         let next = AtomicU64::new(0);
-        let mut partials: Vec<(McSummary, Option<EventProfile>)> = Vec::new();
+        let mut partials: Vec<WorkerPartial> = Vec::new();
         std::thread::scope(|scope| {
             let mut handles = Vec::with_capacity(threads);
             for _ in 0..threads {
@@ -176,17 +235,21 @@ pub fn run_trials_observed(
                 handles.push(scope.spawn(move || {
                     let mut local = McSummary::new();
                     let mut local_profile: Option<EventProfile> = None;
+                    let mut local_artifacts: Vec<(u64, TrialArtifacts)> = Vec::new();
                     loop {
                         let t = next.fetch_add(1, Ordering::Relaxed);
                         if t >= trials {
                             break;
                         }
-                        let (m, p) = run_trial_observed(cfg, master_seed, t, mode, obs);
+                        let (m, p, a) = run_trial_observed(cfg, master_seed, t, mode, obs);
                         progress.trial_done(m.lost_data());
                         local.push(&m);
                         merge_profile(&mut local_profile, p);
+                        if want_artifacts {
+                            local_artifacts.push((t, a));
+                        }
                     }
-                    (local, local_profile)
+                    (local, local_profile, local_artifacts)
                 }));
             }
             for h in handles {
@@ -195,14 +258,94 @@ pub fn run_trials_observed(
         });
         let mut summary = McSummary::new();
         let mut profile: Option<EventProfile> = None;
-        for (s, p) in partials {
+        for (s, p, a) in partials {
             summary.merge(&s);
             merge_profile(&mut profile, p.map(Box::new));
+            artifacts.extend(a);
         }
         (summary, profile)
     };
     progress.finish();
+    if want_artifacts {
+        emit_artifacts(obs, artifacts);
+    }
     (summary, profile)
+}
+
+/// Write the batch's telemetry artifacts: timeline bands, post-mortem
+/// JSONL, buffered traces of losing trials. Artifacts are sorted by
+/// trial index first, so the files are bit-identical regardless of how
+/// the trials were scheduled across worker threads.
+fn emit_artifacts(obs: &ObsOptions, mut artifacts: Vec<(u64, TrialArtifacts)>) {
+    artifacts.sort_by_key(|&(t, _)| t);
+    if let Some(spec) = &obs.timeline {
+        let mut bands = TimelineBands::new();
+        for (_, a) in &artifacts {
+            if let Some(tl) = &a.timeline {
+                bands.add_trial(tl);
+            }
+        }
+        match farm_obs::open_batch_file(&spec.path) {
+            Ok((mut f, fresh, batch)) => {
+                let body = bands.render(batch, spec.json(), fresh);
+                let _ = f.write_all(body.as_bytes());
+            }
+            Err(e) => {
+                diag::warn_once(
+                    "timeline-open",
+                    &format!("cannot open timeline output {:?}: {e}", spec.path),
+                );
+            }
+        }
+    }
+    if let Some(path) = &obs.postmortem {
+        // Open even when this batch had no losses: the first batch of
+        // the process truncates stale output, and an existing-but-empty
+        // file distinguishes "no losses" from "post-mortems not on".
+        match farm_obs::open_batch_file(path) {
+            Ok((mut f, _, _)) => {
+                for (_, a) in &artifacts {
+                    for line in &a.postmortems {
+                        let _ = writeln!(f, "{line}");
+                    }
+                }
+            }
+            Err(e) => {
+                diag::warn_once(
+                    "postmortem-open",
+                    &format!("cannot open post-mortem output {path:?}: {e}"),
+                );
+            }
+        }
+    }
+    if let Some(spec) = &obs.trace {
+        if spec.sel == TraceSel::Loss {
+            let traces = artifacts
+                .iter()
+                .filter_map(|(_, a)| a.loss_trace.as_deref());
+            match &spec.path {
+                Some(p) => match farm_obs::open_batch_file(p) {
+                    Ok((mut f, _, _)) => {
+                        for tr in traces {
+                            let _ = f.write_all(tr);
+                        }
+                    }
+                    Err(e) => {
+                        diag::warn_once(
+                            "trace-open",
+                            &format!("cannot open trace sink {p:?}: {e}"),
+                        );
+                    }
+                },
+                None => {
+                    let mut err = std::io::stderr().lock();
+                    for tr in traces {
+                        let _ = err.write_all(tr);
+                    }
+                }
+            }
+        }
+    }
 }
 
 #[cfg(test)]

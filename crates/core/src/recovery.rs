@@ -10,6 +10,7 @@
 use crate::layout::BlockRef;
 use crate::sim::{trace_ev, Event, Simulation};
 use farm_des::time::{Duration, SimTime};
+use farm_obs::flight::{kind as flight_kind, NO_DISK};
 use farm_placement::DiskId;
 
 /// How many hard-eligible candidates to scan while looking for one with
@@ -142,6 +143,7 @@ impl Simulation {
                     // at the paper's 40% utilization; counted so tests
                     // can assert that).
                     self.metrics_mut().no_targets += 1;
+                    self.flight_record(b.group(), flight_kind::NO_TARGET, NO_DISK, b.idx());
                     trace_ev!(
                         self,
                         "no_target",
@@ -170,6 +172,7 @@ impl Simulation {
             for &s in &sources {
                 if self.latent_read_trips(s, block_bytes) {
                     trips += 1;
+                    self.flight_record(b.group(), flight_kind::LATENT, s.0, b.idx());
                 }
             }
             if trips > 0 {
@@ -180,6 +183,9 @@ impl Simulation {
                     let bytes = self.config().group_user_bytes;
                     self.layout_mut().mark_dead(b.group());
                     self.metrics_mut().record_loss(bytes, now);
+                    // The fatal latent trips were just recorded, so the
+                    // post-mortem chain ends with them.
+                    self.flight_postmortem(b.group(), "latent_read_error");
                     self.sources_scratch = sources;
                     return;
                 }
@@ -206,6 +212,7 @@ impl Simulation {
         }
         let wait_secs = (start - now).as_secs();
         self.metrics_mut().queue_delay.record(wait_secs);
+        self.flight_record(b.group(), flight_kind::REBUILD_START, target.0, b.idx());
         trace_ev!(
             self,
             "rebuild_start",

@@ -25,7 +25,8 @@ use farm_des::time::{Duration, SimTime};
 use farm_des::AnyQueue;
 use farm_disk::health::SmartVerdict;
 use farm_disk::model::Disk;
-use farm_obs::{EventProfile, TrialTracer};
+use farm_obs::flight::kind as flight_kind;
+use farm_obs::{EventProfile, FlightRecorder, TimelineRecorder, TrialTracer, N_GAUGES};
 use farm_placement::{ClusterMap, DiskId, Rush, RushScratch};
 
 /// Emit one trace record if (and only if) a tracer is attached.
@@ -110,6 +111,12 @@ pub struct Simulation {
     profiler: Option<Box<EventProfile>>,
     /// Structured trial tracer (observability; `None` = off).
     pub(crate) tracer: Option<Box<TrialTracer>>,
+    /// Fixed-interval cluster-state gauge sampler (observability;
+    /// `None` = off — the plain event loop never even checks it).
+    timeline: Option<Box<TimelineRecorder>>,
+    /// Per-group flight recorder for data-loss post-mortems
+    /// (observability; `None` = off).
+    flight: Option<Box<FlightRecorder>>,
     /// RNG used only by ablation policies (random target choice).
     ablation_rng: farm_des::rng::RngStream,
     /// RNG for latent-sector-error sampling.
@@ -151,6 +158,8 @@ impl Simulation {
             failed_since_batch: 0,
             profiler: None,
             tracer: None,
+            timeline: None,
+            flight: None,
             ablation_rng: seeds.stream(streams::ABLATION),
             latent_rng: seeds.stream(streams::LATENT),
         };
@@ -323,6 +332,73 @@ impl Simulation {
         self.tracer.take()
     }
 
+    /// Attach a cluster-state timeline: gauges of failed disks,
+    /// in-flight rebuilds, vulnerable groups, recovery utilization and
+    /// spare capacity are sampled at the recorder's fixed interval.
+    /// Never changes results — samples are taken between events, not
+    /// through the event queue.
+    pub fn set_timeline(&mut self, rec: TimelineRecorder) {
+        self.timeline = Some(Box::new(rec));
+    }
+
+    /// Take the recorded timeline (complete after a run).
+    pub fn take_timeline(&mut self) -> Option<Box<TimelineRecorder>> {
+        self.timeline.take()
+    }
+
+    /// Attach a flight recorder: every group keeps a bounded ring of
+    /// recent failure/rebuild events, and a group dropping below `m`
+    /// emits a JSON post-mortem of the causal chain. Never changes
+    /// results.
+    pub fn set_flight(&mut self, rec: FlightRecorder) {
+        self.flight = Some(Box::new(rec));
+    }
+
+    /// Take the flight recorder (holds any emitted post-mortems).
+    pub fn take_flight(&mut self) -> Option<Box<FlightRecorder>> {
+        self.flight.take()
+    }
+
+    /// Cold half of the flight-recorder hook: a few stores into the
+    /// group's preallocated ring. Only called with a recorder attached
+    /// (call sites null-test first), so the handlers' hot code stays
+    /// compact.
+    #[cold]
+    #[inline(never)]
+    fn flight_slow(&mut self, group: u32, kind: u8, disk: u32, idx: u8) {
+        let t = self.now.as_secs();
+        if let Some(f) = self.flight.as_deref_mut() {
+            f.record(group, t, kind, disk, idx);
+        }
+    }
+
+    /// Cold half of post-mortem emission: replays the group's ring into
+    /// one JSON line. Record the fatal event *before* calling this.
+    #[cold]
+    #[inline(never)]
+    fn flight_postmortem_slow(&mut self, group: u32, cause: &str) {
+        let t = self.now.as_secs();
+        if let Some(f) = self.flight.as_deref_mut() {
+            f.postmortem(group, t, cause);
+        }
+    }
+
+    /// Flight-recorder hook shared with the recovery module.
+    #[inline]
+    pub(crate) fn flight_record(&mut self, group: u32, kind: u8, disk: u32, idx: u8) {
+        if self.flight.is_some() {
+            self.flight_slow(group, kind, disk, idx);
+        }
+    }
+
+    /// Post-mortem hook shared with the recovery module.
+    #[inline]
+    pub(crate) fn flight_postmortem(&mut self, group: u32, cause: &str) {
+        if self.flight.is_some() {
+            self.flight_postmortem_slow(group, cause);
+        }
+    }
+
     /// Cold half of [`trace_ev!`]: formats and emits one trace record.
     /// Only ever called with a tracer attached, so it can stay out of
     /// line and keep the handlers' hot code compact.
@@ -368,11 +444,13 @@ impl Simulation {
     }
 
     fn run_inner(&mut self, stop_on_loss: bool) -> TrialMetrics {
-        // The loop is monomorphized twice so that with profiling off (the
-        // default) the hot path carries no clock reads, no `Option`
-        // plumbing — nothing beyond the dispatch itself.
-        if self.profiler.is_some() {
-            self.run_loop_profiled(stop_on_loss);
+        // The loop is monomorphized twice so that with profiling and the
+        // timeline off (the default) the hot path carries no clock
+        // reads, no `Option` plumbing — nothing beyond the dispatch
+        // itself. (The flight recorder hooks handlers, not the loop, so
+        // it needs no loop variant of its own.)
+        if self.profiler.is_some() || self.timeline.is_some() {
+            self.run_loop_instrumented(stop_on_loss);
         } else {
             self.run_loop(stop_on_loss);
         }
@@ -403,25 +481,117 @@ impl Simulation {
         }
     }
 
-    fn run_loop_profiled(&mut self, stop_on_loss: bool) {
+    /// Event loop with profiling and/or timeline sampling attached.
+    /// Timeline samples are drawn *between* events — every due sample
+    /// instant `s <= t` is recorded (from the state the previous event
+    /// left) before the event at `t` dispatches — never through the
+    /// event queue, so `events_processed` and queue tie-breaking are
+    /// untouched and results stay bit-identical.
+    fn run_loop_instrumented(&mut self, stop_on_loss: bool) {
         while let Some((t, ev)) = self.queue.pop() {
             if t > self.horizon {
                 break;
             }
+            if self.timeline.is_some() {
+                self.timeline_sample_to(t);
+            }
             self.now = t;
             self.metrics.events_processed += 1;
-            let t0 = std::time::Instant::now();
-            self.dispatch(ev);
-            let nanos = t0.elapsed().as_nanos() as u64;
-            let depth = self.queue.len() as u64;
-            if let Some(p) = self.profiler.as_deref_mut() {
-                p.record(ev.kind_index(), nanos);
-                p.sample_queue_depth(depth);
+            if self.profiler.is_some() {
+                let t0 = std::time::Instant::now();
+                self.dispatch(ev);
+                let nanos = t0.elapsed().as_nanos() as u64;
+                let depth = self.queue.len() as u64;
+                if let Some(p) = self.profiler.as_deref_mut() {
+                    p.record(ev.kind_index(), nanos);
+                    p.sample_queue_depth(depth);
+                }
+            } else {
+                self.dispatch(ev);
             }
             if stop_on_loss && self.metrics.lost_data() {
                 break;
             }
         }
+        // Sample instants past the last event (or past an early loss
+        // stop) record the final state, so every trial yields the same
+        // row count — duration / interval — whatever its event history.
+        if self.timeline.is_some() {
+            self.timeline_fill_remaining();
+        }
+    }
+
+    /// Record every due timeline sample at or before `upto`.
+    #[cold]
+    #[inline(never)]
+    fn timeline_sample_to(&mut self, upto: SimTime) {
+        // Lift the recorder out so the gauge scan can borrow `&self`.
+        let mut tl = self.timeline.take().expect("caller checked is_some");
+        while let Some(s) = tl.due() {
+            if s > upto.as_secs() {
+                break;
+            }
+            tl.push(self.timeline_gauges(SimTime::from_secs(s)));
+        }
+        self.timeline = Some(tl);
+    }
+
+    /// Record all remaining sample instants with the current state.
+    #[cold]
+    #[inline(never)]
+    fn timeline_fill_remaining(&mut self) {
+        let mut tl = self.timeline.take().expect("caller checked is_some");
+        while let Some(s) = tl.due() {
+            tl.push(self.timeline_gauges(SimTime::from_secs(s)));
+        }
+        self.timeline = Some(tl);
+    }
+
+    /// The cluster-state gauge row at instant `at` (which lies between
+    /// the previous event and the next, so the discrete state is
+    /// current; only the recovery-pipe clocks need `at` itself).
+    fn timeline_gauges(&self, at: SimTime) -> [f64; N_GAUGES] {
+        let mut active = 0u64;
+        let mut busy_pipes = 0u64;
+        let mut free = 0u64;
+        let mut capacity = 0u64;
+        for (i, d) in self.disks.iter().enumerate() {
+            if d.is_active() {
+                active += 1;
+                if self.recovery_busy[i] > at {
+                    busy_pipes += 1;
+                }
+                free += d.free_bytes();
+                capacity += d.capacity;
+            }
+        }
+        let mut rebuilds_in_flight = 0u64;
+        let mut vulnerable_groups = 0u64;
+        for g in 0..self.layout.n_groups() {
+            if self.layout.is_dead(g) {
+                continue;
+            }
+            let missing = self.layout.missing_count(g) as u64;
+            if missing > 0 {
+                rebuilds_in_flight += missing;
+                vulnerable_groups += 1;
+            }
+        }
+        [
+            self.failed_since_batch as f64,
+            rebuilds_in_flight as f64,
+            vulnerable_groups as f64,
+            if active == 0 {
+                0.0
+            } else {
+                busy_pipes as f64 / active as f64
+            },
+            if capacity == 0 {
+                0.0
+            } else {
+                free as f64 / capacity as f64
+            },
+        ]
     }
 
     // ----- event handlers -------------------------------------------------
@@ -447,6 +617,7 @@ impl Simulation {
                 // Detect(d) will pick a fresh target.
                 self.metrics.redirections += 1;
                 self.layout.bump_epoch(b);
+                self.flight_record(b.group(), flight_kind::REDIRECT, d.0, b.idx());
                 trace_ev!(
                     self,
                     "redirect",
@@ -457,11 +628,15 @@ impl Simulation {
             } else {
                 let missing = self.layout.mark_missing(b);
                 self.layout.set_vulnerable(b, self.now);
+                self.flight_record(b.group(), flight_kind::FAILURE, d.0, b.idx());
                 let available = self.cfg.scheme.n - missing as u32;
                 if available < self.cfg.scheme.m {
                     self.layout.mark_dead(b.group());
                     self.metrics
                         .record_loss(self.cfg.group_user_bytes, self.now);
+                    // The fatal failure was just recorded, so the
+                    // post-mortem chain ends with it.
+                    self.flight_postmortem(b.group(), "disk_failure");
                     trace_ev!(self, "loss", ",\"group\":{}", b.group());
                 }
             }
@@ -534,6 +709,10 @@ impl Simulation {
         }
         self.layout.mark_available(b);
         self.metrics.rebuilds_completed += 1;
+        if self.flight.is_some() {
+            let home = self.layout.home(b);
+            self.flight_slow(b.group(), flight_kind::REBUILD_DONE, home.0, b.idx());
+        }
         if let Some(since) = self.layout.take_vulnerable(b) {
             let window = (self.now - since).as_secs();
             self.metrics.record_vulnerability(window);

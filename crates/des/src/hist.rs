@@ -233,6 +233,23 @@ impl Histogram {
         self.max = self.max.max(other.max);
     }
 
+    /// Approximate mean computed from bucket lower bounds and integer
+    /// counts only (the zero slot contributes 0, underflow contributes
+    /// `min`, overflow contributes `max`). Unlike [`Histogram::mean`],
+    /// whose exact f64 `sum` depends on record/merge order, this is
+    /// bit-identical for every merge order that pools the same sample
+    /// multiset — the property cross-trial band exports rely on.
+    pub fn bucket_mean(&self) -> f64 {
+        if self.total == 0 {
+            return 0.0;
+        }
+        let mut s = self.min * self.underflow as f64 + self.max * self.overflow as f64;
+        for (low, c) in self.nonzero_buckets() {
+            s += low * c as f64;
+        }
+        s / self.total as f64
+    }
+
     /// Non-empty buckets as `(lower_bound, count)`, ascending.
     pub fn nonzero_buckets(&self) -> impl Iterator<Item = (f64, u64)> + '_ {
         self.counts
@@ -426,6 +443,32 @@ mod tests {
         for q in [0.01, 0.25, 0.5, 0.75, 0.9, 0.99, 1.0] {
             assert_eq!(left.percentile(q), whole.percentile(q), "q={q}");
         }
+    }
+
+    #[test]
+    fn bucket_mean_is_merge_order_independent_and_close_to_exact() {
+        let xs = samples(3000);
+        let mut parts: Vec<Histogram> = (0..3).map(|_| Histogram::new()).collect();
+        for (i, &x) in xs.iter().enumerate() {
+            parts[i % 3].record(x);
+        }
+        parts[0].record(0.0);
+        parts[1].record(1e-9);
+        parts[2].record(1e13);
+
+        // a+(b+c) vs (a+b)+c must agree to the last bit.
+        let mut abc = parts[0].clone();
+        let mut bc = parts[1].clone();
+        bc.merge(&parts[2]);
+        abc.merge(&bc);
+        let mut ab = parts[0].clone();
+        ab.merge(&parts[1]);
+        ab.merge(&parts[2]);
+        assert_eq!(abc.bucket_mean().to_bits(), ab.bucket_mean().to_bits());
+
+        // And it approximates the exact mean to within one sub-bucket.
+        let rel = (abc.bucket_mean() - abc.mean()).abs() / abc.mean();
+        assert!(rel < 0.10, "bucket_mean off by {rel}");
     }
 
     #[test]

@@ -11,20 +11,27 @@
 //! * `--threads T`  — worker threads (default: all cores, capped).
 //!
 //! Observability switches (see `farm-obs`; environment variables
-//! `FARM_TRACE` / `FARM_PROFILE` / `FARM_PROGRESS` work everywhere,
-//! the flags override them):
+//! `FARM_TRACE` / `FARM_PROFILE` / `FARM_PROGRESS` / `FARM_TIMELINE` /
+//! `FARM_POSTMORTEM` work everywhere, the flags override them):
 //!
-//! * `--trace [N]`   — emit a JSONL trace of trial N (default 0) to
-//!   stderr; route it to a file with `FARM_TRACE=N:path`,
+//! * `--trace [N|loss]` — emit a JSONL trace of trial N (default 0), or
+//!   of every trial that loses data, to stderr; route it to a file with
+//!   `FARM_TRACE=N:path` / `FARM_TRACE=loss:path`,
+//! * `--timeline [SPEC]` — sample cluster-state gauges per trial and
+//!   export cross-trial mean/p10/p90 bands; SPEC is
+//!   `[path][@interval_secs]` (default `farm-timeline.csv`, 128 samples
+//!   over the horizon; a `.jsonl` extension selects JSONL),
 //! * `--profile`     — print an event-loop profile after each batch,
 //! * `--progress` / `--no-progress` — force batch progress reporting on
 //!   or off (default: on only when stderr is a terminal).
+//!
+//! Data-loss post-mortems have no flag: set `FARM_POSTMORTEM=file.jsonl`.
 
 use farm_core::montecarlo;
-use farm_obs::{ObsOptions, TraceSpec};
+use farm_obs::{ObsOptions, TimelineSpec, TraceSel, TraceSpec};
 
 /// Parsed experiment options.
-#[derive(Clone, Copy, Debug)]
+#[derive(Clone, Debug)]
 pub struct Options {
     pub trials: u64,
     pub seed: u64,
@@ -32,8 +39,11 @@ pub struct Options {
     pub scale: f64,
     pub threads: usize,
     pub quick: bool,
-    /// Trace this trial index as JSONL (`--trace [N]`).
-    pub trace: Option<u64>,
+    /// Trace a trial index — or all data-losing trials — as JSONL
+    /// (`--trace [N|loss]`).
+    pub trace: Option<TraceSel>,
+    /// Sample cluster-state timelines (`--timeline [SPEC]`).
+    pub timeline: Option<TimelineSpec>,
     /// Force progress reporting on/off (`None` = auto).
     pub progress: Option<bool>,
     /// Print an event-loop profile per batch.
@@ -49,6 +59,7 @@ impl Options {
             threads: montecarlo::default_threads(),
             quick: true,
             trace: None,
+            timeline: None,
             progress: None,
             profile: false,
         }
@@ -69,6 +80,7 @@ impl Options {
         let mut opts = Options::quick_default();
         let mut explicit_trials = None;
         let mut trace = None;
+        let mut timeline = None;
         let mut progress = None;
         let mut profile = false;
         let mut it = args.into_iter().peekable();
@@ -96,15 +108,33 @@ impl Options {
                     }
                 }
                 "--trace" => {
-                    // Optional trial index; bare `--trace` samples trial 0.
-                    let n = match it.peek() {
+                    // Optional selector; bare `--trace` samples trial 0.
+                    let sel = match it.peek() {
                         Some(v) if !v.starts_with('-') => {
                             let v = it.next().unwrap();
-                            v.parse::<u64>().map_err(|e| format!("--trace: {e}"))?
+                            if v == "loss" {
+                                TraceSel::Loss
+                            } else {
+                                TraceSel::Trial(
+                                    v.parse::<u64>().map_err(|e| format!("--trace: {e}"))?,
+                                )
+                            }
                         }
-                        _ => 0,
+                        _ => TraceSel::Trial(0),
                     };
-                    trace = Some(n);
+                    trace = Some(sel);
+                }
+                "--timeline" => {
+                    // Optional `[path][@interval_secs]` spec; bare
+                    // `--timeline` takes every default.
+                    let spec = match it.peek() {
+                        Some(v) if !v.starts_with('-') => {
+                            let v = it.next().unwrap();
+                            TimelineSpec::parse(&v).map_err(|e| format!("--timeline: {e}"))?
+                        }
+                        _ => TimelineSpec::parse("").expect("empty spec is valid"),
+                    };
+                    timeline = Some(spec);
                 }
                 "--progress" => progress = Some(true),
                 "--no-progress" => progress = Some(false),
@@ -112,7 +142,8 @@ impl Options {
                 "--help" | "-h" => {
                     return Err(
                         "options: [--quick|--full] [--trials N] [--seed S] [--threads T] \
-                         [--trace [N]] [--profile] [--progress|--no-progress]"
+                         [--trace [N|loss]] [--timeline [SPEC]] [--profile] \
+                         [--progress|--no-progress]"
                             .into(),
                     );
                 }
@@ -126,13 +157,14 @@ impl Options {
             opts.trials = t;
         }
         opts.trace = trace;
+        opts.timeline = timeline;
         opts.progress = progress;
         opts.profile = profile;
         Ok(opts)
     }
 
     /// Resolve the observability switches: environment first, CLI flags
-    /// override. A `--trace N` flag keeps any `FARM_TRACE` output path.
+    /// override. A `--trace` flag keeps any `FARM_TRACE` output path.
     pub fn obs_options(&self) -> ObsOptions {
         let mut o = ObsOptions::from_env();
         if let Some(p) = self.progress {
@@ -141,9 +173,12 @@ impl Options {
         if self.profile {
             o.profile = true;
         }
-        if let Some(trial) = self.trace {
+        if let Some(sel) = self.trace {
             let path = o.trace.take().and_then(|s| s.path);
-            o.trace = Some(TraceSpec { trial, path });
+            o.trace = Some(TraceSpec { sel, path });
+        }
+        if let Some(spec) = &self.timeline {
+            o.timeline = Some(spec.clone());
         }
         o
     }
@@ -234,28 +269,58 @@ mod tests {
         assert!(!o.profile);
 
         let o = parse(&["--trace", "7", "--profile", "--progress"]).unwrap();
-        assert_eq!(o.trace, Some(7));
+        assert_eq!(o.trace, Some(TraceSel::Trial(7)));
         assert!(o.profile);
         assert_eq!(o.progress, Some(true));
 
         // Bare --trace defaults to trial 0, even before another flag.
         let o = parse(&["--trace", "--no-progress"]).unwrap();
-        assert_eq!(o.trace, Some(0));
+        assert_eq!(o.trace, Some(TraceSel::Trial(0)));
         assert_eq!(o.progress, Some(false));
+
+        // Loss mode: trace only trials that lose data.
+        let o = parse(&["--trace", "loss"]).unwrap();
+        assert_eq!(o.trace, Some(TraceSel::Loss));
 
         // Flags survive a later mode switch.
         let o = parse(&["--trace", "3", "--full"]).unwrap();
-        assert_eq!(o.trace, Some(3));
+        assert_eq!(o.trace, Some(TraceSel::Trial(3)));
         assert!(!o.quick);
+    }
+
+    #[test]
+    fn timeline_flag_forms() {
+        let o = parse(&[]).unwrap();
+        assert_eq!(o.timeline, None);
+
+        // Bare --timeline takes every default.
+        let o = parse(&["--timeline", "--no-progress"]).unwrap();
+        let spec = o.timeline.expect("timeline on");
+        assert_eq!(spec.path, farm_obs::timeline::DEFAULT_TIMELINE_PATH);
+        assert_eq!(spec.interval_secs, None);
+
+        let o = parse(&["--timeline", "tl.jsonl@604800", "--full"]).unwrap();
+        let spec = o.timeline.expect("timeline on");
+        assert_eq!(spec.path, "tl.jsonl");
+        assert_eq!(spec.interval_secs, Some(604800.0));
+        assert!(spec.json());
+        assert!(!o.quick);
+
+        assert!(parse(&["--timeline", "tl.csv@nope"]).is_err());
     }
 
     #[test]
     fn obs_options_reflect_flags() {
         let mut o = parse(&["--profile", "--no-progress"]).unwrap();
-        o.trace = Some(5);
+        o.trace = Some(TraceSel::Trial(5));
+        o.timeline = Some(TimelineSpec::parse("bands.csv").unwrap());
         let obs = o.obs_options();
         assert!(obs.profile);
         assert_eq!(obs.progress, Some(false));
-        assert_eq!(obs.trace.as_ref().map(|s| s.trial), Some(5));
+        assert_eq!(obs.trace.as_ref().map(|s| s.sel), Some(TraceSel::Trial(5)));
+        assert_eq!(
+            obs.timeline.as_ref().map(|s| s.path.as_str()),
+            Some("bands.csv")
+        );
     }
 }

@@ -54,4 +54,26 @@ mod tests {
         // A different key is independent.
         assert!(warn_once("diag-test-b", "other"));
     }
+
+    #[test]
+    fn warn_once_under_contention_emits_exactly_once() {
+        let emitted: usize = std::thread::scope(|s| {
+            let handles: Vec<_> = (0..8)
+                .map(|_| {
+                    s.spawn(|| {
+                        let mut n = 0;
+                        for _ in 0..50 {
+                            if warn_once("diag-test-race", "racing warning") {
+                                n += 1;
+                            }
+                        }
+                        n
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).sum()
+        });
+        assert_eq!(emitted, 1);
+        assert!(warned("diag-test-race"));
+    }
 }

@@ -12,8 +12,15 @@
 //!   Monte-Carlo batches (trials done, trials/sec, ETA, losses),
 //! * [`diag`] — a process-wide diagnostics sink with once-per-process
 //!   warning dedup (replaces ad-hoc `eprintln!`s),
+//! * [`timeline::TimelineRecorder`] / [`timeline::TimelineBands`] —
+//!   fixed-interval cluster-state gauges per trial, merged across the
+//!   batch into mean/p10/p90 bands (`FARM_TIMELINE` / `--timeline`),
+//! * [`flight::FlightRecorder`] — a bounded per-group ring of recent
+//!   failure/rebuild events that emits a JSON post-mortem of the causal
+//!   chain whenever a group loses data (`FARM_POSTMORTEM`),
 //! * [`ObsOptions`] — the switchboard, populated from `FARM_TRACE` /
-//!   `FARM_PROFILE` / `FARM_PROGRESS` or from CLI flags.
+//!   `FARM_PROFILE` / `FARM_PROGRESS` / `FARM_TIMELINE` /
+//!   `FARM_POSTMORTEM` or from CLI flags.
 //!
 //! **Overhead contract:** everything here is *off by default*, and the
 //! disabled path inside the trial event loop is a branch on an
@@ -22,13 +29,19 @@
 //! by the golden-metrics determinism test in `tests/observability.rs`).
 
 pub mod diag;
+pub mod flight;
 pub mod profile;
 pub mod progress;
+pub mod sink;
+pub mod timeline;
 pub mod trace;
 
+pub use flight::FlightRecorder;
 pub use profile::EventProfile;
 pub use progress::Progress;
-pub use trace::{TraceSpec, TrialTracer};
+pub use sink::open_batch_file;
+pub use timeline::{TimelineBands, TimelineRecorder, TimelineSpec, GAUGES, N_GAUGES};
+pub use trace::{TraceSel, TraceSpec, TrialTracer};
 
 use std::sync::OnceLock;
 
@@ -40,8 +53,14 @@ pub struct ObsOptions {
     pub progress: Option<bool>,
     /// Profile the event loop (per-event-type counts/time, queue depth).
     pub profile: bool,
-    /// Trace one sampled trial as JSONL.
+    /// Trace one sampled trial (or all data-losing trials) as JSONL.
     pub trace: Option<TraceSpec>,
+    /// Sample cluster-state gauges at a fixed simulated-time interval
+    /// and export cross-trial bands.
+    pub timeline: Option<TimelineSpec>,
+    /// JSONL path for data-loss post-mortems (enables the per-group
+    /// flight recorder).
+    pub postmortem: Option<String>,
 }
 
 impl ObsOptions {
@@ -51,12 +70,15 @@ impl ObsOptions {
             progress: Some(false),
             profile: false,
             trace: None,
+            timeline: None,
+            postmortem: None,
         }
     }
 
-    /// Read the `FARM_PROGRESS`, `FARM_PROFILE` and `FARM_TRACE`
-    /// environment variables. Unset variables leave the default
-    /// (progress auto-detects a terminal; profile and trace off).
+    /// Read the `FARM_PROGRESS`, `FARM_PROFILE`, `FARM_TRACE`,
+    /// `FARM_TIMELINE` and `FARM_POSTMORTEM` environment variables.
+    /// Unset variables leave the default (progress auto-detects a
+    /// terminal; everything else off).
     pub fn from_env() -> Self {
         let mut o = ObsOptions::default();
         if let Ok(v) = std::env::var("FARM_PROGRESS") {
@@ -71,6 +93,24 @@ impl ObsOptions {
                 Err(e) => {
                     diag::warn_once("FARM_TRACE", &format!("ignoring FARM_TRACE={v:?}: {e}"));
                 }
+            }
+        }
+        if let Ok(v) = std::env::var("FARM_TIMELINE") {
+            if env_truthy(&v) {
+                match TimelineSpec::parse(&v) {
+                    Ok(spec) => o.timeline = Some(spec),
+                    Err(e) => {
+                        diag::warn_once(
+                            "FARM_TIMELINE",
+                            &format!("ignoring FARM_TIMELINE={v:?}: {e}"),
+                        );
+                    }
+                }
+            }
+        }
+        if let Ok(v) = std::env::var("FARM_POSTMORTEM") {
+            if env_truthy(&v) {
+                o.postmortem = Some(v);
             }
         }
         o
@@ -113,6 +153,8 @@ mod tests {
         assert!(!o.progress_enabled());
         assert!(!o.profile);
         assert!(o.trace.is_none());
+        assert!(o.timeline.is_none());
+        assert!(o.postmortem.is_none());
     }
 
     #[test]

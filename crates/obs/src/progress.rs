@@ -44,27 +44,34 @@ impl Progress {
         if !self.enabled {
             return;
         }
+        let elapsed_ms = self.start.elapsed().as_millis() as u64;
+        if let Some(done) = self.trial_done_at(lost_data, elapsed_ms) {
+            self.print_line(done, elapsed_ms);
+        }
+    }
+
+    /// Accounting and the rate-limit gate, separated from the wall
+    /// clock and stderr so the gating rules are unit-testable without
+    /// real time passing. Returns `Some(done)` exactly when this call
+    /// wins the right to print: never inside the warm-up window, at
+    /// most one winner per [`PRINT_INTERVAL_MS`], losers of the
+    /// compare-exchange skip the syscall entirely.
+    fn trial_done_at(&self, lost_data: bool, elapsed_ms: u64) -> Option<u64> {
         let done = self.done.fetch_add(1, Ordering::Relaxed) + 1;
         if lost_data {
             self.losses.fetch_add(1, Ordering::Relaxed);
         }
-        let elapsed_ms = self.start.elapsed().as_millis() as u64;
         if elapsed_ms < WARMUP_MS {
-            return;
+            return None;
         }
         let last = self.last_print_ms.load(Ordering::Relaxed);
         if elapsed_ms.saturating_sub(last) < PRINT_INTERVAL_MS {
-            return;
+            return None;
         }
-        // One winner per interval; losers skip the syscall entirely.
-        if self
-            .last_print_ms
+        self.last_print_ms
             .compare_exchange(last, elapsed_ms, Ordering::Relaxed, Ordering::Relaxed)
-            .is_err()
-        {
-            return;
-        }
-        self.print_line(done, elapsed_ms);
+            .ok()
+            .map(|_| done)
     }
 
     fn print_line(&self, done: u64, elapsed_ms: u64) {
@@ -144,6 +151,68 @@ mod tests {
         // Within the warm-up window nothing was printed.
         assert_eq!(p.last_print_ms.load(Ordering::Relaxed), 0);
         p.finish();
+    }
+
+    #[test]
+    fn warmup_window_suppresses_printing() {
+        let p = Progress::new(1000, true);
+        for ms in [0, 100, 500, WARMUP_MS - 1] {
+            assert_eq!(p.trial_done_at(false, ms), None, "at {ms}ms");
+        }
+        // Trials are still accounted while suppressed.
+        assert_eq!(p.done(), 4);
+        // First call past the warm-up wins.
+        assert_eq!(p.trial_done_at(false, WARMUP_MS), Some(5));
+    }
+
+    #[test]
+    fn at_most_one_print_per_interval() {
+        let p = Progress::new(1000, true);
+        assert_eq!(p.trial_done_at(false, 2000), Some(1));
+        // Everything inside the interval after a win is rate-limited.
+        for ms in 2000..2000 + PRINT_INTERVAL_MS {
+            assert_eq!(p.trial_done_at(false, ms), None, "at {ms}ms");
+        }
+        // The first call at the interval boundary wins again.
+        let at = 2000 + PRINT_INTERVAL_MS;
+        let done = p.trial_done_at(false, at);
+        assert_eq!(done, Some(p.done()));
+        assert_eq!(p.trial_done_at(false, at), None);
+    }
+
+    #[test]
+    fn concurrent_callers_elect_exactly_one_winner_per_interval() {
+        let p = Progress::new(10_000, true);
+        let winners: u64 = std::thread::scope(|s| {
+            let handles: Vec<_> = (0..8)
+                .map(|_| {
+                    let p = &p;
+                    s.spawn(move || {
+                        let mut won = 0u64;
+                        for _ in 0..100 {
+                            // Every call sees the same elapsed time, as
+                            // racing workers would.
+                            if p.trial_done_at(false, 5000).is_some() {
+                                won += 1;
+                            }
+                        }
+                        won
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).sum()
+        });
+        assert_eq!(winners, 1);
+        assert_eq!(p.done(), 800);
+    }
+
+    #[test]
+    fn losses_are_counted_even_when_rate_limited() {
+        let p = Progress::new(100, true);
+        for _ in 0..10 {
+            p.trial_done_at(true, 0);
+        }
+        assert_eq!(p.losses(), 10);
     }
 
     #[test]

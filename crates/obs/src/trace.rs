@@ -5,18 +5,38 @@
 //!
 //! Records are one JSON object per line, always carrying `trial`, `t`
 //! (simulated seconds) and `ev`; event-specific fields follow. The
-//! writer is buffered and owned by the one trial being traced, so
-//! untraced trials (all but one per batch) pay nothing.
+//! writer is buffered and owned by the trial being traced, so untraced
+//! trials pay nothing.
+//!
+//! Two selection modes: `FARM_TRACE=7` traces the one trial you name;
+//! `FARM_TRACE=loss` traces *every* trial into an in-memory buffer and
+//! flushes only the trials that actually lose data — no guessing a
+//! trial index up front when hunting a loss.
 
 use std::fmt;
 use std::fs::File;
 use std::io::{self, BufWriter, Write};
 
-/// Which trial to trace, and where the JSONL goes.
+/// Which trials to trace.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TraceSel {
+    /// Trace exactly this trial index.
+    Trial(u64),
+    /// Trace every trial into memory; keep only trials that lose data.
+    Loss,
+}
+
+impl Default for TraceSel {
+    fn default() -> Self {
+        TraceSel::Trial(0)
+    }
+}
+
+/// Which trials to trace, and where the JSONL goes.
 #[derive(Clone, Debug, Default, PartialEq, Eq)]
 pub struct TraceSpec {
-    /// Trial index to sample (one per batch).
-    pub trial: u64,
+    /// Trial selection (an index, or all data-losing trials).
+    pub sel: TraceSel,
     /// Output path; `None` = stderr.
     pub path: Option<String>,
 }
@@ -27,37 +47,58 @@ impl TraceSpec {
     /// * `""` or `"0"` — trace trial 0 to stderr,
     /// * `"7"` — trace trial 7 to stderr,
     /// * `"7:out.jsonl"` — trace trial 7 to `out.jsonl`,
+    /// * `"loss"` — trace only data-losing trials, to stderr,
+    /// * `"loss:out.jsonl"` — data-losing trials to `out.jsonl`,
     /// * `"out.jsonl"` — trace trial 0 to `out.jsonl`.
     pub fn parse(s: &str) -> Result<TraceSpec, String> {
         let s = s.trim();
         if s.is_empty() {
             return Ok(TraceSpec::default());
         }
-        if let Some((trial, path)) = s.split_once(':') {
-            let trial = trial
-                .parse::<u64>()
-                .map_err(|e| format!("trial index {trial:?}: {e}"))?;
+        if let Some((sel, path)) = s.split_once(':') {
             if path.is_empty() {
                 return Err("empty output path after ':'".into());
             }
+            let sel = parse_sel(sel)?;
             return Ok(TraceSpec {
-                trial,
+                sel,
                 path: Some(path.to_string()),
             });
         }
+        if s == "loss" {
+            return Ok(TraceSpec {
+                sel: TraceSel::Loss,
+                path: None,
+            });
+        }
         match s.parse::<u64>() {
-            Ok(trial) => Ok(TraceSpec { trial, path: None }),
+            Ok(trial) => Ok(TraceSpec {
+                sel: TraceSel::Trial(trial),
+                path: None,
+            }),
             Err(_) => Ok(TraceSpec {
-                trial: 0,
+                sel: TraceSel::default(),
                 path: Some(s.to_string()),
             }),
         }
     }
 }
 
+fn parse_sel(s: &str) -> Result<TraceSel, String> {
+    if s == "loss" {
+        return Ok(TraceSel::Loss);
+    }
+    s.parse::<u64>()
+        .map(TraceSel::Trial)
+        .map_err(|e| format!("trial selector {s:?} (want an index or \"loss\"): {e}"))
+}
+
 enum Sink {
     Stderr(io::Stderr),
     File(BufWriter<File>),
+    /// In-memory buffer for `FARM_TRACE=loss`: the batch runner takes
+    /// the bytes afterwards and flushes them only if the trial lost.
+    Buffer(Vec<u8>),
 }
 
 impl Write for Sink {
@@ -65,6 +106,7 @@ impl Write for Sink {
         match self {
             Sink::Stderr(s) => s.write(buf),
             Sink::File(f) => f.write(buf),
+            Sink::Buffer(b) => b.write(buf),
         }
     }
 
@@ -72,11 +114,12 @@ impl Write for Sink {
         match self {
             Sink::Stderr(s) => s.flush(),
             Sink::File(f) => f.flush(),
+            Sink::Buffer(_) => Ok(()),
         }
     }
 }
 
-/// The per-trial trace writer handed to the one sampled simulation.
+/// The per-trial trace writer handed to one simulation.
 pub struct TrialTracer {
     trial: u64,
     sink: Sink,
@@ -84,27 +127,38 @@ pub struct TrialTracer {
 }
 
 impl TrialTracer {
-    /// Open the spec's sink for the sampled trial.
-    pub fn open(spec: &TraceSpec) -> io::Result<TrialTracer> {
+    /// Open the spec's sink for trial `trial`.
+    pub fn open(spec: &TraceSpec, trial: u64) -> io::Result<TrialTracer> {
         let sink = match &spec.path {
             None => Sink::Stderr(io::stderr()),
             Some(p) => Sink::File(BufWriter::new(File::create(p)?)),
         };
         Ok(TrialTracer {
-            trial: spec.trial,
+            trial,
             sink,
             records: 0,
         })
     }
 
-    /// A tracer writing to an in-memory-style sink is not needed; tests
-    /// trace to a temp file. This constructor exists for unit tests of
-    /// the record format.
-    pub fn to_path(trial: u64, path: &str) -> io::Result<TrialTracer> {
-        Self::open(&TraceSpec {
+    /// A tracer accumulating into memory (for `FARM_TRACE=loss`): take
+    /// the bytes with [`TrialTracer::take_buffer`] after the trial.
+    pub fn buffered(trial: u64) -> TrialTracer {
+        TrialTracer {
             trial,
-            path: Some(path.to_string()),
-        })
+            sink: Sink::Buffer(Vec::new()),
+            records: 0,
+        }
+    }
+
+    /// File-backed tracer for unit tests of the record format.
+    pub fn to_path(trial: u64, path: &str) -> io::Result<TrialTracer> {
+        Self::open(
+            &TraceSpec {
+                sel: TraceSel::Trial(trial),
+                path: Some(path.to_string()),
+            },
+            trial,
+        )
     }
 
     pub fn trial(&self) -> u64 {
@@ -130,6 +184,15 @@ impl TrialTracer {
         );
     }
 
+    /// For a [`TrialTracer::buffered`] tracer, take the accumulated
+    /// JSONL bytes (leaving it empty); `None` for other sinks.
+    pub fn take_buffer(&mut self) -> Option<Vec<u8>> {
+        match &mut self.sink {
+            Sink::Buffer(b) => Some(std::mem::take(b)),
+            _ => None,
+        }
+    }
+
     /// Flush buffered records (also happens on drop).
     pub fn flush(&mut self) {
         let _ = self.sink.flush();
@@ -152,22 +215,36 @@ mod tests {
         assert_eq!(
             TraceSpec::parse("7").unwrap(),
             TraceSpec {
-                trial: 7,
+                sel: TraceSel::Trial(7),
                 path: None
             }
         );
         assert_eq!(
             TraceSpec::parse("3:t.jsonl").unwrap(),
             TraceSpec {
-                trial: 3,
+                sel: TraceSel::Trial(3),
                 path: Some("t.jsonl".into())
             }
         );
         assert_eq!(
             TraceSpec::parse("t.jsonl").unwrap(),
             TraceSpec {
-                trial: 0,
+                sel: TraceSel::Trial(0),
                 path: Some("t.jsonl".into())
+            }
+        );
+        assert_eq!(
+            TraceSpec::parse("loss").unwrap(),
+            TraceSpec {
+                sel: TraceSel::Loss,
+                path: None
+            }
+        );
+        assert_eq!(
+            TraceSpec::parse("loss:losses.jsonl").unwrap(),
+            TraceSpec {
+                sel: TraceSel::Loss,
+                path: Some("losses.jsonl".into())
             }
         );
         assert!(TraceSpec::parse("x:").is_err());
@@ -201,5 +278,21 @@ mod tests {
         for l in lines {
             assert!(l.starts_with('{') && l.ends_with('}'));
         }
+    }
+
+    #[test]
+    fn buffered_tracer_accumulates_and_yields_bytes() {
+        let mut t = TrialTracer::buffered(9);
+        t.emit(1.0, "failure", format_args!(",\"disk\":3"));
+        t.emit(2.0, "loss", format_args!(""));
+        let bytes = t.take_buffer().expect("buffered sink");
+        let body = String::from_utf8(bytes).unwrap();
+        assert_eq!(
+            body,
+            "{\"trial\":9,\"t\":1.000,\"ev\":\"failure\",\"disk\":3}\n\
+             {\"trial\":9,\"t\":2.000,\"ev\":\"loss\"}\n"
+        );
+        // Taking leaves the buffer empty, and non-buffer sinks say None.
+        assert_eq!(t.take_buffer().unwrap(), Vec::<u8>::new());
     }
 }

@@ -1,0 +1,124 @@
+#!/usr/bin/env python3
+"""Validate telemetry artifacts against the documented schema.
+
+Usage:
+    check_telemetry.py TIMELINE.csv POSTMORTEM.jsonl [--expect-loss]
+
+Checks the timeline CSV and post-mortem JSONL produced by `--timeline`
+and `FARM_POSTMORTEM` (schema: DESIGN.md section 11). With
+`--expect-loss`, at least one post-mortem line must be present.
+Stdlib only; exits non-zero with a message on the first violation.
+"""
+
+import csv
+import json
+import sys
+
+GAUGES = [
+    "failed_disks",
+    "rebuilds_in_flight",
+    "vulnerable_groups",
+    "recovery_util",
+    "spare_frac",
+]
+HEADER = ["batch", "sample", "t_secs", "gauge", "trials", "mean", "p10", "p90", "min", "max"]
+CAUSE_TO_FATAL_EV = {"disk_failure": "failure", "latent_read_error": "latent"}
+CHAIN_EVS = {"failure", "rebuild_start", "rebuild_done", "redirect", "no_target", "latent"}
+
+
+def fail(msg):
+    print(f"check_telemetry: FAIL: {msg}", file=sys.stderr)
+    sys.exit(1)
+
+
+def check_timeline(path):
+    with open(path, newline="") as f:
+        rows = list(csv.reader(f))
+    if not rows:
+        fail(f"{path}: empty timeline")
+    if rows[0] != HEADER:
+        fail(f"{path}: bad header {rows[0]!r}")
+
+    # Per batch: contiguous 1-based samples, all gauges in order per
+    # sample, monotone t_secs, ordered bands.
+    per_batch = {}
+    for n, row in enumerate(rows[1:], start=2):
+        if len(row) != len(HEADER):
+            fail(f"{path}:{n}: expected {len(HEADER)} fields, got {len(row)}")
+        batch, sample, gauge, trials = row[0], int(row[1]), row[3], int(row[4])
+        t, mean, p10, p90 = (float(row[i]) for i in (2, 5, 6, 7))
+        lo, hi = float(row[8]), float(row[9])
+        if gauge not in GAUGES:
+            fail(f"{path}:{n}: unknown gauge {gauge!r}")
+        if trials < 1:
+            fail(f"{path}:{n}: no trials pooled")
+        if not (lo <= p10 <= p90 <= hi):
+            fail(f"{path}:{n}: bands out of order min={lo} p10={p10} p90={p90} max={hi}")
+        if not (0.0 <= mean <= hi):
+            fail(f"{path}:{n}: mean {mean} outside [0, max={hi}]")
+        seq = per_batch.setdefault(batch, [])
+        expect_sample = len(seq) // len(GAUGES) + 1
+        expect_gauge = GAUGES[len(seq) % len(GAUGES)]
+        if sample != expect_sample or gauge != expect_gauge:
+            fail(f"{path}:{n}: expected sample {expect_sample}/{expect_gauge}, "
+                 f"got {sample}/{gauge}")
+        if seq and sample > seq[-1][0] and t <= seq[-1][1]:
+            fail(f"{path}:{n}: t_secs not increasing across samples")
+        seq.append((sample, t))
+    for batch, seq in per_batch.items():
+        if len(seq) % len(GAUGES) != 0:
+            fail(f"{path}: batch {batch} ends mid-sample ({len(seq)} rows)")
+    n_rows = len(rows) - 1
+    print(f"check_telemetry: {path}: {n_rows} rows, "
+          f"{len(per_batch)} batch(es), all gauges present")
+
+
+def check_postmortems(path, expect_loss):
+    with open(path) as f:
+        lines = [l for l in f.read().splitlines() if l]
+    if expect_loss and not lines:
+        fail(f"{path}: expected at least one post-mortem")
+    for n, line in enumerate(lines, start=1):
+        try:
+            pm = json.loads(line)
+        except json.JSONDecodeError as e:
+            fail(f"{path}:{n}: invalid JSON: {e}")
+        for key in ("trial", "group", "t_secs", "cause", "dropped", "chain"):
+            if key not in pm:
+                fail(f"{path}:{n}: missing key {key!r}")
+        if pm["cause"] not in CAUSE_TO_FATAL_EV:
+            fail(f"{path}:{n}: unknown cause {pm['cause']!r}")
+        chain = pm["chain"]
+        if not chain:
+            fail(f"{path}:{n}: empty causal chain")
+        for ev in chain:
+            if ev["ev"] not in CHAIN_EVS:
+                fail(f"{path}:{n}: unknown chain event {ev['ev']!r}")
+            if ev["t_secs"] > pm["t_secs"]:
+                fail(f"{path}:{n}: chain event after the loss instant")
+        ts = [ev["t_secs"] for ev in chain]
+        if ts != sorted(ts):
+            fail(f"{path}:{n}: chain is not chronological")
+        # The chain must end in the exact event that dropped the group
+        # below m.
+        fatal = CAUSE_TO_FATAL_EV[pm["cause"]]
+        if chain[-1]["ev"] != fatal:
+            fail(f"{path}:{n}: cause {pm['cause']!r} but chain ends in "
+                 f"{chain[-1]['ev']!r} (want {fatal!r})")
+    print(f"check_telemetry: {path}: {len(lines)} post-mortem(s), "
+          f"chains chronological and cause-consistent")
+
+
+def main(argv):
+    args = [a for a in argv if a != "--expect-loss"]
+    if len(args) != 2:
+        print(__doc__.strip(), file=sys.stderr)
+        return 2
+    check_timeline(args[0])
+    check_postmortems(args[1], expect_loss="--expect-loss" in argv)
+    print("check_telemetry: OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

@@ -5,7 +5,7 @@
 
 use farm_core::prelude::*;
 use farm_des::stats::Running;
-use farm_obs::{ObsOptions, TraceSpec};
+use farm_obs::{ObsOptions, TimelineSpec, TraceSel, TraceSpec};
 
 fn tiny() -> SystemConfig {
     SystemConfig {
@@ -53,15 +53,25 @@ fn golden_metrics_identical_with_observability_on() {
         std::env::temp_dir().join(format!("farm-obs-golden-{}.jsonl", std::process::id()));
     let trace_path_s = trace_path.to_str().unwrap().to_string();
 
+    let tmp = std::env::temp_dir();
+    let timeline_path = tmp.join(format!("farm-obs-golden-tl-{}.csv", std::process::id()));
+    let postmortem_path = tmp.join(format!("farm-obs-golden-pm-{}.jsonl", std::process::id()));
+
     let off = ObsOptions::off();
-    // Everything on: profiling, a trace of trial 1, progress reporting.
+    // Everything on: profiling, a trace of trial 1, progress reporting,
+    // the cluster-state timeline and the flight recorder + post-mortems.
     let on = ObsOptions {
         progress: Some(true),
         profile: true,
         trace: Some(TraceSpec {
-            trial: 1,
+            sel: TraceSel::Trial(1),
             path: Some(trace_path_s.clone()),
         }),
+        timeline: Some(TimelineSpec {
+            path: timeline_path.to_str().unwrap().to_string(),
+            interval_secs: None,
+        }),
+        postmortem: Some(postmortem_path.to_str().unwrap().to_string()),
     };
 
     // Single-threaded so aggregation order is fixed and the comparison
@@ -77,6 +87,29 @@ fn golden_metrics_identical_with_observability_on() {
     assert_eq!(p.total_events(), events);
     assert_eq!(p.queue_depth().count(), events);
     assert!(p.total_nanos() > 0, "profiled events took nonzero time");
+
+    // The timeline was written: a header plus one row per (sample,
+    // gauge), all stamped with batch 0.
+    let tl = std::fs::read_to_string(&timeline_path).expect("timeline file written");
+    std::fs::remove_file(&timeline_path).ok();
+    let tl_lines: Vec<&str> = tl.lines().collect();
+    assert_eq!(
+        tl_lines[0],
+        "batch,sample,t_secs,gauge,trials,mean,p10,p90,min,max"
+    );
+    assert_eq!(tl_lines.len(), 1 + 128 * farm_obs::N_GAUGES);
+    assert!(tl_lines[1..].iter().all(|l| l.starts_with("0,")));
+
+    // The post-mortem file exists (possibly empty: this config rarely
+    // loses data) and every line is a JSON object for this batch.
+    let pm = std::fs::read_to_string(&postmortem_path).expect("post-mortem file written");
+    std::fs::remove_file(&postmortem_path).ok();
+    for l in pm.lines() {
+        assert!(
+            l.starts_with("{\"trial\":") && l.ends_with('}'),
+            "bad post-mortem: {l}"
+        );
+    }
 
     // The trace is valid JSONL for the sampled trial and ends with the
     // batch summary record.
@@ -128,7 +161,7 @@ fn tracing_a_single_trial_matches_untraced_metrics() {
     let path = std::env::temp_dir().join(format!("farm-obs-single-{}.jsonl", std::process::id()));
     let spec = ObsOptions {
         trace: Some(TraceSpec {
-            trial: 3,
+            sel: TraceSel::Trial(3),
             path: Some(path.to_str().unwrap().to_string()),
         }),
         ..ObsOptions::off()
