@@ -7,14 +7,20 @@
 //! Runs the small and medium `bench_sim` configurations, times full
 //! six-year Monte-Carlo trials single-threaded (events/sec — the
 //! optimization-tracking metric, independent of core count) and at the
-//! default thread count (trials/sec), samples peak RSS, reports the
-//! vulnerability-window percentiles of the timed batch, measures the
-//! observability overhead (event-loop profiling on vs off), probes the
-//! cluster-state telemetry overhead (timeline + flight recorder on vs
-//! off, interleaved to cancel machine drift), and merges the labelled
-//! result set into a JSON file (default `BENCH_PR3.json`).
+//! default thread count (trials/sec), splits each trial's wall time
+//! into setup (workspace obtain: recycle or construct + placement) and
+//! event loop, samples peak RSS, reports the vulnerability-window
+//! percentiles of the timed batch, measures the observability overhead
+//! (event-loop profiling on vs off), probes the cluster-state telemetry
+//! overhead (timeline + flight recorder on vs off, interleaved to
+//! cancel machine drift), and merges the labelled result set — stamped
+//! with host metadata — into a JSON file (default `BENCH_PR4.json`).
 //! Re-running with an existing label replaces that label's entry, so a
 //! "before" run survives an "after" run of the same file.
+//!
+//! The workspace-recycling win is recorded as a before/after pair:
+//! `FARM_WORKSPACE=0 report --label before` then `report --label after`
+//! (each run's `workspace_reuse` field says which mode produced it).
 //!
 //! `--smoke` shrinks the trial counts ~20× for a CI smoke run (numbers
 //! are noisy; the point is that the pipeline works end to end).
@@ -22,8 +28,11 @@
 use farm_bench::json::Json;
 use farm_bench::rss::peak_rss_bytes;
 use farm_core::prelude::*;
+use farm_core::workspace_reuse_enabled;
+use farm_des::rng::derive_seed;
 use farm_obs::{ObsOptions, TimelineSpec};
 use std::collections::BTreeMap;
+use std::sync::Arc;
 use std::time::Instant;
 
 struct ConfigSpec {
@@ -59,6 +68,18 @@ struct RunResult {
     events: u64,
     wall_secs: f64,
     events_per_sec: f64,
+    /// Fraction of the timed batch spent in per-trial setup (workspace
+    /// obtain: recycle-or-construct, initial placement) vs event loop.
+    setup_frac: f64,
+    /// Trial setups per second of setup time (how fast `obtain` is).
+    trial_setups_per_sec: f64,
+    /// Events per second over event-loop time only (excludes setup).
+    loop_events_per_sec: f64,
+    /// Setup throughput with a recycled workspace vs fresh
+    /// construction, measured in alternating chunks of the same
+    /// invocation so machine drift hits both sides equally.
+    recycled_setups_per_sec: f64,
+    fresh_setups_per_sec: f64,
     parallel_trials_per_sec: f64,
     peak_rss_bytes: u64,
     /// Vulnerability-window percentiles of the timed batch, seconds.
@@ -135,6 +156,36 @@ fn telemetry_pair(spec: &ConfigSpec, trials: u64) -> (f64, f64) {
     (off_events / off_wall, on_events / on_wall)
 }
 
+/// Workspace-recycling probe: alternate chunks of trials whose setup
+/// comes from a recycled workspace vs fresh construction, timing only
+/// the setup (`obtain`) portion. The full event loop still runs between
+/// obtains so allocator state stays representative, and interleaving
+/// cancels CPU-frequency and load drift.
+fn reuse_pair(spec: &ConfigSpec, trials: u64) -> (f64, f64) {
+    let prepared = Arc::new(PreparedConfig::new(spec.cfg.clone()));
+    const CHUNKS: u64 = 4;
+    let per_chunk = (trials / CHUNKS).max(1);
+    let (mut rec_secs, mut fresh_secs) = (0.0f64, 0.0f64);
+    let (mut rec_n, mut fresh_n) = (0u64, 0u64);
+    for _ in 0..CHUNKS {
+        for (reuse, secs, n) in [
+            (true, &mut rec_secs, &mut rec_n),
+            (false, &mut fresh_secs, &mut fresh_n),
+        ] {
+            let mut ws = TrialWorkspace::with_reuse(reuse);
+            let _ = ws.obtain(&prepared, derive_seed(3, 0)).run();
+            for t in 0..per_chunk {
+                let s0 = Instant::now();
+                let sim = ws.obtain(&prepared, derive_seed(3, t + 1));
+                *secs += s0.elapsed().as_secs_f64();
+                *n += 1;
+                let _ = sim.run();
+            }
+        }
+    }
+    (rec_n as f64 / rec_secs, fresh_n as f64 / fresh_secs)
+}
+
 fn measure(spec: &ConfigSpec) -> RunResult {
     let obs_off = ObsOptions::off();
     let obs_profiled = ObsOptions {
@@ -146,10 +197,26 @@ fn measure(spec: &ConfigSpec) -> RunResult {
     run_trials_observed(&spec.cfg, 1, 1, TrialMode::Full, 1, &obs_off);
 
     // Single-threaded timed run: the per-core throughput number that
-    // optimizations must move.
-    let start = Instant::now();
-    let (summary, _) = run_trials_observed(&spec.cfg, 2, spec.trials, TrialMode::Full, 1, &obs_off);
-    let wall = start.elapsed().as_secs_f64();
+    // optimizations must move. Driven through the same per-worker
+    // workspace the Monte-Carlo drivers use (honouring
+    // `FARM_WORKSPACE`), with per-trial setup and the event loop timed
+    // separately — `Simulation::new` used to dominate the trial, so the
+    // split is tracked explicitly.
+    let prepared = Arc::new(PreparedConfig::new(spec.cfg.clone()));
+    let mut ws = TrialWorkspace::new();
+    let mut summary = McSummary::new();
+    let (mut setup_secs, mut loop_secs) = (0.0f64, 0.0f64);
+    for t in 0..spec.trials {
+        let seed = derive_seed(2, t);
+        let s0 = Instant::now();
+        let sim = ws.obtain(&prepared, seed);
+        setup_secs += s0.elapsed().as_secs_f64();
+        let s1 = Instant::now();
+        let m = sim.run();
+        loop_secs += s1.elapsed().as_secs_f64();
+        summary.push(&m);
+    }
+    let wall = setup_secs + loop_secs;
     let events = (summary.events.mean() * summary.trials() as f64).round() as u64;
 
     // Overhead probe: the same batch with the event-loop profiler on.
@@ -161,6 +228,9 @@ fn measure(spec: &ConfigSpec) -> RunResult {
     // Telemetry probe: the timeline sampler + flight recorder, measured
     // against an interleaved telemetry-off control of the same size.
     let (telemetry_off_eps, telemetry_on_eps) = telemetry_pair(spec, probe_trials);
+
+    // Workspace-reuse probe: recycled vs fresh setup, interleaved.
+    let (recycled_sps, fresh_sps) = reuse_pair(spec, probe_trials);
 
     // Parallel throughput at the default thread count.
     let threads = default_threads();
@@ -181,6 +251,11 @@ fn measure(spec: &ConfigSpec) -> RunResult {
         events,
         wall_secs: wall,
         events_per_sec: events as f64 / wall,
+        setup_frac: setup_secs / wall,
+        trial_setups_per_sec: spec.trials as f64 / setup_secs,
+        loop_events_per_sec: events as f64 / loop_secs,
+        recycled_setups_per_sec: recycled_sps,
+        fresh_setups_per_sec: fresh_sps,
         parallel_trials_per_sec: spec.trials as f64 / pwall,
         peak_rss_bytes: peak_rss_bytes(),
         vuln_p50: summary.vulnerability.p50(),
@@ -202,6 +277,26 @@ fn result_to_json(r: &RunResult) -> Json {
             Json::num((r.wall_secs * 1e3).round() / 1e3),
         ),
         ("events_per_sec".into(), Json::num(r.events_per_sec.round())),
+        (
+            "setup_frac".into(),
+            Json::num((r.setup_frac * 1e4).round() / 1e4),
+        ),
+        (
+            "trial_setups_per_sec".into(),
+            Json::num((r.trial_setups_per_sec * 1e1).round() / 1e1),
+        ),
+        (
+            "loop_events_per_sec".into(),
+            Json::num(r.loop_events_per_sec.round()),
+        ),
+        (
+            "recycled_setups_per_sec".into(),
+            Json::num((r.recycled_setups_per_sec * 1e1).round() / 1e1),
+        ),
+        (
+            "fresh_setups_per_sec".into(),
+            Json::num((r.fresh_setups_per_sec * 1e1).round() / 1e1),
+        ),
         (
             "parallel_trials_per_sec".into(),
             Json::num((r.parallel_trials_per_sec * 1e3).round() / 1e3),
@@ -225,6 +320,20 @@ fn result_to_json(r: &RunResult) -> Json {
     ]))
 }
 
+/// Host/provenance metadata stamped into each labelled run so that
+/// trajectory points from different machines or toolchains are
+/// comparable at a glance.
+fn host_metadata() -> Json {
+    let logical_cpus = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    Json::Obj(BTreeMap::from([
+        ("logical_cpus".into(), Json::num(logical_cpus as f64)),
+        ("farm_threads".into(), Json::num(default_threads() as f64)),
+        ("rustc".into(), Json::str(env!("FARM_RUSTC_VERSION"))),
+    ]))
+}
+
 /// Replace-or-append this label's entry in the report document.
 fn merge_into(doc: Json, label: &str, results: &[RunResult]) -> Json {
     let mut runs: Vec<Json> = doc
@@ -235,6 +344,11 @@ fn merge_into(doc: Json, label: &str, results: &[RunResult]) -> Json {
     runs.retain(|r| r.get("label").and_then(|l| l.as_str()) != Some(label));
     runs.push(Json::Obj(BTreeMap::from([
         ("label".into(), Json::str(label)),
+        ("host".into(), host_metadata()),
+        (
+            "workspace_reuse".into(),
+            Json::Bool(workspace_reuse_enabled()),
+        ),
         (
             "configs".into(),
             Json::Arr(results.iter().map(result_to_json).collect()),
@@ -248,7 +362,7 @@ fn merge_into(doc: Json, label: &str, results: &[RunResult]) -> Json {
 
 fn main() {
     let mut label = String::from("run");
-    let mut out = String::from("BENCH_PR3.json");
+    let mut out = String::from("BENCH_PR4.json");
     let mut smoke = false;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -278,6 +392,20 @@ fn main() {
             r.parallel_trials_per_sec,
             default_threads(),
             r.peak_rss_bytes >> 20,
+        );
+        println!(
+            "{:<22} setup {:.1}% of wall  {:.1} setups/sec  loop {:.1} events/sec",
+            "",
+            100.0 * r.setup_frac,
+            r.trial_setups_per_sec,
+            r.loop_events_per_sec,
+        );
+        println!(
+            "{:<22} setup recycled {:.1} vs fresh {:.1} setups/sec ({:+.1}%)",
+            "",
+            r.recycled_setups_per_sec,
+            r.fresh_setups_per_sec,
+            100.0 * (r.recycled_setups_per_sec / r.fresh_setups_per_sec - 1.0),
         );
         println!(
             "{:<22} vuln window p50 {:.0}s p99 {:.0}s max {:.0}s  profiled {:.1} events/sec ({:+.1}%)",

@@ -243,9 +243,94 @@ impl SystemConfig {
     }
 }
 
+/// A validated [`SystemConfig`] bundled with its derived quantities,
+/// computed once per Monte-Carlo batch and shared across trials behind
+/// an `Arc` (the batch drivers in `montecarlo.rs` build one; each
+/// worker thread clones the pointer, not the config).
+///
+/// The derived fields are exactly what the trial hot paths used to
+/// recompute per call: `n_disks`/`n_groups` walk the whole sizing chain
+/// (`total_stored_bytes` → `div_ceil`), `block_bytes` sits on the
+/// rebuild-scheduling path, and `block_rebuild_secs` divides by the
+/// recovery bandwidth. `Deref`s to [`SystemConfig`] so the plain knob
+/// fields read naturally through it.
+#[derive(Clone, Debug)]
+pub struct PreparedConfig {
+    cfg: SystemConfig,
+    /// [`SystemConfig::n_disks`], precomputed.
+    pub n_disks: u32,
+    /// [`SystemConfig::n_groups`], precomputed (fits `u32`: checked
+    /// against the `BlockRef` packing limit by the simulation anyway).
+    pub n_groups: u64,
+    /// [`SystemConfig::block_bytes`], precomputed.
+    pub block_bytes: u64,
+    /// [`SystemConfig::block_rebuild_secs`], precomputed.
+    pub block_rebuild_secs: f64,
+    /// [`SystemConfig::sim_duration`], precomputed.
+    pub sim_duration: Duration,
+}
+
+impl PreparedConfig {
+    /// Validate `cfg` and compute the derived values. Panics on an
+    /// invalid configuration, mirroring `Simulation::new`'s contract.
+    pub fn new(cfg: SystemConfig) -> Self {
+        cfg.validate().expect("invalid system configuration");
+        PreparedConfig {
+            n_disks: cfg.n_disks(),
+            n_groups: cfg.n_groups(),
+            block_bytes: cfg.block_bytes(),
+            block_rebuild_secs: cfg.block_rebuild_secs(),
+            sim_duration: cfg.sim_duration(),
+            cfg,
+        }
+    }
+
+    pub fn config(&self) -> &SystemConfig {
+        &self.cfg
+    }
+}
+
+impl std::ops::Deref for PreparedConfig {
+    type Target = SystemConfig;
+
+    fn deref(&self) -> &SystemConfig {
+        &self.cfg
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn prepared_config_agrees_with_on_the_fly_derivation() {
+        for cfg in [
+            SystemConfig::default(),
+            SystemConfig::small(),
+            SystemConfig {
+                scheme: Scheme::new(8, 10),
+                ..SystemConfig::default()
+            },
+        ] {
+            let p = PreparedConfig::new(cfg.clone());
+            assert_eq!(p.n_disks, cfg.n_disks());
+            assert_eq!(p.n_groups, cfg.n_groups());
+            assert_eq!(p.block_bytes, cfg.block_bytes());
+            assert_eq!(p.block_rebuild_secs, cfg.block_rebuild_secs());
+            assert_eq!(p.sim_duration.as_secs(), cfg.sim_duration().as_secs());
+            // Deref exposes the raw knobs.
+            assert_eq!(p.total_user_bytes, cfg.total_user_bytes);
+        }
+    }
+
+    #[test]
+    #[should_panic]
+    fn prepared_config_rejects_invalid() {
+        let _ = PreparedConfig::new(SystemConfig {
+            recovery_bandwidth: 0,
+            ..SystemConfig::default()
+        });
+    }
 
     #[test]
     fn default_matches_table2() {

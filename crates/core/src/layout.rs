@@ -97,33 +97,59 @@ pub struct GroupLayout {
 
 impl GroupLayout {
     pub fn new(n_groups: u32, blocks_per_group: u8, n_disks: u32) -> Self {
+        let mut l = GroupLayout {
+            n_groups: 0,
+            pushed_groups: 0,
+            blocks_per_group: 0,
+            homes: Vec::new(),
+            arena: Vec::new(),
+            spans: Vec::new(),
+            flags: Vec::new(),
+            vulnerable: Vec::new(),
+            missing_count: Vec::new(),
+            dead: Vec::new(),
+        };
+        l.reset(n_groups, blocks_per_group, n_disks);
+        l
+    }
+
+    /// Reset to the just-constructed state of `GroupLayout::new(n_groups,
+    /// blocks_per_group, n_disks)` while keeping every allocation whose
+    /// capacity already suffices. Equality with a fresh layout is exact:
+    /// all arrays are re-filled with their initial values, and span
+    /// relocation holes from the previous trial disappear because the
+    /// arena is cut back to its strided initial length.
+    pub fn reset(&mut self, n_groups: u32, blocks_per_group: u8, n_disks: u32) {
         assert!(
             n_groups < BlockRef::MAX_GROUPS,
             "group count overflows BlockRef"
         );
         let blocks = n_groups as usize * blocks_per_group as usize;
         let per_disk = blocks / (n_disks.max(1) as usize) + 8;
-        GroupLayout {
-            n_groups,
-            pushed_groups: 0,
-            blocks_per_group,
-            homes: Vec::with_capacity(blocks),
-            // Pre-size every span for the balanced load RUSH delivers
-            // (~blocks/disks each, CV a few percent); the slack means
-            // span relocation is a cold path even under heavy rebuilds.
-            arena: vec![BlockRef(0); per_disk * n_disks as usize],
-            spans: (0..n_disks as usize)
-                .map(|i| DiskSpan {
-                    start: (i * per_disk) as u32,
-                    len: 0,
-                    cap: per_disk as u32,
-                })
-                .collect(),
-            flags: vec![0; blocks],
-            vulnerable: vec![f64::INFINITY; blocks],
-            missing_count: vec![0; n_groups as usize],
-            dead: vec![false; n_groups as usize],
-        }
+        self.n_groups = n_groups;
+        self.pushed_groups = 0;
+        self.blocks_per_group = blocks_per_group;
+        self.homes.clear();
+        self.homes.reserve(blocks);
+        // Pre-size every span for the balanced load RUSH delivers
+        // (~blocks/disks each, CV a few percent); the slack means
+        // span relocation is a cold path even under heavy rebuilds.
+        self.arena.clear();
+        self.arena.resize(per_disk * n_disks as usize, BlockRef(0));
+        self.spans.clear();
+        self.spans.extend((0..n_disks as usize).map(|i| DiskSpan {
+            start: (i * per_disk) as u32,
+            len: 0,
+            cap: per_disk as u32,
+        }));
+        self.flags.clear();
+        self.flags.resize(blocks, 0);
+        self.vulnerable.clear();
+        self.vulnerable.resize(blocks, f64::INFINITY);
+        self.missing_count.clear();
+        self.missing_count.resize(n_groups as usize, 0);
+        self.dead.clear();
+        self.dead.resize(n_groups as usize, false);
     }
 
     #[inline]
@@ -449,6 +475,48 @@ mod tests {
         let b = BlockRef::new(0, 0);
         l.move_block(b, d(7));
         assert!(l.blocks_on(d(7)).contains(&b));
+    }
+
+    #[test]
+    fn reset_matches_fresh_layout() {
+        // Dirty a layout thoroughly (moves, growth, missing marks,
+        // vulnerability windows, death), then reset to several shapes and
+        // compare observable state against a fresh construction.
+        for (groups, bpg, disks) in [(3u32, 2u8, 5u32), (8, 3, 4), (1, 2, 16)] {
+            let mut l = layout_3_groups();
+            l.grow_disks(9);
+            l.move_block(BlockRef::new(0, 0), d(8));
+            l.mark_missing(BlockRef::new(1, 0));
+            l.set_vulnerable(BlockRef::new(1, 0), SimTime::from_secs(7.0));
+            l.bump_epoch(BlockRef::new(2, 1));
+            l.mark_dead(2);
+            l.reset(groups, bpg, disks);
+            let fresh = GroupLayout::new(groups, bpg, disks);
+            assert_eq!(l.n_groups(), fresh.n_groups());
+            assert_eq!(l.blocks_per_group(), fresh.blocks_per_group());
+            assert_eq!(l.n_disks(), fresh.n_disks());
+            assert_eq!(l.dead_groups(), 0);
+            for i in 0..disks {
+                assert!(l.blocks_on(d(i)).is_empty());
+            }
+            // Re-populate identically and confirm identical reads.
+            let homes: Vec<DiskId> = (0..bpg as u32).map(d).collect();
+            let mut l2 = fresh;
+            for _ in 0..groups {
+                l.push_group(&homes);
+                l2.push_group(&homes);
+            }
+            for g in 0..groups {
+                assert_eq!(l.homes_of(g), l2.homes_of(g));
+                assert_eq!(l.missing_count(g), l2.missing_count(g));
+                assert!(!l.is_dead(g));
+            }
+            for i in 0..disks {
+                assert_eq!(l.blocks_on(d(i)), l2.blocks_on(d(i)));
+            }
+            assert_eq!(l.epoch(BlockRef::new(0, 0)), 0);
+            assert_eq!(l.vulnerable_since(BlockRef::new(0, 0)), None);
+        }
     }
 
     #[test]

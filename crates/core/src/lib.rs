@@ -46,21 +46,24 @@ pub mod sim;
 mod sim_tests;
 pub mod workload;
 
-pub use config::{RecoveryPolicy, ReplacementPolicy, SystemConfig, WorkloadConfig};
+pub use config::{PreparedConfig, RecoveryPolicy, ReplacementPolicy, SystemConfig, WorkloadConfig};
 pub use layout::{BlockRef, GroupLayout};
 pub use metrics::{McSummary, TrialMetrics};
 pub use montecarlo::{
-    run_trial, run_trials, run_trials_observed, run_trials_with_threads, TrialMode,
+    run_trial, run_trials, run_trials_observed, run_trials_with_threads, workspace_reuse_enabled,
+    TrialMode, TrialWorkspace,
 };
 pub use sim::{Event, Simulation};
 
 /// Common imports for examples and experiments.
 pub mod prelude {
-    pub use crate::config::{RecoveryPolicy, ReplacementPolicy, SystemConfig, WorkloadConfig};
+    pub use crate::config::{
+        PreparedConfig, RecoveryPolicy, ReplacementPolicy, SystemConfig, WorkloadConfig,
+    };
     pub use crate::metrics::{McSummary, TrialMetrics};
     pub use crate::montecarlo::{
         default_threads, run_trial, run_trials, run_trials_observed, run_trials_with_threads,
-        TrialMode,
+        TrialMode, TrialWorkspace,
     };
     pub use crate::sim::Simulation;
     pub use farm_des::time::Duration;

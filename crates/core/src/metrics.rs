@@ -69,6 +69,30 @@ impl TrialMetrics {
         }
     }
 
+    /// Reset all counters and distributions to the state of a fresh
+    /// [`TrialMetrics::new`], keeping the histograms' bucket
+    /// allocations. Part of the workspace-recycling determinism
+    /// contract: a recycled trial must start from metrics that compare
+    /// equal to new ones in every observable way.
+    pub fn reset(&mut self) {
+        self.lost_groups = 0;
+        self.lost_user_bytes = 0;
+        self.first_loss = None;
+        self.disk_failures = 0;
+        self.rebuilds_completed = 0;
+        self.redirections = 0;
+        self.latent_read_errors = 0;
+        self.migrated_blocks = 0;
+        self.batches_added = 0;
+        self.max_vulnerability_secs = 0.0;
+        self.total_vulnerability_secs = 0.0;
+        self.events_processed = 0;
+        self.no_targets = 0;
+        self.vulnerability.reset();
+        self.queue_delay.reset();
+        self.fanout.reset();
+    }
+
     /// Did this trial lose any data?
     pub fn lost_data(&self) -> bool {
         self.lost_groups > 0

@@ -5,7 +5,7 @@
 //! fan out across scoped threads and the aggregate is identical
 //! regardless of thread count.
 
-use crate::config::SystemConfig;
+use crate::config::{PreparedConfig, SystemConfig};
 use crate::metrics::{McSummary, TrialMetrics};
 use crate::sim::Simulation;
 use farm_des::rng::derive_seed;
@@ -15,6 +15,7 @@ use farm_obs::{
 };
 use std::io::Write;
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 
 /// How a trial is executed.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -37,6 +38,65 @@ pub fn run_trial(
     match mode {
         TrialMode::Full => sim.run(),
         TrialMode::UntilLoss => sim.run_until_loss(),
+    }
+}
+
+/// A worker thread's reusable simulation slot. The first trial on a
+/// worker constructs a [`Simulation`]; every later trial
+/// [`Simulation::recycle`]s it, reusing the layout arrays, the
+/// reverse-index arena, the per-disk vectors, the event-queue storage
+/// and the metrics histograms instead of reallocating them. Recycled
+/// trials are bit-identical to fresh ones (see
+/// `tests/workspace_identity.rs`), so this is purely a throughput
+/// optimization.
+///
+/// Setting `FARM_WORKSPACE=0` (or `off`) disables reuse and rebuilds
+/// the simulation per trial — the benchmark harness uses this to
+/// measure the recycling win, and CI diffs the two modes.
+pub struct TrialWorkspace {
+    sim: Option<Simulation>,
+    reuse: bool,
+}
+
+impl TrialWorkspace {
+    /// A workspace honouring the `FARM_WORKSPACE` environment knob.
+    pub fn new() -> Self {
+        Self::with_reuse(workspace_reuse_enabled())
+    }
+
+    /// A workspace with reuse explicitly on or off (tests use this to
+    /// compare the two modes without touching process-global state).
+    pub fn with_reuse(reuse: bool) -> Self {
+        TrialWorkspace { sim: None, reuse }
+    }
+
+    /// Hand out a simulation initialized exactly as
+    /// `Simulation::from_shared(cfg, seed)` would be, recycling the
+    /// previous trial's allocations when reuse is on.
+    pub fn obtain(&mut self, cfg: &Arc<PreparedConfig>, seed: u64) -> &mut Simulation {
+        match &mut self.sim {
+            Some(sim) if self.reuse => sim.recycle(cfg, seed),
+            slot => *slot = Some(Simulation::from_shared(Arc::clone(cfg), seed)),
+        }
+        self.sim.as_mut().expect("workspace holds a simulation")
+    }
+}
+
+impl Default for TrialWorkspace {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// Is per-worker workspace reuse enabled? Defaults to on; set
+/// `FARM_WORKSPACE=0` (or `off`) to rebuild every trial from scratch.
+pub fn workspace_reuse_enabled() -> bool {
+    match std::env::var("FARM_WORKSPACE") {
+        Ok(v) => {
+            let v = v.trim();
+            !(v == "0" || v.eq_ignore_ascii_case("off"))
+        }
+        Err(_) => true,
     }
 }
 
@@ -70,14 +130,15 @@ fn artifacts_requested(obs: &ObsOptions) -> bool {
 /// are bit-identical to [`run_trial`] — observability never feeds back
 /// into the model.
 fn run_trial_observed(
-    cfg: &SystemConfig,
+    ws: &mut TrialWorkspace,
+    cfg: &Arc<PreparedConfig>,
     master_seed: u64,
     trial: u64,
     mode: TrialMode,
     obs: &ObsOptions,
 ) -> (TrialMetrics, Option<Box<EventProfile>>, TrialArtifacts) {
     let seed = derive_seed(master_seed, trial);
-    let mut sim = Simulation::new(cfg.clone(), seed);
+    let sim = ws.obtain(cfg, seed);
     if obs.profile {
         sim.enable_profiling();
     }
@@ -99,14 +160,14 @@ fn run_trial_observed(
         }
     }
     if let Some(spec) = &obs.timeline {
-        let duration = cfg.sim_duration().as_secs();
+        let duration = cfg.sim_duration.as_secs();
         sim.set_timeline(TimelineRecorder::new(
             spec.resolve_interval(duration),
             duration,
         ));
     }
     if obs.postmortem.is_some() {
-        sim.set_flight(FlightRecorder::new(trial, cfg.n_groups() as usize));
+        sim.set_flight(FlightRecorder::new(trial, cfg.n_groups as usize));
     }
     let metrics = match mode {
         TrialMode::Full => sim.run(),
@@ -210,12 +271,16 @@ pub fn run_trials_observed(
     assert!(threads >= 1);
     let progress = Progress::new(trials, obs.progress_enabled());
     let want_artifacts = artifacts_requested(obs);
+    // One validated config per batch: every trial on every worker shares
+    // the `Arc` instead of cloning the `SystemConfig`.
+    let prepared = Arc::new(PreparedConfig::new(cfg.clone()));
     let mut artifacts: Vec<(u64, TrialArtifacts)> = Vec::new();
     let (summary, profile) = if threads == 1 || trials <= 1 {
         let mut summary = McSummary::new();
         let mut profile: Option<EventProfile> = None;
+        let mut ws = TrialWorkspace::new();
         for t in 0..trials {
-            let (m, p, a) = run_trial_observed(cfg, master_seed, t, mode, obs);
+            let (m, p, a) = run_trial_observed(&mut ws, &prepared, master_seed, t, mode, obs);
             progress.trial_done(m.lost_data());
             summary.push(&m);
             merge_profile(&mut profile, p);
@@ -232,16 +297,19 @@ pub fn run_trials_observed(
             for _ in 0..threads {
                 let next = &next;
                 let progress = &progress;
+                let prepared = &prepared;
                 handles.push(scope.spawn(move || {
                     let mut local = McSummary::new();
                     let mut local_profile: Option<EventProfile> = None;
                     let mut local_artifacts: Vec<(u64, TrialArtifacts)> = Vec::new();
+                    let mut ws = TrialWorkspace::new();
                     loop {
                         let t = next.fetch_add(1, Ordering::Relaxed);
                         if t >= trials {
                             break;
                         }
-                        let (m, p, a) = run_trial_observed(cfg, master_seed, t, mode, obs);
+                        let (m, p, a) =
+                            run_trial_observed(&mut ws, prepared, master_seed, t, mode, obs);
                         progress.trial_done(m.lost_data());
                         local.push(&m);
                         merge_profile(&mut local_profile, p);

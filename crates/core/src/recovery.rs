@@ -132,7 +132,7 @@ impl Simulation {
     pub(crate) fn schedule_rebuild(&mut self, b: BlockRef, forced_target: Option<DiskId>) {
         debug_assert!(self.layout().is_missing(b));
         debug_assert!(!self.layout().is_dead(b.group()));
-        let block_bytes = self.config().block_bytes();
+        let block_bytes = self.prepared().block_bytes;
         let target = match forced_target {
             Some(t) => t,
             None => match self.choose_target(b.group(), block_bytes) {
@@ -182,6 +182,7 @@ impl Simulation {
                     let now = self.now();
                     let bytes = self.config().group_user_bytes;
                     self.layout_mut().mark_dead(b.group());
+                    self.gauge_group_died(b.group());
                     self.metrics_mut().record_loss(bytes, now);
                     // The fatal latent trips were just recorded, so the
                     // post-mortem chain ends with them.
@@ -196,6 +197,7 @@ impl Simulation {
 
         // Reserve space and re-home the block onto its target.
         self.disk_mut(target).allocate(block_bytes);
+        self.gauge_alloc(block_bytes);
         self.layout_mut().move_block(b, target);
         let epoch = self.layout_mut().bump_epoch(b);
 

@@ -51,7 +51,7 @@ impl Simulation {
         // whose new home falls in the new sub-cluster move there (RUSH's
         // minimal-migration property means nothing else moves).
         let n = self.layout().blocks_per_group() as usize;
-        let block_bytes = self.config().block_bytes();
+        let block_bytes = self.prepared().block_bytes;
         let rush = self.rush();
         let mut moved = 0u64;
         for g in 0..self.layout().n_groups() {
@@ -74,7 +74,9 @@ impl Simulation {
                     continue;
                 }
                 self.disk_mut(cur).release(block_bytes);
+                self.gauge_release(block_bytes);
                 self.disk_mut(new_home).allocate(block_bytes);
+                self.gauge_alloc(block_bytes);
                 self.layout_mut().move_block(b, new_home);
                 moved += 1;
             }

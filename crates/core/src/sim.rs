@@ -16,7 +16,7 @@
 //! 3. `RebuildDone` — the block is available again; the window of
 //!    vulnerability (detection latency + queueing + rebuild) closes.
 
-use crate::config::{RecoveryPolicy, SystemConfig};
+use crate::config::{PreparedConfig, RecoveryPolicy, SystemConfig};
 use crate::layout::{BlockRef, GroupLayout};
 use crate::metrics::TrialMetrics;
 use crate::workload;
@@ -28,6 +28,9 @@ use farm_disk::model::Disk;
 use farm_obs::flight::kind as flight_kind;
 use farm_obs::{EventProfile, FlightRecorder, TimelineRecorder, TrialTracer, N_GAUGES};
 use farm_placement::{ClusterMap, DiskId, Rush, RushScratch};
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+use std::sync::Arc;
 
 /// Emit one trace record if (and only if) a tracer is attached.
 ///
@@ -78,9 +81,38 @@ mod streams {
     pub const LATENT: u64 = 4;
 }
 
+/// Incrementally-maintained cluster-state aggregates behind the
+/// timeline gauges. With the timeline off this is `None` and costs
+/// nothing; with it on, the event handlers pay a few adds per state
+/// change instead of `timeline_gauges`'s full disk + group scan per
+/// sample (the dominant telemetry-on cost at paper scale).
+struct LiveGauges {
+    /// Active (not failed) disks.
+    active: u64,
+    /// Sum of `free_bytes()` over active disks.
+    free: u64,
+    /// Sum of `capacity` over active disks.
+    capacity: u64,
+    /// Unavailable blocks of live (not dead) groups.
+    rebuilds_in_flight: u64,
+    /// Live groups with at least one unavailable block.
+    vulnerable_groups: u64,
+    /// Active disks whose recovery pipe is busy past the last drained
+    /// sample instant (see `pipe_busy`).
+    busy_pipes: u64,
+    /// pipe_busy[d]: disk d is currently counted in `busy_pipes`.
+    pipe_busy: Vec<bool>,
+    /// Min-heap of `(busy-until, disk)` snapshots, pushed on every
+    /// `recovery_busy` write and drained lazily at each (monotone)
+    /// sample instant. Entries are validated against the authoritative
+    /// `recovery_busy` value when they surface, so stale snapshots from
+    /// re-extended pipes are skipped rather than miscounted.
+    expiries: BinaryHeap<Reverse<(SimTime, u32)>>,
+}
+
 /// One trial of the storage system.
 pub struct Simulation {
-    cfg: SystemConfig,
+    cfg: Arc<PreparedConfig>,
     rush: Rush,
     /// Reusable dedup state for RUSH candidate walks (placement and
     /// recovery-target selection run one walk at a time, so a single
@@ -117,6 +149,9 @@ pub struct Simulation {
     /// Per-group flight recorder for data-loss post-mortems
     /// (observability; `None` = off).
     flight: Option<Box<FlightRecorder>>,
+    /// Running aggregates for the timeline gauges (observability;
+    /// `None` = off, initialized when a timeline is attached).
+    gauges: Option<Box<LiveGauges>>,
     /// RNG used only by ablation policies (random target choice).
     ablation_rng: farm_des::rng::RngStream,
     /// RNG for latent-sector-error sampling.
@@ -125,29 +160,25 @@ pub struct Simulation {
 
 impl Simulation {
     pub fn new(cfg: SystemConfig, seed: u64) -> Self {
-        cfg.validate().expect("invalid configuration");
-        assert!(
-            cfg.replacement.threshold.is_none() || cfg.recovery == RecoveryPolicy::Farm,
-            "batch replacement is modeled for FARM only (spares and \
-             batches use disjoint id spaces)"
-        );
+        Self::from_shared(Arc::new(PreparedConfig::new(cfg)), seed)
+    }
+
+    /// Construct a trial from a batch-shared [`PreparedConfig`]. The
+    /// Monte-Carlo drivers build the `Arc` once and every trial on
+    /// every worker clones the pointer instead of the config.
+    pub fn from_shared(cfg: Arc<PreparedConfig>, seed: u64) -> Self {
         let seeds = SeedFactory::new(seed);
-        let n_disks = cfg.n_disks();
-        let map = ClusterMap::uniform(n_disks);
-        let rush = Rush::new(seeds.child(0xFA).master());
-        let n_groups = u32::try_from(cfg.n_groups()).expect("group count fits u32");
-        let n = cfg.scheme.n as u8;
         let queue_kind = cfg.queue;
+        let n = cfg.scheme.n as u8;
         let mut sim = Simulation {
-            layout: GroupLayout::new(n_groups, n, n_disks),
-            cfg,
-            rush,
+            layout: GroupLayout::new(0, n, 0),
+            rush: Rush::new(0),
             rush_scratch: RushScratch::new(),
-            map,
-            disks: Vec::with_capacity(n_disks as usize),
-            smart: Vec::with_capacity(n_disks as usize),
-            fail_time: Vec::with_capacity(n_disks as usize),
-            recovery_busy: Vec::with_capacity(n_disks as usize),
+            map: ClusterMap::new(),
+            disks: Vec::new(),
+            smart: Vec::new(),
+            fail_time: Vec::new(),
+            recovery_busy: Vec::new(),
             queue: AnyQueue::new(queue_kind),
             now: SimTime::ZERO,
             horizon: SimTime::ZERO,
@@ -160,15 +191,71 @@ impl Simulation {
             tracer: None,
             timeline: None,
             flight: None,
+            gauges: None,
             ablation_rng: seeds.stream(streams::ABLATION),
             latent_rng: seeds.stream(streams::LATENT),
+            cfg: Arc::clone(&cfg),
         };
-        sim.horizon = SimTime::ZERO + sim.cfg.sim_duration();
-        for _ in 0..n_disks {
-            sim.add_disk(SimTime::ZERO);
-        }
-        sim.place_all_groups();
+        sim.recycle(&cfg, seed);
         sim
+    }
+
+    /// Reset this simulation to the exact state `from_shared(cfg, seed)`
+    /// would construct, reusing every large allocation: the layout
+    /// arrays and reverse-index arena, the per-disk vectors, the event
+    /// queue's storage, the cluster map, the metrics histograms, and
+    /// both scratch buffers. The determinism contract — a trial is a
+    /// pure function of `(config, master_seed, trial_index)` — is pinned
+    /// by the fresh-vs-recycled golden tests in
+    /// `tests/workspace_identity.rs`.
+    ///
+    /// Observability must be detached (taken) before recycling; the
+    /// recorders carry per-trial state that must not leak across trials.
+    pub fn recycle(&mut self, cfg: &Arc<PreparedConfig>, seed: u64) {
+        assert!(
+            cfg.replacement.threshold.is_none() || cfg.recovery == RecoveryPolicy::Farm,
+            "batch replacement is modeled for FARM only (spares and \
+             batches use disjoint id spaces)"
+        );
+        debug_assert!(
+            self.profiler.is_none()
+                && self.tracer.is_none()
+                && self.timeline.is_none()
+                && self.flight.is_none(),
+            "detach observability before recycling"
+        );
+        if !Arc::ptr_eq(&self.cfg, cfg) {
+            self.cfg = Arc::clone(cfg);
+        }
+        let seeds = SeedFactory::new(seed);
+        self.seeds = seeds;
+        self.rush = Rush::new(seeds.child(0xFA).master());
+        self.ablation_rng = seeds.stream(streams::ABLATION);
+        self.latent_rng = seeds.stream(streams::LATENT);
+        let n_disks = self.cfg.n_disks;
+        let n_groups = u32::try_from(self.cfg.n_groups).expect("group count fits u32");
+        self.map.reset_uniform(n_disks);
+        self.layout
+            .reset(n_groups, self.cfg.scheme.n as u8, n_disks);
+        self.queue.reset(self.cfg.queue);
+        self.metrics.reset();
+        self.disks.clear();
+        self.smart.clear();
+        self.fail_time.clear();
+        self.recovery_busy.clear();
+        self.blocks_scratch.clear();
+        self.sources_scratch.clear();
+        // `rush_scratch` is kept as-is: its generation-stamped reset is
+        // O(1) and walk output is independent of retained state (pinned
+        // by farm-placement's golden-sequence test).
+        self.failed_since_batch = 0;
+        self.gauges = None;
+        self.now = SimTime::ZERO;
+        self.horizon = SimTime::ZERO + self.cfg.sim_duration;
+        for _ in 0..n_disks {
+            self.add_disk(SimTime::ZERO);
+        }
+        self.place_all_groups();
     }
 
     /// Install a new drive (initial population, spare, or batch member),
@@ -194,6 +281,12 @@ impl Simulation {
             }
             None => SmartVerdict::disabled(),
         };
+        if let Some(g) = &mut self.gauges {
+            g.active += 1;
+            g.free += disk.free_bytes();
+            g.capacity += disk.capacity;
+            g.pipe_busy.push(false);
+        }
         self.disks.push(disk);
         self.smart.push(verdict);
         self.fail_time.push(fail_time);
@@ -208,31 +301,65 @@ impl Simulation {
     /// RUSH candidates with room (capacity is a hard constraint; on
     /// paper-scale systems at 40% utilization the first n candidates
     /// essentially always fit).
+    ///
+    /// Fast path: all disks start empty, identically sized and active,
+    /// so while `max_used + block_bytes <= capacity` — a conservative
+    /// watermark over the fullest disk — `has_space_for` provably holds
+    /// for *every* candidate and the per-candidate check (a dependent
+    /// random-access load into the disk table) is skipped. Bit-identical
+    /// by construction: the skipped check always returned `true`. At the
+    /// paper's 40% utilization the slow path never triggers; it exists
+    /// for adversarially full configurations.
     fn place_all_groups(&mut self) {
         let n = self.cfg.scheme.n as usize;
-        let block_bytes = self.cfg.block_bytes();
-        let mut homes: Vec<DiskId> = Vec::with_capacity(n);
+        let block_bytes = self.cfg.block_bytes;
+        let capacity = self.cfg.disk_capacity;
+        // Reuse the sources scratch as the homes buffer (same element
+        // type, both self-clearing before use).
+        let mut homes = std::mem::take(&mut self.sources_scratch);
+        let mut max_used = 0u64;
         for g in 0..self.layout.n_groups() {
             homes.clear();
-            for d in self.rush.walk(&self.map, g as u64, &mut self.rush_scratch) {
-                if self.disks[d.0 as usize].has_space_for(block_bytes) {
+            let mut walk = self.rush.walk(&self.map, g as u64, &mut self.rush_scratch);
+            if max_used + block_bytes <= capacity {
+                for d in walk.by_ref() {
                     homes.push(d);
                     if homes.len() == n {
                         break;
                     }
                 }
+            } else {
+                for d in walk {
+                    if self.disks[d.0 as usize].has_space_for(block_bytes) {
+                        homes.push(d);
+                        if homes.len() == n {
+                            break;
+                        }
+                    }
+                }
             }
             assert_eq!(homes.len(), n, "system too full to place group {g}");
             for &d in &homes {
-                self.disks[d.0 as usize].allocate(block_bytes);
+                let disk = &mut self.disks[d.0 as usize];
+                disk.allocate(block_bytes);
+                if disk.used > max_used {
+                    max_used = disk.used;
+                }
             }
             self.layout.push_group(&homes);
         }
+        homes.clear();
+        self.sources_scratch = homes;
     }
 
     // ----- accessors -----------------------------------------------------
 
     pub fn config(&self) -> &SystemConfig {
+        self.cfg.config()
+    }
+
+    /// The batch-shared validated config with precomputed derived values.
+    pub fn prepared(&self) -> &Arc<PreparedConfig> {
         &self.cfg
     }
 
@@ -339,11 +466,128 @@ impl Simulation {
     /// through the event queue.
     pub fn set_timeline(&mut self, rec: TimelineRecorder) {
         self.timeline = Some(Box::new(rec));
+        self.init_gauges();
     }
 
-    /// Take the recorded timeline (complete after a run).
+    /// Take the recorded timeline (complete after a run). Also drops the
+    /// live gauge aggregates — they only exist to serve the timeline.
     pub fn take_timeline(&mut self) -> Option<Box<TimelineRecorder>> {
+        self.gauges = None;
         self.timeline.take()
+    }
+
+    /// Build the running gauge aggregates from one full scan of the
+    /// current state — the last full scan; every later sample reads the
+    /// incrementally-maintained counters instead.
+    fn init_gauges(&mut self) {
+        let mut g = LiveGauges {
+            active: 0,
+            free: 0,
+            capacity: 0,
+            rebuilds_in_flight: 0,
+            vulnerable_groups: 0,
+            busy_pipes: 0,
+            pipe_busy: vec![false; self.disks.len()],
+            expiries: BinaryHeap::new(),
+        };
+        for (i, d) in self.disks.iter().enumerate() {
+            if d.is_active() {
+                g.active += 1;
+                g.free += d.free_bytes();
+                g.capacity += d.capacity;
+                if self.recovery_busy[i] > self.now {
+                    g.pipe_busy[i] = true;
+                    g.busy_pipes += 1;
+                    g.expiries.push(Reverse((self.recovery_busy[i], i as u32)));
+                }
+            }
+        }
+        for grp in 0..self.layout.n_groups() {
+            if self.layout.is_dead(grp) {
+                continue;
+            }
+            let missing = self.layout.missing_count(grp) as u64;
+            if missing > 0 {
+                g.rebuilds_in_flight += missing;
+                g.vulnerable_groups += 1;
+            }
+        }
+        self.gauges = Some(Box::new(g));
+    }
+
+    // ----- live-gauge hooks (no-ops unless a timeline is attached) -------
+
+    /// An active disk allocated `bytes` (rebuild target reservation,
+    /// migration destination).
+    #[inline]
+    pub(crate) fn gauge_alloc(&mut self, bytes: u64) {
+        if let Some(g) = &mut self.gauges {
+            g.free -= bytes;
+        }
+    }
+
+    /// An active disk released `bytes` (dead-group reservation freed,
+    /// migration source).
+    #[inline]
+    pub(crate) fn gauge_release(&mut self, bytes: u64) {
+        if let Some(g) = &mut self.gauges {
+            g.free += bytes;
+        }
+    }
+
+    /// Disk `d` is about to fail (still active, `used` not yet zeroed).
+    #[inline]
+    fn gauge_disk_failed(&mut self, d: DiskId) {
+        let di = d.0 as usize;
+        if let Some(g) = &mut self.gauges {
+            let disk = &self.disks[di];
+            g.active -= 1;
+            g.free -= disk.free_bytes();
+            g.capacity -= disk.capacity;
+            if g.pipe_busy[di] {
+                g.pipe_busy[di] = false;
+                g.busy_pipes -= 1;
+            }
+        }
+    }
+
+    /// A block of a live group was marked missing; `new_group_count` is
+    /// the group's missing count after the mark.
+    #[inline]
+    fn gauge_block_missing(&mut self, new_group_count: u8) {
+        if let Some(g) = &mut self.gauges {
+            g.rebuilds_in_flight += 1;
+            if new_group_count == 1 {
+                g.vulnerable_groups += 1;
+            }
+        }
+    }
+
+    /// A block was marked available again; `remaining` is the group's
+    /// missing count after the mark.
+    #[inline]
+    fn gauge_block_available(&mut self, remaining: u8) {
+        if let Some(g) = &mut self.gauges {
+            g.rebuilds_in_flight -= 1;
+            if remaining == 0 {
+                g.vulnerable_groups -= 1;
+            }
+        }
+    }
+
+    /// A group was just marked dead: its missing blocks leave the
+    /// in-flight gauge and it stops counting as vulnerable (dead groups
+    /// are excluded from both, matching the scan).
+    #[inline]
+    pub(crate) fn gauge_group_died(&mut self, group: u32) {
+        if self.gauges.is_some() {
+            let missing = self.layout.missing_count(group) as u64;
+            let g = self.gauges.as_deref_mut().expect("checked above");
+            g.rebuilds_in_flight -= missing;
+            // A group only dies on a missing-block transition, so it
+            // necessarily counted as vulnerable.
+            g.vulnerable_groups -= 1;
+        }
     }
 
     /// Attach a flight recorder: every group keeps a bounded ring of
@@ -416,19 +660,36 @@ impl Simulation {
     }
 
     pub(crate) fn set_recovery_busy(&mut self, d: DiskId, until: SimTime) {
-        self.recovery_busy[d.0 as usize] = until;
+        let di = d.0 as usize;
+        self.recovery_busy[di] = until;
+        if let Some(g) = &mut self.gauges {
+            // Every write pushes an expiry snapshot; the sampler checks
+            // snapshots against the authoritative value when they
+            // surface, so re-extended (or even shortened) pipes stay
+            // exact.
+            if until > self.now {
+                if !g.pipe_busy[di] {
+                    g.pipe_busy[di] = true;
+                    g.busy_pipes += 1;
+                }
+                g.expiries.push(Reverse((until, d.0)));
+            } else if g.pipe_busy[di] {
+                g.pipe_busy[di] = false;
+                g.busy_pipes -= 1;
+            }
+        }
     }
 
     /// Used bytes of every drive in the *placement population* (the disks
     /// the utilization experiments of §3.4 look at), with liveness.
-    pub fn population_utilization(&self) -> Vec<(DiskId, u64, bool)> {
-        (0..self.map.n_disks())
-            .map(|i| {
-                let d = DiskId(i);
-                let disk = &self.disks[i as usize];
-                (d, disk.used, disk.is_active())
-            })
-            .collect()
+    /// Returns a lazy iterator — callers that need a snapshot collect it
+    /// themselves; per-call allocation here was pure waste.
+    pub fn population_utilization(&self) -> impl Iterator<Item = (DiskId, u64, bool)> + '_ {
+        (0..self.map.n_disks()).map(|i| {
+            let d = DiskId(i);
+            let disk = &self.disks[i as usize];
+            (d, disk.used, disk.is_active())
+        })
     }
 
     // ----- main loop ------------------------------------------------------
@@ -525,13 +786,13 @@ impl Simulation {
     #[cold]
     #[inline(never)]
     fn timeline_sample_to(&mut self, upto: SimTime) {
-        // Lift the recorder out so the gauge scan can borrow `&self`.
+        // Lift the recorder out so the gauge reads can borrow `self`.
         let mut tl = self.timeline.take().expect("caller checked is_some");
         while let Some(s) = tl.due() {
             if s > upto.as_secs() {
                 break;
             }
-            tl.push(self.timeline_gauges(SimTime::from_secs(s)));
+            tl.push(self.timeline_row(SimTime::from_secs(s)));
         }
         self.timeline = Some(tl);
     }
@@ -542,14 +803,68 @@ impl Simulation {
     fn timeline_fill_remaining(&mut self) {
         let mut tl = self.timeline.take().expect("caller checked is_some");
         while let Some(s) = tl.due() {
-            tl.push(self.timeline_gauges(SimTime::from_secs(s)));
+            tl.push(self.timeline_row(SimTime::from_secs(s)));
         }
         self.timeline = Some(tl);
     }
 
-    /// The cluster-state gauge row at instant `at` (which lies between
-    /// the previous event and the next, so the discrete state is
-    /// current; only the recovery-pipe clocks need `at` itself).
+    /// The gauge row at sample instant `at`, read from the O(1) live
+    /// aggregates. The only per-sample work proportional to anything is
+    /// draining recovery-pipe expiries that elapsed since the previous
+    /// sample — each pipe write is drained at most once, so the total
+    /// over a trial is O(rebuilds), not O(samples × disks).
+    ///
+    /// Debug builds cross-check every row against the full scan
+    /// ([`Simulation::timeline_gauges`]), which is what keeps the
+    /// incremental bookkeeping honest across the whole test suite.
+    fn timeline_row(&mut self, at: SimTime) -> [f64; N_GAUGES] {
+        let row = match &mut self.gauges {
+            Some(g) => {
+                while let Some(&Reverse((until, d))) = g.expiries.peek() {
+                    if until > at {
+                        break;
+                    }
+                    g.expiries.pop();
+                    let di = d as usize;
+                    if g.pipe_busy[di] && self.recovery_busy[di] <= at {
+                        g.pipe_busy[di] = false;
+                        g.busy_pipes -= 1;
+                    }
+                }
+                [
+                    self.failed_since_batch as f64,
+                    g.rebuilds_in_flight as f64,
+                    g.vulnerable_groups as f64,
+                    if g.active == 0 {
+                        0.0
+                    } else {
+                        g.busy_pipes as f64 / g.active as f64
+                    },
+                    if g.capacity == 0 {
+                        0.0
+                    } else {
+                        g.free as f64 / g.capacity as f64
+                    },
+                ]
+            }
+            None => self.timeline_gauges(at),
+        };
+        #[cfg(debug_assertions)]
+        if self.gauges.is_some() {
+            debug_assert_eq!(
+                row,
+                self.timeline_gauges(at),
+                "live gauges diverged from the reference scan at t={}",
+                at.as_secs()
+            );
+        }
+        row
+    }
+
+    /// Reference implementation of the gauge row: a full scan of all
+    /// disks and all groups. Not used on the sampling path (the live
+    /// aggregates are); retained as the debug-build cross-check and the
+    /// one-scan initializer baseline.
     fn timeline_gauges(&self, at: SimTime) -> [f64; N_GAUGES] {
         let mut active = 0u64;
         let mut busy_pipes = 0u64;
@@ -599,6 +914,7 @@ impl Simulation {
     fn on_failure(&mut self, d: DiskId) {
         debug_assert!(self.disks[d.0 as usize].is_active(), "disk fails once");
         self.metrics.disk_failures += 1;
+        self.gauge_disk_failed(d);
         self.disks[d.0 as usize].fail();
         trace_ev!(self, "failure", ",\"disk\":{}", d.0);
 
@@ -628,10 +944,12 @@ impl Simulation {
             } else {
                 let missing = self.layout.mark_missing(b);
                 self.layout.set_vulnerable(b, self.now);
+                self.gauge_block_missing(missing);
                 self.flight_record(b.group(), flight_kind::FAILURE, d.0, b.idx());
                 let available = self.cfg.scheme.n - missing as u32;
                 if available < self.cfg.scheme.m {
                     self.layout.mark_dead(b.group());
+                    self.gauge_group_died(b.group());
                     self.metrics
                         .record_loss(self.cfg.group_user_bytes, self.now);
                     // The fatal failure was just recorded, so the
@@ -701,13 +1019,15 @@ impl Simulation {
             // reconstructed block is useless. Release the reservation.
             let home = self.layout.home(b);
             if self.disks[home.0 as usize].is_active() {
-                let bytes = self.cfg.block_bytes();
+                let bytes = self.cfg.block_bytes;
                 self.disks[home.0 as usize].release(bytes);
+                self.gauge_release(bytes);
             }
             self.layout.take_vulnerable(b);
             return;
         }
         self.layout.mark_available(b);
+        self.gauge_block_available(self.layout.missing_count(b.group()));
         self.metrics.rebuilds_completed += 1;
         if self.flight.is_some() {
             let home = self.layout.home(b);

@@ -20,11 +20,7 @@ fn tiny() -> SystemConfig {
 fn initial_utilization_hits_target() {
     let sim = Simulation::new(tiny(), 1);
     let cfg = sim.config();
-    let total_used: u64 = sim
-        .population_utilization()
-        .iter()
-        .map(|&(_, used, _)| used)
-        .sum();
+    let total_used: u64 = sim.population_utilization().map(|(_, used, _)| used).sum();
     assert_eq!(total_used, cfg.total_stored_bytes());
     let mean_util =
         total_used as f64 / (sim.cluster_map().n_disks() as u64 * cfg.disk_capacity) as f64;

@@ -42,6 +42,17 @@ impl<E> AnyQueue<E> {
         }
     }
 
+    /// Reset to an empty queue of `kind`, reusing the existing storage
+    /// when the kind is unchanged (the common recycle path) and
+    /// swapping in a fresh structure when it differs.
+    pub fn reset(&mut self, kind: QueueKind) {
+        match (&mut *self, kind) {
+            (AnyQueue::Heap(q), QueueKind::Heap) => q.reset(),
+            (AnyQueue::Calendar(q), QueueKind::Calendar) => q.reset(),
+            (slot, kind) => *slot = AnyQueue::new(kind),
+        }
+    }
+
     pub fn kind(&self) -> QueueKind {
         match self {
             AnyQueue::Heap(_) => QueueKind::Heap,

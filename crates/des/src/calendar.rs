@@ -147,6 +147,24 @@ impl<E> CalendarQueue<E> {
         }
     }
 
+    /// Reset to an empty queue while keeping the bucket allocations.
+    ///
+    /// The calendar geometry (bucket count, day width, resize
+    /// thresholds) is deliberately kept warm from the previous run: pop
+    /// order is `(time, seq)`-ascending regardless of how events hash
+    /// into days (asserted by the heap-equivalence test), so a recycled
+    /// queue is black-box identical to a fresh one but skips the
+    /// re-growth resizes of the first few hundred events.
+    pub fn reset(&mut self) {
+        for b in &mut self.buckets {
+            b.clear();
+        }
+        self.current_day = 0;
+        self.watermark = 0.0;
+        self.len = 0;
+        self.next_seq = 0;
+    }
+
     /// Rebuild with a new bucket count and a day width matched to the
     /// current event span (the classic heuristic).
     fn resize(&mut self, n_buckets: usize) {

@@ -96,6 +96,23 @@ impl Histogram {
         }
     }
 
+    /// Reset to the empty state while keeping the bucket allocation.
+    ///
+    /// Observationally identical to a fresh [`Histogram::new`] — the
+    /// bucket `Vec` is cleared to length zero (capacity retained), so
+    /// every accessor, `merge`, `PartialEq`, and serialized form match
+    /// a new histogram bit for bit.
+    pub fn reset(&mut self) {
+        self.zero = 0;
+        self.underflow = 0;
+        self.overflow = 0;
+        self.counts.clear();
+        self.total = 0;
+        self.sum = 0.0;
+        self.min = f64::INFINITY;
+        self.max = f64::NEG_INFINITY;
+    }
+
     /// Record one sample.
     #[inline]
     pub fn record(&mut self, v: f64) {
@@ -113,7 +130,9 @@ impl Histogram {
             Slot::Over => self.overflow += n,
             Slot::Bucket(i) => {
                 if self.counts.is_empty() {
-                    self.counts = vec![0; N_BUCKETS];
+                    // `resize` instead of a fresh `vec![]` so a reset
+                    // histogram re-uses the bucket allocation it kept.
+                    self.counts.resize(N_BUCKETS, 0);
                 }
                 self.counts[i] += n;
             }

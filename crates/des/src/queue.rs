@@ -159,6 +159,18 @@ impl<E> EventQueue<E> {
         self.cancelled.clear();
         self.live = 0;
     }
+
+    /// Reset to the freshly-constructed state while keeping the heap's
+    /// allocation. Unlike [`EventQueue::clear`], the id sequence also
+    /// restarts at zero, so a recycled queue hands out the exact same
+    /// [`EventId`]s a new queue would — part of the trial determinism
+    /// contract.
+    pub fn reset(&mut self) {
+        self.heap.clear();
+        self.cancelled.clear();
+        self.next_seq = 0;
+        self.live = 0;
+    }
 }
 
 #[cfg(test)]

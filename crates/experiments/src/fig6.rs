@@ -40,9 +40,11 @@ pub fn run(opts: &Options) -> Vec<Row> {
                 ..base_config(opts)
             };
             let mut sim = Simulation::new(cfg.clone(), derive_seed(opts.seed, gib));
-            let initial_util = sim.population_utilization();
+            // This experiment indexes the snapshots positionally, so
+            // collect the lazy utilization iterator.
+            let initial_util: Vec<_> = sim.population_utilization().collect();
             let _ = sim.run();
-            let final_util = sim.population_utilization();
+            let final_util: Vec<_> = sim.population_utilization().collect();
 
             // Ten pseudo-random sample disks, deterministic in the seed.
             let n = initial_util.len() as u64;

@@ -94,6 +94,28 @@ impl ClusterMap {
         m
     }
 
+    /// Reset to a single uniform sub-cluster of `n` disks, reusing the
+    /// existing vectors — and, when the first sub-cluster already has
+    /// `n` equal-weight disks (the common recycle-same-config path),
+    /// reusing its cached [`FastRem`] magic so the 128-bit division in
+    /// `FastRem::new` is skipped entirely.
+    pub fn reset_uniform(&mut self, n: u32) {
+        if let [first, ..] = self.clusters[..] {
+            if first.first == 0 && first.len == n && first.weight == 1.0 {
+                self.clusters.truncate(1);
+                self.cum_weight.truncate(1);
+                self.len_rem.truncate(1);
+                self.n_disks = n;
+                return;
+            }
+        }
+        self.clusters.clear();
+        self.cum_weight.clear();
+        self.len_rem.clear();
+        self.n_disks = 0;
+        self.add_cluster(n, 1.0);
+    }
+
     /// Append a sub-cluster of `len` disks with per-disk `weight`.
     /// Returns the index of the new sub-cluster.
     pub fn add_cluster(&mut self, len: u32, weight: f64) -> usize {
@@ -217,6 +239,28 @@ mod tests {
     fn zero_len_cluster_rejected() {
         let mut m = ClusterMap::new();
         m.add_cluster(0, 1.0);
+    }
+
+    #[test]
+    fn reset_uniform_matches_fresh_uniform() {
+        // Recycling a grown map back to uniform must be indistinguishable
+        // from a fresh uniform map — same size, different size, both.
+        for n in [3u32, 10, 64] {
+            let mut m = ClusterMap::uniform(10);
+            m.add_cluster(5, 2.0);
+            m.add_cluster(7, 0.5);
+            m.reset_uniform(n);
+            let fresh = ClusterMap::uniform(n);
+            assert_eq!(m.n_disks(), fresh.n_disks());
+            assert_eq!(m.n_clusters(), 1);
+            assert_eq!(m.cluster(0).first, 0);
+            assert_eq!(m.cluster(0).len, n);
+            assert_eq!(m.cluster(0).weight, 1.0);
+            assert_eq!(m.total_weight(), fresh.total_weight());
+            for x in [0u64, 1, 12345, u64::MAX] {
+                assert_eq!(m.rem_cluster_len(0, x), fresh.rem_cluster_len(0, x));
+            }
+        }
     }
 
     #[test]

@@ -125,7 +125,7 @@ fn spares_are_outside_the_placement_population() {
         assert!(sim.n_disks() > sim.cluster_map().n_disks());
         // Population snapshot only covers the placement population.
         assert_eq!(
-            sim.population_utilization().len(),
+            sim.population_utilization().count(),
             sim.cluster_map().n_disks() as usize
         );
     }

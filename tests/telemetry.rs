@@ -133,6 +133,42 @@ fn telemetry_files_are_identical_across_thread_counts() {
 }
 
 #[test]
+fn timeline_artifact_is_byte_identical_for_recycled_workspaces() {
+    // Workspace recycling must not disturb telemetry: the rendered
+    // timeline body built from recycled simulations equals, byte for
+    // byte, the one built from freshly constructed simulations.
+    use farm_core::PreparedConfig;
+    use farm_obs::{TimelineBands, TimelineRecorder};
+    use std::sync::Arc;
+
+    let cfg = lossy();
+    let duration = cfg.sim_duration().as_secs();
+    let month = farm_des::time::SECONDS_PER_MONTH;
+
+    let prepared = Arc::new(PreparedConfig::new(cfg.clone()));
+    let mut ws = farm_core::TrialWorkspace::with_reuse(true);
+    let mut recycled_bands = TimelineBands::new();
+    let mut fresh_bands = TimelineBands::new();
+    for t in 0..4u64 {
+        let seed = farm_des::rng::derive_seed(42, t);
+        let sim = ws.obtain(&prepared, seed);
+        sim.set_timeline(TimelineRecorder::new(month, duration));
+        let _ = sim.run();
+        recycled_bands.add_trial(&sim.take_timeline().expect("timeline"));
+
+        let mut fresh = Simulation::new(cfg.clone(), seed);
+        fresh.set_timeline(TimelineRecorder::new(month, duration));
+        let _ = fresh.run();
+        fresh_bands.add_trial(&fresh.take_timeline().expect("timeline"));
+    }
+    assert_eq!(
+        recycled_bands.render(0, false, true),
+        fresh_bands.render(0, false, true),
+        "recycled timeline artifact diverges from fresh"
+    );
+}
+
+#[test]
 fn postmortem_chain_ends_in_the_fatal_event() {
     let cfg = lossy();
     let path = tmp_path("pm.jsonl");
