@@ -9,14 +9,17 @@
 //! optimization-tracking metric, independent of core count) and at the
 //! default thread count (trials/sec), splits each trial's wall time
 //! into setup (workspace obtain: recycle or construct + placement) and
-//! event loop, samples peak RSS, reports the vulnerability-window
-//! percentiles of the timed batch, measures the observability overhead
-//! (event-loop profiling on vs off), probes the cluster-state telemetry
-//! overhead (timeline + flight recorder on vs off, interleaved to
-//! cancel machine drift), and merges the labelled result set — stamped
-//! with host metadata — into a JSON file (default `BENCH_PR4.json`).
-//! Re-running with an existing label replaces that label's entry, so a
-//! "before" run survives an "after" run of the same file.
+//! event loop, samples peak RSS (an explicit `null` on platforms where
+//! it is unavailable), reports the vulnerability-window percentiles of
+//! the timed batch, measures the observability overhead (event-loop
+//! profiling on vs off), probes the cluster-state telemetry overhead
+//! (timeline + flight recorder on vs off, interleaved to cancel machine
+//! drift), probes the live campaign monitor the same way (status
+//! snapshots + /metrics exporter on vs off), and merges the labelled
+//! result set — stamped with host metadata — into a JSON file (default
+//! `BENCH_PR5.json`). Re-running with an existing label replaces that
+//! label's entry, so a "before" run survives an "after" run of the same
+//! file.
 //!
 //! The workspace-recycling win is recorded as a before/after pair:
 //! `FARM_WORKSPACE=0 report --label before` then `report --label after`
@@ -30,7 +33,7 @@ use farm_bench::rss::peak_rss_bytes;
 use farm_core::prelude::*;
 use farm_core::workspace_reuse_enabled;
 use farm_des::rng::derive_seed;
-use farm_obs::{ObsOptions, TimelineSpec};
+use farm_obs::{ObsOptions, StatusSpec, TimelineSpec};
 use std::collections::BTreeMap;
 use std::sync::Arc;
 use std::time::Instant;
@@ -81,7 +84,9 @@ struct RunResult {
     recycled_setups_per_sec: f64,
     fresh_setups_per_sec: f64,
     parallel_trials_per_sec: f64,
-    peak_rss_bytes: u64,
+    /// `None` when the platform has no peak-RSS source (recorded as
+    /// JSON `null`, never a fake 0).
+    peak_rss_bytes: Option<u64>,
     /// Vulnerability-window percentiles of the timed batch, seconds.
     vuln_p50: f64,
     vuln_p99: f64,
@@ -93,6 +98,10 @@ struct RunResult {
     /// chunks so CPU-frequency drift hits both sides equally.
     telemetry_off_events_per_sec: f64,
     telemetry_on_events_per_sec: f64,
+    /// events/sec with the live campaign monitor fully off / fully on
+    /// (status snapshots + /metrics exporter), interleaved chunks.
+    monitor_off_events_per_sec: f64,
+    monitor_on_events_per_sec: f64,
 }
 
 /// Time a single-threaded batch with explicit observability options;
@@ -153,6 +162,48 @@ fn telemetry_pair(spec: &ConfigSpec, trials: u64) -> (f64, f64) {
     }
     std::fs::remove_file(&tl).ok();
     std::fs::remove_file(&pm).ok();
+    (off_events / off_wall, on_events / on_wall)
+}
+
+/// Probe the live campaign monitor overhead: alternate off/on chunks
+/// (status snapshots + /metrics exporter vs nothing) and return
+/// (off events/sec, on events/sec). The monitor is process-global, so
+/// once the first "on" chunk installs it the background status thread
+/// runs for the rest of the process — that cost hits both sides of the
+/// later chunks equally; the per-trial shard recording only hits "on".
+fn monitor_pair(spec: &ConfigSpec, trials: u64) -> (f64, f64) {
+    let status_path = std::env::temp_dir().join(format!(
+        "farm-bench-status-{}-{}.json",
+        spec.name,
+        std::process::id()
+    ));
+    let obs_off = ObsOptions::off();
+    let obs_on = ObsOptions {
+        status: Some(StatusSpec {
+            path: status_path.to_str().unwrap().to_string(),
+            interval_secs: Some(0.5),
+        }),
+        http: Some("127.0.0.1:0".to_string()),
+        ..ObsOptions::off()
+    };
+
+    const CHUNKS: u64 = 4;
+    let per_chunk = (trials / CHUNKS).max(1);
+    let (mut off_events, mut off_wall) = (0.0, 0.0);
+    let (mut on_events, mut on_wall) = (0.0, 0.0);
+    for _ in 0..CHUNKS {
+        for (obs, events, wall) in [
+            (&obs_off, &mut off_events, &mut off_wall),
+            (&obs_on, &mut on_events, &mut on_wall),
+        ] {
+            let start = Instant::now();
+            let (summary, _) =
+                run_trials_observed(&spec.cfg, 2, per_chunk, TrialMode::Full, 1, obs);
+            *wall += start.elapsed().as_secs_f64();
+            *events += summary.events.mean() * summary.trials() as f64;
+        }
+    }
+    std::fs::remove_file(&status_path).ok();
     (off_events / off_wall, on_events / on_wall)
 }
 
@@ -229,6 +280,10 @@ fn measure(spec: &ConfigSpec) -> RunResult {
     // against an interleaved telemetry-off control of the same size.
     let (telemetry_off_eps, telemetry_on_eps) = telemetry_pair(spec, probe_trials);
 
+    // Campaign-monitor probe: status snapshots + /metrics exporter,
+    // same interleaved design.
+    let (monitor_off_eps, monitor_on_eps) = monitor_pair(spec, probe_trials);
+
     // Workspace-reuse probe: recycled vs fresh setup, interleaved.
     let (recycled_sps, fresh_sps) = reuse_pair(spec, probe_trials);
 
@@ -264,6 +319,8 @@ fn measure(spec: &ConfigSpec) -> RunResult {
         profiled_events_per_sec: profiled_eps,
         telemetry_off_events_per_sec: telemetry_off_eps,
         telemetry_on_events_per_sec: telemetry_on_eps,
+        monitor_off_events_per_sec: monitor_off_eps,
+        monitor_on_events_per_sec: monitor_on_eps,
     }
 }
 
@@ -301,7 +358,13 @@ fn result_to_json(r: &RunResult) -> Json {
             "parallel_trials_per_sec".into(),
             Json::num((r.parallel_trials_per_sec * 1e3).round() / 1e3),
         ),
-        ("peak_rss_bytes".into(), Json::num(r.peak_rss_bytes as f64)),
+        (
+            "peak_rss_bytes".into(),
+            match r.peak_rss_bytes {
+                Some(b) => Json::num(b as f64),
+                None => Json::Null,
+            },
+        ),
         ("vuln_p50_secs".into(), Json::num(r.vuln_p50.round())),
         ("vuln_p99_secs".into(), Json::num(r.vuln_p99.round())),
         ("vuln_max_secs".into(), Json::num(r.vuln_max.round())),
@@ -316,6 +379,14 @@ fn result_to_json(r: &RunResult) -> Json {
         (
             "telemetry_on_events_per_sec".into(),
             Json::num(r.telemetry_on_events_per_sec.round()),
+        ),
+        (
+            "monitor_off_events_per_sec".into(),
+            Json::num(r.monitor_off_events_per_sec.round()),
+        ),
+        (
+            "monitor_on_events_per_sec".into(),
+            Json::num(r.monitor_on_events_per_sec.round()),
         ),
     ]))
 }
@@ -362,7 +433,7 @@ fn merge_into(doc: Json, label: &str, results: &[RunResult]) -> Json {
 
 fn main() {
     let mut label = String::from("run");
-    let mut out = String::from("BENCH_PR4.json");
+    let mut out = String::from("BENCH_PR5.json");
     let mut smoke = false;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -385,13 +456,16 @@ fn main() {
     for spec in tracked_configs(smoke) {
         eprintln!("measuring {} ({} trials)...", spec.name, spec.trials);
         let r = measure(&spec);
+        let rss = match r.peak_rss_bytes {
+            Some(b) => format!("{} MiB", b >> 20),
+            None => "unknown".to_string(),
+        };
         println!(
-            "{:<22} {:>9.1} events/sec  {:>6.3} trials/sec ({} threads)  peak RSS {} MiB",
+            "{:<22} {:>9.1} events/sec  {:>6.3} trials/sec ({} threads)  peak RSS {rss}",
             r.name,
             r.events_per_sec,
             r.parallel_trials_per_sec,
             default_threads(),
-            r.peak_rss_bytes >> 20,
         );
         println!(
             "{:<22} setup {:.1}% of wall  {:.1} setups/sec  loop {:.1} events/sec",
@@ -422,6 +496,13 @@ fn main() {
             r.telemetry_off_events_per_sec,
             r.telemetry_on_events_per_sec,
             100.0 * (r.telemetry_on_events_per_sec / r.telemetry_off_events_per_sec - 1.0),
+        );
+        println!(
+            "{:<22} monitor off {:.1} on {:.1} events/sec ({:+.1}%)",
+            "",
+            r.monitor_off_events_per_sec,
+            r.monitor_on_events_per_sec,
+            100.0 * (r.monitor_on_events_per_sec / r.monitor_off_events_per_sec - 1.0),
         );
         results.push(r);
     }

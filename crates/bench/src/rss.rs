@@ -1,30 +1,24 @@
 //! Peak resident-set-size of the current process.
+//!
+//! The reading itself lives in [`farm_obs::rss`] (the live campaign
+//! monitor stamps it into every status snapshot); this module re-exports
+//! it for the benchmark report. The contract on unsupported platforms is
+//! explicit absence: `None` plus a once-per-process diagnostic — never a
+//! silent 0 that would look like a real (impossible) measurement in the
+//! tracked trajectory. The JSON report records it as `null`.
 
-/// Peak RSS (VmHWM) in bytes, from `/proc/self/status`. Returns 0 on
-/// platforms without procfs — the report records it as "unknown".
-pub fn peak_rss_bytes() -> u64 {
-    let Ok(status) = std::fs::read_to_string("/proc/self/status") else {
-        return 0;
-    };
-    for line in status.lines() {
-        if let Some(rest) = line.strip_prefix("VmHWM:") {
-            let kib: u64 = rest
-                .trim()
-                .trim_end_matches("kB")
-                .trim()
-                .parse()
-                .unwrap_or(0);
-            return kib * 1024;
-        }
-    }
-    0
-}
+pub use farm_obs::rss::peak_rss_bytes;
 
 #[cfg(test)]
 mod tests {
+    use super::*;
+
     #[test]
     #[cfg(target_os = "linux")]
-    fn peak_rss_is_nonzero_on_linux() {
-        assert!(super::peak_rss_bytes() > 0);
+    fn peak_rss_is_present_and_nonzero_on_linux() {
+        let rss = peak_rss_bytes().expect("procfs available on linux");
+        assert!(rss > 0);
+        // The success path must not have burned the warn-once key.
+        assert!(!farm_obs::diag::warned(farm_obs::rss::RSS_WARN_KEY));
     }
 }

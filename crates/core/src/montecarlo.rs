@@ -10,12 +10,13 @@ use crate::metrics::{McSummary, TrialMetrics};
 use crate::sim::Simulation;
 use farm_des::rng::derive_seed;
 use farm_obs::{
-    diag, EventProfile, FlightRecorder, ObsOptions, Progress, TimelineBands, TimelineRecorder,
-    TraceSel, TrialTracer,
+    diag, BatchHandle, EventProfile, FlightRecorder, ObsOptions, Progress, TimelineBands,
+    TimelineRecorder, TraceSel, TrialTracer, WorkerShard,
 };
 use std::io::Write;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
+use std::time::Instant;
 
 /// How a trial is executed.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -114,6 +115,33 @@ struct TrialArtifacts {
 /// A worker thread's partial batch result: its local aggregate, merged
 /// profile and the artifacts of the trials it ran.
 type WorkerPartial = (McSummary, Option<EventProfile>, Vec<(u64, TrialArtifacts)>);
+
+/// A short human label for a batch's configuration, shown in the live
+/// monitor's status file and as the `config` label on `/metrics`
+/// series (e.g. `mirror(2) Farm 256GiB`).
+fn config_label(cfg: &SystemConfig) -> String {
+    use farm_disk::model::{GIB, PIB, TIB};
+    let b = cfg.total_user_bytes;
+    let size = if b >= PIB {
+        format!("{}PiB", b / PIB)
+    } else if b >= TIB {
+        format!("{}TiB", b / TIB)
+    } else {
+        format!("{}GiB", b / GIB)
+    };
+    format!("{} {:?} {size}", cfg.scheme, cfg.recovery)
+}
+
+/// Record one finished trial into this worker's registry shard (noop
+/// without a live monitor; the `Instant` is only taken when one is
+/// attached, so the off path stays free of clock syscalls).
+#[inline]
+fn record_monitored(shard: &Option<Arc<WorkerShard>>, started: Option<Instant>, m: &TrialMetrics) {
+    if let Some(shard) = shard {
+        let wall = started.map_or(0.0, |t0| t0.elapsed().as_secs_f64());
+        shard.record_trial(m.lost_data(), m.events_processed, wall);
+    }
+}
 
 /// Does `obs` ask for anything that produces per-trial artifacts?
 fn artifacts_requested(obs: &ObsOptions) -> bool {
@@ -271,6 +299,11 @@ pub fn run_trials_observed(
     assert!(threads >= 1);
     let progress = Progress::new(trials, obs.progress_enabled());
     let want_artifacts = artifacts_requested(obs);
+    // Live campaign monitor (status snapshots / the /metrics exporter):
+    // consulted once per batch; `None` — and zero per-trial work — when
+    // neither FARM_STATUS nor FARM_HTTP asked for it.
+    let batch: Option<BatchHandle> =
+        farm_obs::campaign_monitor(obs).map(|mon| mon.begin_batch(config_label(cfg), trials));
     // One validated config per batch: every trial on every worker shares
     // the `Arc` instead of cloning the `SystemConfig`.
     let prepared = Arc::new(PreparedConfig::new(cfg.clone()));
@@ -279,8 +312,11 @@ pub fn run_trials_observed(
         let mut summary = McSummary::new();
         let mut profile: Option<EventProfile> = None;
         let mut ws = TrialWorkspace::new();
+        let shard = batch.as_ref().map(|b| b.shard());
         for t in 0..trials {
+            let started = shard.as_ref().map(|_| Instant::now());
             let (m, p, a) = run_trial_observed(&mut ws, &prepared, master_seed, t, mode, obs);
+            record_monitored(&shard, started, &m);
             progress.trial_done(m.lost_data());
             summary.push(&m);
             merge_profile(&mut profile, p);
@@ -298,18 +334,22 @@ pub fn run_trials_observed(
                 let next = &next;
                 let progress = &progress;
                 let prepared = &prepared;
+                let batch = &batch;
                 handles.push(scope.spawn(move || {
                     let mut local = McSummary::new();
                     let mut local_profile: Option<EventProfile> = None;
                     let mut local_artifacts: Vec<(u64, TrialArtifacts)> = Vec::new();
                     let mut ws = TrialWorkspace::new();
+                    let shard = batch.as_ref().map(|b| b.shard());
                     loop {
                         let t = next.fetch_add(1, Ordering::Relaxed);
                         if t >= trials {
                             break;
                         }
+                        let started = shard.as_ref().map(|_| Instant::now());
                         let (m, p, a) =
                             run_trial_observed(&mut ws, prepared, master_seed, t, mode, obs);
+                        record_monitored(&shard, started, &m);
                         progress.trial_done(m.lost_data());
                         local.push(&m);
                         merge_profile(&mut local_profile, p);
@@ -334,6 +374,11 @@ pub fn run_trials_observed(
         (summary, profile)
     };
     progress.finish();
+    // Every trial is recorded by now: mark the batch done and publish
+    // the exact final snapshot synchronously.
+    if let Some(b) = &batch {
+        b.finish();
+    }
     if want_artifacts {
         emit_artifacts(obs, artifacts);
     }
@@ -495,6 +540,16 @@ mod tests {
         assert_eq!(p.queue_depth().count(), events);
         assert_eq!(base.p_loss.successes, summary.p_loss.successes);
         assert!((base.failures.mean() - summary.failures.mean()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn config_labels_identify_scheme_policy_and_size() {
+        let label = config_label(&tiny());
+        assert!(label.contains("Farm"), "{label}");
+        assert!(label.ends_with("2TiB"), "{label}");
+        let mut raid = tiny();
+        raid.recovery = crate::config::RecoveryPolicy::SingleSpare;
+        assert!(config_label(&raid).contains("SingleSpare"));
     }
 
     #[test]

@@ -138,6 +138,28 @@ impl Proportion {
         ((p - hw).max(0.0), (p + hw).min(1.0))
     }
 
+    /// (lower, upper) bounds of the Wilson score 95 % interval.
+    ///
+    /// Unlike the normal approximation of [`Proportion::ci95`], the
+    /// Wilson interval stays meaningful at the extremes the simulator
+    /// lives in — zero observed losses out of a handful of trials early
+    /// in a campaign — which is exactly where the live monitor reads it
+    /// to show convergence. With no trials at all it reports the
+    /// uninformative `(0, 1)`.
+    pub fn wilson95(&self) -> (f64, f64) {
+        if self.trials == 0 {
+            return (0.0, 1.0);
+        }
+        const Z: f64 = 1.96;
+        let n = self.trials as f64;
+        let p = self.value();
+        let z2 = Z * Z;
+        let denom = 1.0 + z2 / n;
+        let center = (p + z2 / (2.0 * n)) / denom;
+        let half = (Z / denom) * (p * (1.0 - p) / n + z2 / (4.0 * n * n)).sqrt();
+        ((center - half).max(0.0), (center + half).min(1.0))
+    }
+
     pub fn merge(&mut self, other: Proportion) {
         self.successes += other.successes;
         self.trials += other.trials;
@@ -242,6 +264,42 @@ mod tests {
     #[should_panic]
     fn proportion_rejects_impossible_counts() {
         let _ = Proportion::new(11, 10);
+    }
+
+    #[test]
+    fn wilson95_matches_closed_form() {
+        // 10/100: the textbook Wilson 95 % interval is (0.0552, 0.1744).
+        let (lo, hi) = Proportion::new(10, 100).wilson95();
+        assert!((lo - 0.05522).abs() < 1e-4, "lo = {lo}");
+        assert!((hi - 0.17436).abs() < 1e-4, "hi = {hi}");
+    }
+
+    #[test]
+    fn wilson95_is_informative_at_zero_successes() {
+        // 0/10 must not collapse to a zero-width interval (the normal
+        // approximation does): the upper bound stays well above zero.
+        let (lo, hi) = Proportion::new(0, 10).wilson95();
+        assert_eq!(lo, 0.0);
+        assert!(hi > 0.2 && hi < 0.35, "hi = {hi}");
+        // Symmetric at the other extreme.
+        let (lo, hi) = Proportion::new(10, 10).wilson95();
+        assert_eq!(hi, 1.0);
+        assert!(lo > 0.65 && lo < 0.8, "lo = {lo}");
+    }
+
+    #[test]
+    fn wilson95_with_no_trials_is_uninformative() {
+        assert_eq!(Proportion::new(0, 0).wilson95(), (0.0, 1.0));
+    }
+
+    #[test]
+    fn wilson95_brackets_the_point_estimate() {
+        for (s, n) in [(1u64, 7u64), (3, 9), (50, 1000), (999, 1000)] {
+            let p = Proportion::new(s, n);
+            let (lo, hi) = p.wilson95();
+            assert!(lo <= p.value() && p.value() <= hi, "{s}/{n}");
+            assert!((0.0..=1.0).contains(&lo) && (0.0..=1.0).contains(&hi));
+        }
     }
 
     #[test]

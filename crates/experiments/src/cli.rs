@@ -22,13 +22,18 @@
 //!   `[path][@interval_secs]` (default `farm-timeline.csv`, 128 samples
 //!   over the horizon; a `.jsonl` extension selects JSONL),
 //! * `--profile`     — print an event-loop profile after each batch,
+//! * `--status [SPEC]` — live campaign status snapshots: a JSON file
+//!   rewritten atomically every few seconds with per-config progress,
+//!   trials/sec, ETA and the online Wilson-interval loss estimate; SPEC
+//!   is `[path][@interval_secs]` (default `farm-status.json` every 1 s),
 //! * `--progress` / `--no-progress` — force batch progress reporting on
 //!   or off (default: on only when stderr is a terminal).
 //!
 //! Data-loss post-mortems have no flag: set `FARM_POSTMORTEM=file.jsonl`.
+//! The `/metrics` + `/status` HTTP exporter likewise: `FARM_HTTP=addr`.
 
 use farm_core::montecarlo;
-use farm_obs::{ObsOptions, TimelineSpec, TraceSel, TraceSpec};
+use farm_obs::{ObsOptions, StatusSpec, TimelineSpec, TraceSel, TraceSpec};
 
 /// Parsed experiment options.
 #[derive(Clone, Debug)]
@@ -44,6 +49,8 @@ pub struct Options {
     pub trace: Option<TraceSel>,
     /// Sample cluster-state timelines (`--timeline [SPEC]`).
     pub timeline: Option<TimelineSpec>,
+    /// Periodic live status snapshots (`--status [SPEC]`).
+    pub status: Option<StatusSpec>,
     /// Force progress reporting on/off (`None` = auto).
     pub progress: Option<bool>,
     /// Print an event-loop profile per batch.
@@ -60,6 +67,7 @@ impl Options {
             quick: true,
             trace: None,
             timeline: None,
+            status: None,
             progress: None,
             profile: false,
         }
@@ -81,6 +89,7 @@ impl Options {
         let mut explicit_trials = None;
         let mut trace = None;
         let mut timeline = None;
+        let mut status = None;
         let mut progress = None;
         let mut profile = false;
         let mut it = args.into_iter().peekable();
@@ -136,13 +145,25 @@ impl Options {
                     };
                     timeline = Some(spec);
                 }
+                "--status" => {
+                    // Optional `[path][@interval_secs]` spec; bare
+                    // `--status` takes every default.
+                    let spec = match it.peek() {
+                        Some(v) if !v.starts_with('-') => {
+                            let v = it.next().unwrap();
+                            StatusSpec::parse(&v).map_err(|e| format!("--status: {e}"))?
+                        }
+                        _ => StatusSpec::parse("").expect("empty spec is valid"),
+                    };
+                    status = Some(spec);
+                }
                 "--progress" => progress = Some(true),
                 "--no-progress" => progress = Some(false),
                 "--profile" => profile = true,
                 "--help" | "-h" => {
                     return Err(
                         "options: [--quick|--full] [--trials N] [--seed S] [--threads T] \
-                         [--trace [N|loss]] [--timeline [SPEC]] [--profile] \
+                         [--trace [N|loss]] [--timeline [SPEC]] [--status [SPEC]] [--profile] \
                          [--progress|--no-progress]"
                             .into(),
                     );
@@ -158,6 +179,7 @@ impl Options {
         }
         opts.trace = trace;
         opts.timeline = timeline;
+        opts.status = status;
         opts.progress = progress;
         opts.profile = profile;
         Ok(opts)
@@ -179,6 +201,9 @@ impl Options {
         }
         if let Some(spec) = &self.timeline {
             o.timeline = Some(spec.clone());
+        }
+        if let Some(spec) = &self.status {
+            o.status = Some(spec.clone());
         }
         o
     }
@@ -310,10 +335,31 @@ mod tests {
     }
 
     #[test]
+    fn status_flag_forms() {
+        let o = parse(&[]).unwrap();
+        assert_eq!(o.status, None);
+
+        // Bare --status takes every default.
+        let o = parse(&["--status", "--no-progress"]).unwrap();
+        let spec = o.status.expect("status on");
+        assert_eq!(spec.path, farm_obs::status::DEFAULT_STATUS_PATH);
+        assert_eq!(spec.interval_secs, None);
+
+        let o = parse(&["--status", "live.json@0.5", "--full"]).unwrap();
+        let spec = o.status.expect("status on");
+        assert_eq!(spec.path, "live.json");
+        assert_eq!(spec.interval_secs, Some(0.5));
+        assert!(!o.quick);
+
+        assert!(parse(&["--status", "live.json@never"]).is_err());
+    }
+
+    #[test]
     fn obs_options_reflect_flags() {
         let mut o = parse(&["--profile", "--no-progress"]).unwrap();
         o.trace = Some(TraceSel::Trial(5));
         o.timeline = Some(TimelineSpec::parse("bands.csv").unwrap());
+        o.status = Some(StatusSpec::parse("live.json@2").unwrap());
         let obs = o.obs_options();
         assert!(obs.profile);
         assert_eq!(obs.progress, Some(false));
@@ -322,5 +368,10 @@ mod tests {
             obs.timeline.as_ref().map(|s| s.path.as_str()),
             Some("bands.csv")
         );
+        assert_eq!(
+            obs.status.as_ref().map(|s| s.path.as_str()),
+            Some("live.json")
+        );
+        assert!(obs.monitor_requested());
     }
 }

@@ -1,0 +1,284 @@
+//! Std-only HTTP exporter: `/metrics` (Prometheus/OpenMetrics text
+//! exposition) and `/status` (the same JSON as the status file), served
+//! from one `TcpListener` thread (`FARM_HTTP=addr`).
+//!
+//! This is a scrape endpoint, not a web server: requests are handled
+//! sequentially on the listener thread, each response closes the
+//! connection, and reads carry a short timeout so a stuck client cannot
+//! wedge the exporter. Rendering reads the sharded registry on *this*
+//! thread — workers are never stalled by a scrape.
+//!
+//! Exposition rules (validated by `scripts/check_telemetry.py metrics`):
+//! cumulative series end in `_total` and only ever grow; per-batch
+//! series carry `batch` and `config` labels; the per-trial wall-time
+//! distribution is exported as a Prometheus `summary` (quantiles +
+//! `_sum`/`_count`).
+
+use crate::registry::MonitorCore;
+use crate::rss;
+use std::fmt::Write as _;
+use std::io::{BufRead, BufReader, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Escape a Prometheus label value (`\`, `"`, newline).
+fn escape_label(v: &str) -> String {
+    let mut out = String::with_capacity(v.len());
+    for c in v.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '"' => out.push_str("\\\""),
+            '\n' => out.push_str("\\n"),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Render the `/metrics` exposition for the current instant.
+pub(crate) fn render_metrics(core: &MonitorCore) -> String {
+    let mut out = String::with_capacity(2048);
+    let batches = core.batches();
+
+    let _ = writeln!(
+        out,
+        "# HELP farm_campaign_elapsed_seconds Wall seconds since the campaign monitor started.\n\
+         # TYPE farm_campaign_elapsed_seconds gauge\n\
+         farm_campaign_elapsed_seconds {:.3}",
+        core.elapsed_secs()
+    );
+    let _ = writeln!(
+        out,
+        "# HELP farm_batches Monte-Carlo batches begun by this process.\n\
+         # TYPE farm_batches gauge\n\
+         farm_batches {}",
+        batches.len()
+    );
+    if let Some(rss) = rss::peak_rss_bytes() {
+        let _ = writeln!(
+            out,
+            "# HELP farm_peak_rss_bytes Peak resident set size of the process.\n\
+             # TYPE farm_peak_rss_bytes gauge\n\
+             farm_peak_rss_bytes {rss}"
+        );
+    }
+
+    // Pre-render each batch's label set once; series grouped by metric
+    // name as the exposition format requires.
+    let labels: Vec<String> = batches
+        .iter()
+        .map(|b| {
+            format!(
+                "batch=\"{}\",config=\"{}\"",
+                b.index,
+                escape_label(&b.label)
+            )
+        })
+        .collect();
+    let totals: Vec<_> = batches.iter().map(|b| b.totals()).collect();
+
+    let mut counter = |name: &str, help: &str, values: &dyn Fn(usize) -> u64| {
+        let _ = writeln!(out, "# HELP {name} {help}\n# TYPE {name} counter");
+        for (i, l) in labels.iter().enumerate() {
+            let _ = writeln!(out, "{name}{{{l}}} {}", values(i));
+        }
+    };
+    counter("farm_trials_total", "Trials completed per batch.", &|i| {
+        totals[i].trials
+    });
+    counter(
+        "farm_losses_total",
+        "Trials that lost data, per batch.",
+        &|i| totals[i].losses,
+    );
+    counter(
+        "farm_events_total",
+        "Discrete events processed per batch.",
+        &|i| totals[i].events,
+    );
+
+    let _ = writeln!(
+        out,
+        "# HELP farm_trials_expected Trials requested per batch.\n\
+         # TYPE farm_trials_expected gauge"
+    );
+    for (b, l) in batches.iter().zip(&labels) {
+        let _ = writeln!(out, "farm_trials_expected{{{l}}} {}", b.total);
+    }
+    let _ = writeln!(
+        out,
+        "# HELP farm_batch_done 1 once the batch's driver finished it.\n\
+         # TYPE farm_batch_done gauge"
+    );
+    for (b, l) in batches.iter().zip(&labels) {
+        let _ = writeln!(out, "farm_batch_done{{{l}}} {}", b.is_finished() as u32);
+    }
+
+    // The online loss estimate and its Wilson 95 % interval.
+    for (name, help, pick) in [
+        (
+            "farm_p_loss",
+            "Online data-loss probability estimate (losses / trials).",
+            0usize,
+        ),
+        (
+            "farm_p_loss_wilson95_lo",
+            "Wilson score 95% interval, lower bound.",
+            1,
+        ),
+        (
+            "farm_p_loss_wilson95_hi",
+            "Wilson score 95% interval, upper bound.",
+            2,
+        ),
+    ] {
+        let _ = writeln!(out, "# HELP {name} {help}\n# TYPE {name} gauge");
+        for (t, l) in totals.iter().zip(&labels) {
+            let p = t.p_loss();
+            let (lo, hi) = p.wilson95();
+            let v = [p.value(), lo, hi][pick];
+            let _ = writeln!(out, "{name}{{{l}}} {v}");
+        }
+    }
+
+    let _ = writeln!(
+        out,
+        "# HELP farm_trial_wall_seconds Wall-clock seconds per finished trial.\n\
+         # TYPE farm_trial_wall_seconds summary"
+    );
+    for (t, l) in totals.iter().zip(&labels) {
+        let h = &t.trial_secs;
+        if !h.is_empty() {
+            for (q, v) in [(0.5, h.p50()), (0.9, h.p90()), (0.99, h.p99())] {
+                let _ = writeln!(out, "farm_trial_wall_seconds{{{l},quantile=\"{q}\"}} {v}");
+            }
+        }
+        let _ = writeln!(out, "farm_trial_wall_seconds_sum{{{l}}} {}", h.sum());
+        let _ = writeln!(out, "farm_trial_wall_seconds_count{{{l}}} {}", h.count());
+    }
+    out
+}
+
+/// Spawn the listener thread; returns the bound address (so `addr` may
+/// use port 0 and tests/scrapers can discover the real port — it is
+/// also published in the status file's `http_addr` field).
+pub(crate) fn spawn_exporter(core: Arc<MonitorCore>, addr: &str) -> std::io::Result<SocketAddr> {
+    let listener = TcpListener::bind(addr)?;
+    let bound = listener.local_addr()?;
+    std::thread::Builder::new()
+        .name("farm-http".into())
+        .spawn(move || {
+            for conn in listener.incoming() {
+                let Ok(stream) = conn else { continue };
+                // Best-effort: a broken scraper never kills the thread.
+                let _ = handle_conn(stream, &core);
+            }
+        })?;
+    Ok(bound)
+}
+
+fn handle_conn(stream: TcpStream, core: &MonitorCore) -> std::io::Result<()> {
+    stream.set_read_timeout(Some(Duration::from_secs(2)))?;
+    stream.set_write_timeout(Some(Duration::from_secs(2)))?;
+    let mut reader = BufReader::new(stream);
+    let mut request_line = String::new();
+    reader.read_line(&mut request_line)?;
+    // Drain the request headers so the client's send completes cleanly.
+    let mut line = String::new();
+    loop {
+        line.clear();
+        let n = reader.read_line(&mut line)?;
+        if n == 0 || line == "\r\n" || line == "\n" {
+            break;
+        }
+    }
+    let path = request_line.split_whitespace().nth(1).unwrap_or("");
+    let (code, content_type, body) = match path {
+        "/metrics" => (
+            "200 OK",
+            "text/plain; version=0.0.4; charset=utf-8",
+            render_metrics(core),
+        ),
+        "/status" => (
+            "200 OK",
+            "application/json; charset=utf-8",
+            crate::status::render_status(core, 0),
+        ),
+        _ => (
+            "404 Not Found",
+            "text/plain; charset=utf-8",
+            "not found; try /metrics or /status\n".to_string(),
+        ),
+    };
+    let mut stream = reader.into_inner();
+    write!(
+        stream,
+        "HTTP/1.1 {code}\r\nContent-Type: {content_type}\r\n\
+         Content-Length: {}\r\nConnection: close\r\n\r\n",
+        body.len()
+    )?;
+    stream.write_all(body.as_bytes())?;
+    stream.flush()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::registry::CampaignMonitor;
+    use std::io::Read;
+
+    fn scrape(addr: SocketAddr, path: &str) -> (String, String) {
+        let mut s = TcpStream::connect(addr).expect("connect");
+        write!(
+            s,
+            "GET {path} HTTP/1.1\r\nHost: farm\r\nConnection: close\r\n\r\n"
+        )
+        .unwrap();
+        let mut body = String::new();
+        s.read_to_string(&mut body).unwrap();
+        let (head, payload) = body.split_once("\r\n\r\n").expect("header/body split");
+        (head.to_string(), payload.to_string())
+    }
+
+    #[test]
+    fn exporter_serves_metrics_status_and_404() {
+        let mon = CampaignMonitor::new(None, Some("127.0.0.1:0"));
+        let addr = mon.http_addr().expect("listener bound");
+        let b = mon.begin_batch("unit \"quoted\" cfg".into(), 8);
+        let shard = b.shard();
+        shard.record_trial(true, 500, 0.01);
+        shard.record_trial(false, 500, 0.01);
+
+        let (head, body) = scrape(addr, "/metrics");
+        assert!(head.starts_with("HTTP/1.1 200"), "{head}");
+        assert!(head.contains("text/plain; version=0.0.4"), "{head}");
+        assert!(body.contains("# TYPE farm_trials_total counter"), "{body}");
+        assert!(
+            body.contains("farm_trials_total{batch=\"0\",config=\"unit \\\"quoted\\\" cfg\"} 2"),
+            "{body}"
+        );
+        assert!(body.contains("farm_losses_total{"), "{body}");
+        assert!(body.contains("farm_p_loss_wilson95_hi{"), "{body}");
+        assert!(body.contains("quantile=\"0.5\""), "{body}");
+        assert!(body.contains("farm_trial_wall_seconds_count{"), "{body}");
+
+        let (head, body) = scrape(addr, "/status");
+        assert!(head.starts_with("HTTP/1.1 200"), "{head}");
+        assert!(head.contains("application/json"), "{head}");
+        assert!(body.contains("\"schema\":\"farm-status-v1\""), "{body}");
+        assert!(
+            body.contains(&format!("\"http_addr\":\"{addr}\"")),
+            "{body}"
+        );
+
+        let (head, _) = scrape(addr, "/nope");
+        assert!(head.starts_with("HTTP/1.1 404"), "{head}");
+    }
+
+    #[test]
+    fn label_escaping() {
+        assert_eq!(escape_label(r#"a"b\c"#), r#"a\"b\\c"#);
+        assert_eq!(escape_label("x\ny"), "x\\ny");
+    }
+}

@@ -18,9 +18,14 @@
 //! * [`flight::FlightRecorder`] — a bounded per-group ring of recent
 //!   failure/rebuild events that emits a JSON post-mortem of the causal
 //!   chain whenever a group loses data (`FARM_POSTMORTEM`),
+//! * [`registry::CampaignMonitor`] — the live campaign monitor: a
+//!   sharded per-worker metrics registry aggregated on demand, periodic
+//!   atomic-rename status snapshots with an online Wilson-interval loss
+//!   estimate (`FARM_STATUS=path[@secs]` / `--status`), and a std-only
+//!   HTTP listener serving `/metrics` + `/status` (`FARM_HTTP=addr`),
 //! * [`ObsOptions`] — the switchboard, populated from `FARM_TRACE` /
 //!   `FARM_PROFILE` / `FARM_PROGRESS` / `FARM_TIMELINE` /
-//!   `FARM_POSTMORTEM` or from CLI flags.
+//!   `FARM_POSTMORTEM` / `FARM_STATUS` / `FARM_HTTP` or from CLI flags.
 //!
 //! **Overhead contract:** everything here is *off by default*, and the
 //! disabled path inside the trial event loop is a branch on an
@@ -30,16 +35,22 @@
 
 pub mod diag;
 pub mod flight;
+pub mod http;
 pub mod profile;
 pub mod progress;
+pub mod registry;
+pub mod rss;
 pub mod sink;
+pub mod status;
 pub mod timeline;
 pub mod trace;
 
 pub use flight::FlightRecorder;
 pub use profile::EventProfile;
 pub use progress::Progress;
+pub use registry::{BatchHandle, BatchTotals, CampaignMonitor, WorkerShard};
 pub use sink::open_batch_file;
+pub use status::StatusSpec;
 pub use timeline::{TimelineBands, TimelineRecorder, TimelineSpec, GAUGES, N_GAUGES};
 pub use trace::{TraceSel, TraceSpec, TrialTracer};
 
@@ -61,6 +72,11 @@ pub struct ObsOptions {
     /// JSONL path for data-loss post-mortems (enables the per-group
     /// flight recorder).
     pub postmortem: Option<String>,
+    /// Periodic campaign status snapshots (`FARM_STATUS=path[@secs]`).
+    pub status: Option<StatusSpec>,
+    /// Listen address for the `/metrics` + `/status` HTTP exporter
+    /// (`FARM_HTTP=addr`, e.g. `127.0.0.1:9919`; port 0 picks one).
+    pub http: Option<String>,
 }
 
 impl ObsOptions {
@@ -72,7 +88,14 @@ impl ObsOptions {
             trace: None,
             timeline: None,
             postmortem: None,
+            status: None,
+            http: None,
         }
+    }
+
+    /// Does this configuration ask for the live campaign monitor?
+    pub fn monitor_requested(&self) -> bool {
+        self.status.is_some() || self.http.is_some()
     }
 
     /// Read the `FARM_PROGRESS`, `FARM_PROFILE`, `FARM_TRACE`,
@@ -113,6 +136,21 @@ impl ObsOptions {
                 o.postmortem = Some(v);
             }
         }
+        if let Ok(v) = std::env::var("FARM_STATUS") {
+            if env_truthy(&v) {
+                match StatusSpec::parse(&v) {
+                    Ok(spec) => o.status = Some(spec),
+                    Err(e) => {
+                        diag::warn_once("FARM_STATUS", &format!("ignoring FARM_STATUS={v:?}: {e}"));
+                    }
+                }
+            }
+        }
+        if let Ok(v) = std::env::var("FARM_HTTP") {
+            if env_truthy(&v) {
+                o.http = Some(v.trim().to_string());
+            }
+        }
         o
     }
 
@@ -143,6 +181,28 @@ pub fn global() -> &'static ObsOptions {
     GLOBAL.get_or_init(ObsOptions::from_env)
 }
 
+static MONITOR: OnceLock<CampaignMonitor> = OnceLock::new();
+
+/// The live campaign monitor for a batch with the given options:
+/// `None` unless the options ask for one ([`ObsOptions::monitor_requested`]),
+/// else the process-wide monitor — created on first use from *this*
+/// batch's status/http specs (a campaign has one status file and one
+/// listener; later batches attach to the same monitor). Consulted once
+/// per batch, never per trial.
+pub fn campaign_monitor(obs: &ObsOptions) -> Option<&'static CampaignMonitor> {
+    if !obs.monitor_requested() {
+        return None;
+    }
+    Some(MONITOR.get_or_init(|| CampaignMonitor::new(obs.status.clone(), obs.http.as_deref())))
+}
+
+/// The already-installed campaign monitor, if any batch has created one
+/// (test and debugging hook — e.g. to discover the bound `/metrics`
+/// port after `FARM_HTTP=127.0.0.1:0`).
+pub fn installed_monitor() -> Option<&'static CampaignMonitor> {
+    MONITOR.get()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -155,6 +215,21 @@ mod tests {
         assert!(o.trace.is_none());
         assert!(o.timeline.is_none());
         assert!(o.postmortem.is_none());
+        assert!(o.status.is_none());
+        assert!(o.http.is_none());
+        assert!(!o.monitor_requested());
+        // Off options never install a campaign monitor.
+        assert!(campaign_monitor(&o).is_none());
+    }
+
+    #[test]
+    fn monitor_requested_by_status_or_http() {
+        let mut o = ObsOptions::off();
+        o.status = Some(StatusSpec::parse("s.json@5").unwrap());
+        assert!(o.monitor_requested());
+        let mut o = ObsOptions::off();
+        o.http = Some("127.0.0.1:0".into());
+        assert!(o.monitor_requested());
     }
 
     #[test]

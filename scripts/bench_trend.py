@@ -1,0 +1,139 @@
+#!/usr/bin/env python3
+"""Merge the tracked BENCH_PR*.json reports into one perf trajectory.
+
+Usage:
+    bench_trend.py [--dir REPO] [--md OUT.md] [--csv OUT.csv]
+
+Each PR's benchmark report (`crates/bench/src/bin/report.rs`) is a
+snapshot of trial throughput at that point in the repo's history; this
+script lines them up into a single per-config table — one row per
+(report, run label) — so the trajectory is readable at a glance and
+plottable from the CSV. Reports grew columns over time (setup split,
+telemetry and monitor overhead probes), so missing fields render as
+empty cells rather than failing. Stdlib only; used by the `bench-trend`
+CI job, which uploads the outputs as artifacts.
+"""
+
+import csv
+import glob
+import io
+import json
+import os
+import re
+import sys
+
+# (column header, config-entry key, format)
+COLUMNS = [
+    ("events/sec", "events_per_sec", "{:,.0f}"),
+    ("loop events/sec", "loop_events_per_sec", "{:,.0f}"),
+    ("parallel trials/sec", "parallel_trials_per_sec", "{:,.1f}"),
+    ("setup frac", "setup_frac", "{:.3f}"),
+    ("peak RSS MiB", "peak_rss_bytes", "rss"),
+    ("telemetry off/on", ("telemetry_off_events_per_sec",
+                          "telemetry_on_events_per_sec"), "pair"),
+    ("monitor off/on", ("monitor_off_events_per_sec",
+                        "monitor_on_events_per_sec"), "pair"),
+]
+
+
+def pr_number(path):
+    m = re.search(r"BENCH_PR(\d+)\.json$", path)
+    return int(m.group(1)) if m else -1
+
+
+def fmt(entry, key, spec):
+    if spec == "pair":
+        off, on = (entry.get(k) for k in key)
+        if off is None or on is None:
+            return ""
+        return "{:,.0f} / {:,.0f} ({:+.1f}%)".format(off, on, 100 * (on / off - 1))
+    v = entry.get(key)
+    if v is None:
+        return ""
+    if spec == "rss":
+        return "{:.0f}".format(v / (1 << 20))
+    return spec.format(v)
+
+
+def load_rows(repo_dir):
+    """One row per (report file, run label, config)."""
+    rows = []
+    paths = sorted(glob.glob(os.path.join(repo_dir, "BENCH_PR*.json")),
+                   key=pr_number)
+    if not paths:
+        sys.exit(f"bench_trend: no BENCH_PR*.json under {repo_dir}")
+    for path in paths:
+        with open(path) as f:
+            doc = json.load(f)
+        for run in doc.get("runs", []):
+            for cfg in run.get("configs", []):
+                rows.append({
+                    "report": os.path.basename(path),
+                    "label": run.get("label", ""),
+                    "config": cfg.get("config", ""),
+                    "entry": cfg,
+                })
+    return rows
+
+
+def render_markdown(rows):
+    out = io.StringIO()
+    print("# Benchmark trajectory", file=out)
+    print(file=out)
+    print("Trial throughput per tracked config across the PR sequence", file=out)
+    print("(`scripts/bench_trend.py`; empty cells predate the probe).", file=out)
+    for config in sorted({r["config"] for r in rows}):
+        print(f"\n## {config}\n", file=out)
+        headers = ["report", "label"] + [c[0] for c in COLUMNS]
+        print("| " + " | ".join(headers) + " |", file=out)
+        print("|" + "---|" * len(headers), file=out)
+        for r in rows:
+            if r["config"] != config:
+                continue
+            cells = [r["report"], r["label"]]
+            cells += [fmt(r["entry"], key, spec) for _, key, spec in COLUMNS]
+            print("| " + " | ".join(cells) + " |", file=out)
+    return out.getvalue()
+
+
+def render_csv(rows):
+    keys = sorted({k for r in rows for k in r["entry"]})
+    out = io.StringIO()
+    w = csv.writer(out)
+    w.writerow(["report", "label"] + keys)
+    for r in rows:
+        w.writerow([r["report"], r["label"]] +
+                   [r["entry"].get(k, "") for k in keys])
+    return out.getvalue()
+
+
+def main(argv):
+    repo_dir, md_out, csv_out = ".", None, None
+    it = iter(argv)
+    for arg in it:
+        if arg == "--dir":
+            repo_dir = next(it, None) or sys.exit("--dir needs a value")
+        elif arg == "--md":
+            md_out = next(it, None) or sys.exit("--md needs a value")
+        elif arg == "--csv":
+            csv_out = next(it, None) or sys.exit("--csv needs a value")
+        else:
+            print(__doc__.strip(), file=sys.stderr)
+            return 2
+    rows = load_rows(repo_dir)
+    md = render_markdown(rows)
+    if md_out:
+        with open(md_out, "w") as f:
+            f.write(md)
+        print(f"bench_trend: wrote {md_out} ({len(rows)} rows)")
+    else:
+        print(md, end="")
+    if csv_out:
+        with open(csv_out, "w") as f:
+            f.write(render_csv(rows))
+        print(f"bench_trend: wrote {csv_out}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

@@ -3,15 +3,30 @@
 
 Usage:
     check_telemetry.py TIMELINE.csv POSTMORTEM.jsonl [--expect-loss]
+    check_telemetry.py status STATUS.json
+    check_telemetry.py metrics METRICS.txt [LATER_METRICS.txt]
 
-Checks the timeline CSV and post-mortem JSONL produced by `--timeline`
-and `FARM_POSTMORTEM` (schema: DESIGN.md section 11). With
-`--expect-loss`, at least one post-mortem line must be present.
+The first form checks the timeline CSV and post-mortem JSONL produced
+by `--timeline` and `FARM_POSTMORTEM` (schema: DESIGN.md section 11).
+With `--expect-loss`, at least one post-mortem line must be present.
+
+`status` validates a campaign status snapshot (`FARM_STATUS` /
+`--status`, schema `farm-status-v1`, DESIGN.md section 13): required
+keys, internal consistency (losses <= trials, p_loss == losses/trials,
+Wilson interval brackets the estimate, campaign totals equal the batch
+sums).
+
+`metrics` validates a `/metrics` scrape (`FARM_HTTP`): Prometheus text
+exposition syntax (metric/label names, label escaping, HELP/TYPE
+comments), counters named `*_total`, and — given a second, later
+scrape — that every counter series is monotone non-decreasing.
+
 Stdlib only; exits non-zero with a message on the first violation.
 """
 
 import csv
 import json
+import re
 import sys
 
 GAUGES = [
@@ -109,7 +124,183 @@ def check_postmortems(path, expect_loss):
           f"chains chronological and cause-consistent")
 
 
+def _num_or_null(doc, key, where):
+    v = doc.get(key)
+    if v is not None and not isinstance(v, (int, float)):
+        fail(f"{where}: {key} must be a number or null, got {v!r}")
+    return v
+
+
+STATUS_BATCH_KEYS = [
+    "batch", "config", "done", "trials_done", "trials_total", "losses",
+    "events", "trials_per_sec", "eta_secs", "p_loss", "wilson95_lo",
+    "wilson95_hi", "trial_secs_p50", "trial_secs_p99",
+]
+
+
+def check_status(path):
+    with open(path) as f:
+        try:
+            doc = json.load(f)
+        except json.JSONDecodeError as e:
+            fail(f"{path}: invalid JSON: {e}")
+    if doc.get("schema") != "farm-status-v1":
+        fail(f"{path}: schema {doc.get('schema')!r}, want 'farm-status-v1'")
+    for key in ("pid", "seq", "trials_done", "trials_total", "losses", "events"):
+        if not isinstance(doc.get(key), int):
+            fail(f"{path}: {key} must be an integer, got {doc.get(key)!r}")
+    if not isinstance(doc.get("elapsed_secs"), (int, float)) or doc["elapsed_secs"] < 0:
+        fail(f"{path}: bad elapsed_secs {doc.get('elapsed_secs')!r}")
+    addr = doc.get("http_addr")
+    if addr is not None and not isinstance(addr, str):
+        fail(f"{path}: http_addr must be a string or null, got {addr!r}")
+    rss = doc.get("peak_rss_bytes")
+    if rss is not None and (not isinstance(rss, int) or rss <= 0):
+        fail(f"{path}: peak_rss_bytes must be a positive integer or null "
+             f"(never a fake 0), got {rss!r}")
+    _num_or_null(doc, "events_per_sec", path)
+
+    batches = doc.get("batches")
+    if not isinstance(batches, list):
+        fail(f"{path}: batches must be an array")
+    sums = {"trials_done": 0, "trials_total": 0, "losses": 0, "events": 0}
+    for i, b in enumerate(batches):
+        where = f"{path}: batches[{i}]"
+        for key in STATUS_BATCH_KEYS:
+            if key not in b:
+                fail(f"{where}: missing key {key!r}")
+        if not isinstance(b["config"], str) or not b["config"]:
+            fail(f"{where}: config must be a non-empty string")
+        if not isinstance(b["done"], bool):
+            fail(f"{where}: done must be a boolean")
+        done, total, losses = b["trials_done"], b["trials_total"], b["losses"]
+        if not (0 <= losses <= done <= total):
+            fail(f"{where}: want 0 <= losses <= trials_done <= trials_total, "
+                 f"got {losses}/{done}/{total}")
+        if b["done"] and done != total:
+            fail(f"{where}: done but only {done}/{total} trials")
+        for key in ("trials_per_sec", "eta_secs", "trial_secs_p50",
+                    "trial_secs_p99"):
+            _num_or_null(b, key, where)
+        p = b["p_loss"]
+        if done == 0:
+            if p != 0:
+                fail(f"{where}: p_loss {p} with no trials")
+        elif p != losses / done:
+            fail(f"{where}: p_loss {p} != losses/trials = {losses / done}")
+        lo, hi = b["wilson95_lo"], b["wilson95_hi"]
+        if not (0.0 <= lo <= p <= hi <= 1.0):
+            fail(f"{where}: Wilson interval [{lo}, {hi}] does not bracket "
+                 f"p_loss {p} inside [0, 1]")
+    for key in sums:
+        sums[key] = sum(b[key] for b in batches)
+    for key, want in sums.items():
+        if doc[key] != want:
+            fail(f"{path}: campaign {key} {doc[key]} != batch sum {want}")
+    print(f"check_telemetry: {path}: seq {doc['seq']}, {len(batches)} "
+          f"batch(es), totals consistent")
+
+
+METRIC_NAME_RE = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
+SAMPLE_RE = re.compile(r"^([a-zA-Z_:][a-zA-Z0-9_:]*)(?:\{(.*)\})?\s+(\S+)$")
+LABEL_RE = re.compile(r'([a-zA-Z_][a-zA-Z0-9_]*)="((?:\\.|[^"\\])*)"(,|$)')
+
+
+def parse_labels(raw, where):
+    """Parse `k="v",...`, enforcing full consumption (catches bad
+    escapes, bare values, stray commas)."""
+    labels, pos = {}, 0
+    while pos < len(raw):
+        m = LABEL_RE.match(raw, pos)
+        if not m:
+            fail(f"{where}: bad label syntax at {raw[pos:]!r}")
+        labels[m.group(1)] = m.group(2)
+        pos = m.end()
+    return labels
+
+
+def parse_metrics(path):
+    """Return ({series: value}, {family: type}) for one exposition."""
+    series, types = {}, {}
+    with open(path) as f:
+        lines = f.read().splitlines()
+    for n, line in enumerate(lines, start=1):
+        where = f"{path}:{n}"
+        if not line:
+            continue
+        if line.startswith("#"):
+            parts = line.split(None, 3)
+            if len(parts) < 3 or parts[1] not in ("HELP", "TYPE"):
+                fail(f"{where}: bad comment {line!r}")
+            if not METRIC_NAME_RE.match(parts[2]):
+                fail(f"{where}: bad metric name {parts[2]!r}")
+            if parts[1] == "TYPE":
+                kind = parts[3] if len(parts) > 3 else ""
+                if kind not in ("counter", "gauge", "summary", "histogram",
+                                "untyped"):
+                    fail(f"{where}: bad metric type {kind!r}")
+                types[parts[2]] = kind
+            continue
+        m = SAMPLE_RE.match(line)
+        if not m:
+            fail(f"{where}: bad sample line {line!r}")
+        name, raw_labels, value = m.groups()
+        labels = parse_labels(raw_labels, where) if raw_labels else {}
+        try:
+            float(value)
+        except ValueError:
+            fail(f"{where}: bad sample value {value!r}")
+        family = name
+        for suffix in ("_sum", "_count", "_bucket"):
+            if family not in types and name.endswith(suffix):
+                family = name[: -len(suffix)]
+        if family not in types:
+            fail(f"{where}: sample {name!r} has no # TYPE")
+        if types[family] == "counter" and not name.endswith("_total"):
+            fail(f"{where}: counter {name!r} must end in _total")
+        key = (name, tuple(sorted(labels.items())))
+        if key in series:
+            fail(f"{where}: duplicate series {name}{{{raw_labels}}}")
+        series[key] = (types[family], float(value))
+    return series
+
+
+def check_metrics(path, later=None):
+    series = parse_metrics(path)
+    counters = {k: v for k, (t, v) in series.items() if t == "counter"}
+    if not counters:
+        fail(f"{path}: no counters exposed")
+    print(f"check_telemetry: {path}: {len(series)} series "
+          f"({len(counters)} counter(s)), exposition well-formed")
+    if later is None:
+        return
+    series2 = parse_metrics(later)
+    for key, v1 in counters.items():
+        name = f"{key[0]}{{{','.join(f'{k}={v!r}' for k, v in key[1])}}}"
+        if key not in series2:
+            fail(f"{later}: counter {name} disappeared")
+        v2 = series2[key][1]
+        if v2 < v1:
+            fail(f"{later}: counter {name} went backwards: {v1} -> {v2}")
+    print(f"check_telemetry: {later}: all {len(counters)} counter(s) "
+          f"monotone vs {path}")
+
+
 def main(argv):
+    if argv and argv[0] == "status":
+        if len(argv) != 2:
+            print(__doc__.strip(), file=sys.stderr)
+            return 2
+        check_status(argv[1])
+        print("check_telemetry: OK")
+        return 0
+    if argv and argv[0] == "metrics":
+        if len(argv) not in (2, 3):
+            print(__doc__.strip(), file=sys.stderr)
+            return 2
+        check_metrics(argv[1], argv[2] if len(argv) == 3 else None)
+        print("check_telemetry: OK")
+        return 0
     args = [a for a in argv if a != "--expect-loss"]
     if len(args) != 2:
         print(__doc__.strip(), file=sys.stderr)

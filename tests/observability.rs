@@ -72,6 +72,8 @@ fn golden_metrics_identical_with_observability_on() {
             interval_secs: None,
         }),
         postmortem: Some(postmortem_path.to_str().unwrap().to_string()),
+        status: None,
+        http: None,
     };
 
     // Single-threaded so aggregation order is fixed and the comparison

@@ -102,8 +102,13 @@ fn multi_trial_summaries_agree_across_queue_kinds() {
         queue: QueueKind::Calendar,
         ..base()
     };
-    let heap = run_trials(&base(), 7, 24, TrialMode::UntilLoss);
-    let cal = run_trials(&cal_cfg, 7, 24, TrialMode::UntilLoss);
+    // Single-threaded, so aggregation order is fixed and the queue-kind
+    // comparison can be exact to the bit. (With work-stealing workers
+    // the trial-to-worker partition — and therefore the merge order of
+    // the running means — varies run to run at the last ULP.)
+    let obs = farm_obs::ObsOptions::off();
+    let (heap, _) = run_trials_observed(&base(), 7, 24, TrialMode::UntilLoss, 1, &obs);
+    let (cal, _) = run_trials_observed(&cal_cfg, 7, 24, TrialMode::UntilLoss, 1, &obs);
     assert_eq!(heap.p_loss.value(), cal.p_loss.value());
     assert_eq!(heap.failures.mean(), cal.failures.mean());
     assert_eq!(heap.events.mean(), cal.events.mean());
