@@ -80,6 +80,80 @@ fn bench_gf256_mul_slice(c: &mut Criterion) {
     group.finish();
 }
 
+/// Region sizes for the per-kernel sweeps: one page, a typical recovery
+/// region, and a full shard.
+const REGION_SIZES: [usize; 3] = [4 << 10, 64 << 10, 1 << 20];
+
+/// `mul_slice_xor` per kernel (the innermost recovery loop): scalar SWAR
+/// vs SSSE3 vs AVX2 at 4 KiB / 64 KiB / 1 MiB. Unsupported kernels on
+/// this host are skipped.
+fn bench_gf256_kernels(c: &mut Criterion) {
+    use farm_erasure::gf256::kernel::{self, Kernel};
+    for size in REGION_SIZES {
+        let src = vec![0xABu8; size];
+        let mut dst = vec![0x11u8; size];
+        let mut group = c.benchmark_group(format!("erasure/gf256_kernel_{}KiB", size >> 10));
+        group.throughput(Throughput::Bytes(size as u64));
+        for k in Kernel::ALL {
+            if !k.supported() {
+                continue;
+            }
+            group.bench_function(k.name(), |b| {
+                b.iter(|| {
+                    kernel::mul_slice_xor(k, 0x57, black_box(&src), black_box(&mut dst));
+                })
+            });
+        }
+        group.finish();
+    }
+}
+
+/// Full codec encode/reconstruct per kernel at each region size, for a
+/// representative Reed–Solomon scheme (8/10, the paper's workhorse).
+/// Kernel selection is process-global; criterion runs benches
+/// sequentially, so flipping `set_active` per measurement is safe.
+fn bench_codec_per_kernel(c: &mut Criterion) {
+    use farm_erasure::gf256::kernel::{self, Kernel};
+    let scheme = Scheme::new(8, 10);
+    let m = scheme.m as usize;
+    let k_tol = scheme.fault_tolerance() as usize;
+    let codec = scheme.codec();
+    let startup = kernel::active();
+    for size in REGION_SIZES {
+        let data: Vec<Vec<u8>> = (0..m)
+            .map(|i| (0..size).map(|j| ((i * 31 + j * 7) & 0xff) as u8).collect())
+            .collect();
+        let refs: Vec<&[u8]> = data.iter().map(|d| d.as_slice()).collect();
+        let parity = codec.encode(&refs);
+        let full: Vec<Vec<u8>> = data.iter().cloned().chain(parity).collect();
+
+        let mut group = c.benchmark_group(format!("erasure/rs_8_10_kernel_{}KiB", size >> 10));
+        group.throughput(Throughput::Bytes((m * size) as u64));
+        for kern in Kernel::ALL {
+            if !kern.supported() {
+                continue;
+            }
+            kernel::set_active(kern);
+            group.bench_function(format!("encode/{}", kern.name()), |b| {
+                b.iter(|| black_box(codec.encode(black_box(&refs))))
+            });
+            group.bench_function(format!("reconstruct/{}", kern.name()), |b| {
+                b.iter(|| {
+                    let mut working: Vec<Option<Vec<u8>>> =
+                        full.iter().cloned().map(Some).collect();
+                    for slot in working.iter_mut().take(k_tol) {
+                        *slot = None;
+                    }
+                    assert!(codec.reconstruct(black_box(&mut working)));
+                    black_box(working)
+                })
+            });
+        }
+        group.finish();
+    }
+    kernel::set_active(startup);
+}
+
 fn bench_evenodd_vs_rs(c: &mut Criterion) {
     // EVENODD's selling point: double-fault tolerance with XOR only.
     // Compare encode throughput against GF(256) Reed-Solomon at m=4, k=2.
@@ -111,6 +185,8 @@ criterion_group!(
     bench_encode,
     bench_reconstruct,
     bench_gf256_mul_slice,
+    bench_gf256_kernels,
+    bench_codec_per_kernel,
     bench_evenodd_vs_rs
 );
 criterion_main!(benches);

@@ -15,11 +15,16 @@
 //! profiling on vs off), probes the cluster-state telemetry overhead
 //! (timeline + flight recorder on vs off, interleaved to cancel machine
 //! drift), probes the live campaign monitor the same way (status
-//! snapshots + /metrics exporter on vs off), and merges the labelled
-//! result set — stamped with host metadata — into a JSON file (default
-//! `BENCH_PR5.json`). Re-running with an existing label replaces that
-//! label's entry, so a "before" run survives an "after" run of the same
-//! file.
+//! snapshots + /metrics exporter on vs off), splits per-trial setup
+//! time into its phases (state reset, disk installation, placement)
+//! via `Simulation::recycle_profiled`, sweeps the GF(2^8) region
+//! kernels (scalar/SSSE3/AVX2 `mul_slice_xor` MB/s at 4 KiB / 64 KiB /
+//! 1 MiB plus RS 8/10 encode/reconstruct MB/s — the `gf_kernel`
+//! section), and merges the labelled result set — stamped with host
+//! metadata and an optional `--notes` annotation — into a JSON file
+//! (default `BENCH_PR6.json`). Re-running with an existing label
+//! replaces that label's entry, so a "before" run survives an "after"
+//! run of the same file.
 //!
 //! The workspace-recycling win is recorded as a before/after pair:
 //! `FARM_WORKSPACE=0 report --label before` then `report --label after`
@@ -33,7 +38,7 @@ use farm_bench::rss::peak_rss_bytes;
 use farm_core::prelude::*;
 use farm_core::workspace_reuse_enabled;
 use farm_des::rng::derive_seed;
-use farm_obs::{ObsOptions, StatusSpec, TimelineSpec};
+use farm_obs::{EventProfile, ObsOptions, StatusSpec, TimelineSpec};
 use std::collections::BTreeMap;
 use std::sync::Arc;
 use std::time::Instant;
@@ -102,6 +107,10 @@ struct RunResult {
     /// (status snapshots + /metrics exporter), interleaved chunks.
     monitor_off_events_per_sec: f64,
     monitor_on_events_per_sec: f64,
+    /// Fraction of recycled-setup time spent in each phase, in
+    /// [`Simulation::SETUP_PHASE_LABELS`] order (reset, disks,
+    /// placement).
+    setup_phase_fracs: Vec<(&'static str, f64)>,
 }
 
 /// Time a single-threaded batch with explicit observability options;
@@ -287,6 +296,11 @@ fn measure(spec: &ConfigSpec) -> RunResult {
     // Workspace-reuse probe: recycled vs fresh setup, interleaved.
     let (recycled_sps, fresh_sps) = reuse_pair(spec, probe_trials);
 
+    // Setup-phase breakdown: recycle the same simulation repeatedly
+    // with each phase timed, the full event loop running in between so
+    // the layout is dirty the way real trials leave it.
+    let setup_phase_fracs = setup_phase_breakdown(&prepared, probe_trials);
+
     // Parallel throughput at the default thread count.
     let threads = default_threads();
     let pstart = Instant::now();
@@ -321,7 +335,115 @@ fn measure(spec: &ConfigSpec) -> RunResult {
         telemetry_on_events_per_sec: telemetry_on_eps,
         monitor_off_events_per_sec: monitor_off_eps,
         monitor_on_events_per_sec: monitor_on_eps,
+        setup_phase_fracs,
     }
+}
+
+/// Where does recycled setup time go? Runs `trials` recycles of one
+/// simulation with `Simulation::recycle_profiled`, the event loop
+/// executing between recycles, and returns each phase's fraction of
+/// total setup time.
+fn setup_phase_breakdown(prepared: &Arc<PreparedConfig>, trials: u64) -> Vec<(&'static str, f64)> {
+    let mut sim = Simulation::from_shared(Arc::clone(prepared), derive_seed(4, 0));
+    let _ = sim.run();
+    let mut prof = EventProfile::new(Simulation::SETUP_PHASE_LABELS);
+    for t in 0..trials {
+        sim.recycle_profiled(prepared, derive_seed(4, t + 1), &mut prof);
+        let _ = sim.run();
+    }
+    let total = prof.total_nanos().max(1) as f64;
+    Simulation::SETUP_PHASE_LABELS
+        .iter()
+        .enumerate()
+        .map(|(i, &label)| (label, prof.nanos(i) as f64 / total))
+        .collect()
+}
+
+/// GF(2^8) kernel sweep: `mul_slice_xor` MB/s per available kernel at
+/// three region sizes, plus RS 8/10 encode/reconstruct MB/s at 64 KiB,
+/// and the headline SIMD-vs-scalar speedup on 64 KiB regions.
+fn gf_kernel_section() -> Json {
+    use farm_erasure::gf256::kernel::{self, Kernel};
+
+    fn mbps(bytes_per_iter: usize, mut f: impl FnMut()) -> f64 {
+        f(); // warm-up
+        let start = Instant::now();
+        let mut iters = 0u64;
+        while start.elapsed().as_secs_f64() < 0.25 {
+            f();
+            iters += 1;
+        }
+        iters as f64 * bytes_per_iter as f64 / start.elapsed().as_secs_f64() / 1e6
+    }
+
+    let startup = kernel::active();
+    let sizes: [(usize, &str); 3] = [
+        (4 << 10, "mul_xor_4KiB_mbps"),
+        (64 << 10, "mul_xor_64KiB_mbps"),
+        (1 << 20, "mul_xor_1MiB_mbps"),
+    ];
+    let scheme = Scheme::new(8, 10);
+    let m = scheme.m as usize;
+    let k_tol = scheme.fault_tolerance() as usize;
+    let codec = scheme.codec();
+    let region = 64usize << 10;
+    let data: Vec<Vec<u8>> = (0..m)
+        .map(|i| {
+            (0..region)
+                .map(|j| ((i * 31 + j * 7) & 0xff) as u8)
+                .collect()
+        })
+        .collect();
+    let refs: Vec<&[u8]> = data.iter().map(|d| d.as_slice()).collect();
+    let full: Vec<Vec<u8>> = data.iter().cloned().chain(codec.encode(&refs)).collect();
+
+    let mut kernels = Vec::new();
+    let (mut scalar_64k, mut best_64k) = (0.0f64, 0.0f64);
+    for k in Kernel::ALL {
+        let mut entry = BTreeMap::from([
+            ("kernel".into(), Json::str(k.name())),
+            ("supported".into(), Json::Bool(k.supported())),
+        ]);
+        if k.supported() {
+            for (size, field) in sizes {
+                let src = vec![0xABu8; size];
+                let mut dst = vec![0x11u8; size];
+                let rate = mbps(size, || kernel::mul_slice_xor(k, 0x57, &src, &mut dst));
+                if size == 64 << 10 {
+                    if k == Kernel::Scalar {
+                        scalar_64k = rate;
+                    }
+                    best_64k = best_64k.max(rate);
+                }
+                entry.insert(field.into(), Json::num(rate.round()));
+            }
+            kernel::set_active(k);
+            let enc = mbps(m * region, || {
+                std::hint::black_box(codec.encode(std::hint::black_box(&refs)));
+            });
+            let rec = mbps(m * region, || {
+                let mut working: Vec<Option<Vec<u8>>> = full.iter().cloned().map(Some).collect();
+                for slot in working.iter_mut().take(k_tol) {
+                    *slot = None;
+                }
+                assert!(codec.reconstruct(&mut working));
+                std::hint::black_box(working);
+            });
+            entry.insert("encode_64KiB_mbps".into(), Json::num(enc.round()));
+            entry.insert("reconstruct_64KiB_mbps".into(), Json::num(rec.round()));
+        }
+        kernels.push(Json::Obj(entry));
+    }
+    kernel::set_active(startup);
+
+    Json::Obj(BTreeMap::from([
+        ("active".into(), Json::str(startup.name())),
+        (
+            "simd_speedup_64KiB".into(),
+            Json::num((best_64k / scalar_64k.max(1e-9) * 1e2).round() / 1e2),
+        ),
+        ("kernels".into(), Json::Arr(kernels)),
+    ]))
 }
 
 fn result_to_json(r: &RunResult) -> Json {
@@ -388,6 +510,17 @@ fn result_to_json(r: &RunResult) -> Json {
             "monitor_on_events_per_sec".into(),
             Json::num(r.monitor_on_events_per_sec.round()),
         ),
+        (
+            "setup_phases".into(),
+            Json::Obj(
+                r.setup_phase_fracs
+                    .iter()
+                    .map(|&(label, frac)| {
+                        (label.to_string(), Json::num((frac * 1e4).round() / 1e4))
+                    })
+                    .collect(),
+            ),
+        ),
     ]))
 }
 
@@ -406,7 +539,7 @@ fn host_metadata() -> Json {
 }
 
 /// Replace-or-append this label's entry in the report document.
-fn merge_into(doc: Json, label: &str, results: &[RunResult]) -> Json {
+fn merge_into(doc: Json, label: &str, notes: &str, gf_kernel: Json, results: &[RunResult]) -> Json {
     let mut runs: Vec<Json> = doc
         .get("runs")
         .and_then(|r| r.as_arr())
@@ -415,11 +548,13 @@ fn merge_into(doc: Json, label: &str, results: &[RunResult]) -> Json {
     runs.retain(|r| r.get("label").and_then(|l| l.as_str()) != Some(label));
     runs.push(Json::Obj(BTreeMap::from([
         ("label".into(), Json::str(label)),
+        ("notes".into(), Json::str(notes)),
         ("host".into(), host_metadata()),
         (
             "workspace_reuse".into(),
             Json::Bool(workspace_reuse_enabled()),
         ),
+        ("gf_kernel".into(), gf_kernel),
         (
             "configs".into(),
             Json::Arr(results.iter().map(result_to_json).collect()),
@@ -433,16 +568,18 @@ fn merge_into(doc: Json, label: &str, results: &[RunResult]) -> Json {
 
 fn main() {
     let mut label = String::from("run");
-    let mut out = String::from("BENCH_PR5.json");
+    let mut out = String::from("BENCH_PR6.json");
+    let mut notes = String::new();
     let mut smoke = false;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--label" => label = args.next().expect("--label needs a value"),
             "--out" => out = args.next().expect("--out needs a value"),
+            "--notes" => notes = args.next().expect("--notes needs a value"),
             "--smoke" => smoke = true,
             "--help" | "-h" => {
-                println!("usage: report [--label NAME] [--out FILE.json] [--smoke]");
+                println!("usage: report [--label NAME] [--out FILE.json] [--notes TEXT] [--smoke]");
                 return;
             }
             other => {
@@ -450,6 +587,12 @@ fn main() {
                 std::process::exit(2);
             }
         }
+    }
+
+    eprintln!("sweeping GF(2^8) kernels...");
+    let gf_kernel = gf_kernel_section();
+    if let Some(speedup) = gf_kernel.get("simd_speedup_64KiB").and_then(|s| s.as_f64()) {
+        println!("gf_kernel: best SIMD mul_slice_xor is {speedup:.2}x scalar on 64 KiB regions");
     }
 
     let mut results = Vec::new();
@@ -474,6 +617,13 @@ fn main() {
             r.trial_setups_per_sec,
             r.loop_events_per_sec,
         );
+        let phases = r
+            .setup_phase_fracs
+            .iter()
+            .map(|(label, frac)| format!("{label} {:.1}%", 100.0 * frac))
+            .collect::<Vec<_>>()
+            .join("  ");
+        println!("{:<22} setup phases: {phases}", "");
         println!(
             "{:<22} setup recycled {:.1} vs fresh {:.1} setups/sec ({:+.1}%)",
             "",
@@ -511,7 +661,7 @@ fn main() {
         .ok()
         .and_then(|s| Json::parse(&s).ok())
         .unwrap_or(Json::Null);
-    let doc = merge_into(existing, &label, &results);
+    let doc = merge_into(existing, &label, &notes, gf_kernel, &results);
     std::fs::write(&out, doc.pretty()).expect("write report");
     eprintln!("wrote label {label:?} to {out}");
 }

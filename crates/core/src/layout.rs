@@ -93,6 +93,13 @@ pub struct GroupLayout {
     /// Per-group data-lost flag: more blocks unavailable than the scheme
     /// tolerates at some instant.
     dead: Vec<bool>,
+    /// Slots whose `flags`/`vulnerable` entry (or whose group's
+    /// `missing_count`/`dead` entry) may have left its initial state
+    /// since the last reset. Failures touch a few hundred slots per
+    /// trial out of tens of thousands of blocks, so a same-shape reset
+    /// re-zeroes just these instead of memsetting every array —
+    /// recycled workspaces skip work proportional to cluster size.
+    dirty: Vec<u32>,
 }
 
 impl GroupLayout {
@@ -108,6 +115,7 @@ impl GroupLayout {
             vulnerable: Vec::new(),
             missing_count: Vec::new(),
             dead: Vec::new(),
+            dirty: Vec::new(),
         };
         l.reset(n_groups, blocks_per_group, n_disks);
         l
@@ -116,9 +124,15 @@ impl GroupLayout {
     /// Reset to the just-constructed state of `GroupLayout::new(n_groups,
     /// blocks_per_group, n_disks)` while keeping every allocation whose
     /// capacity already suffices. Equality with a fresh layout is exact:
-    /// all arrays are re-filled with their initial values, and span
+    /// all arrays end up holding their initial values, and span
     /// relocation holes from the previous trial disappear because the
     /// arena is cut back to its strided initial length.
+    ///
+    /// When the group shape is unchanged (the recycle-same-config path),
+    /// the per-block and per-group arrays are restored *incrementally*:
+    /// only the slots on the dirty list — those a failure, rebuild or
+    /// death actually touched — are re-zeroed, so the reset costs
+    /// O(touched + n_disks) instead of O(blocks).
     pub fn reset(&mut self, n_groups: u32, blocks_per_group: u8, n_disks: u32) {
         assert!(
             n_groups < BlockRef::MAX_GROUPS,
@@ -126,6 +140,28 @@ impl GroupLayout {
         );
         let blocks = n_groups as usize * blocks_per_group as usize;
         let per_disk = blocks / (n_disks.max(1) as usize) + 8;
+        if n_groups == self.n_groups && blocks_per_group == self.blocks_per_group {
+            // Same shape: every non-initial entry is on the dirty list.
+            for &s in &self.dirty {
+                let s = s as usize;
+                self.flags[s] = 0;
+                self.vulnerable[s] = f64::INFINITY;
+                let g = s / blocks_per_group as usize;
+                self.missing_count[g] = 0;
+                self.dead[g] = false;
+            }
+            self.dirty.clear();
+        } else {
+            self.dirty.clear();
+            self.flags.clear();
+            self.flags.resize(blocks, 0);
+            self.vulnerable.clear();
+            self.vulnerable.resize(blocks, f64::INFINITY);
+            self.missing_count.clear();
+            self.missing_count.resize(n_groups as usize, 0);
+            self.dead.clear();
+            self.dead.resize(n_groups as usize, false);
+        }
         self.n_groups = n_groups;
         self.pushed_groups = 0;
         self.blocks_per_group = blocks_per_group;
@@ -134,22 +170,21 @@ impl GroupLayout {
         // Pre-size every span for the balanced load RUSH delivers
         // (~blocks/disks each, CV a few percent); the slack means
         // span relocation is a cold path even under heavy rebuilds.
-        self.arena.clear();
-        self.arena.resize(per_disk * n_disks as usize, BlockRef(0));
+        // Arena contents are only ever read inside a span's `len`, and
+        // every such position is written by `push_block` first, so the
+        // cut-back needs no re-zeroing.
+        let needed = per_disk * n_disks as usize;
+        if self.arena.len() < needed {
+            self.arena.resize(needed, BlockRef(0));
+        } else {
+            self.arena.truncate(needed);
+        }
         self.spans.clear();
         self.spans.extend((0..n_disks as usize).map(|i| DiskSpan {
             start: (i * per_disk) as u32,
             len: 0,
             cap: per_disk as u32,
         }));
-        self.flags.clear();
-        self.flags.resize(blocks, 0);
-        self.vulnerable.clear();
-        self.vulnerable.resize(blocks, f64::INFINITY);
-        self.missing_count.clear();
-        self.missing_count.resize(n_groups as usize, 0);
-        self.dead.clear();
-        self.dead.resize(n_groups as usize, false);
     }
 
     #[inline]
@@ -279,10 +314,23 @@ impl GroupLayout {
         self.flags[self.slot(b)] & 1 != 0
     }
 
+    /// Record that `slot`'s entries are leaving their initial state, so
+    /// a same-shape reset knows to restore them. Call *before* the
+    /// write: a zero flags word means the slot is still pristine (its
+    /// epoch bits double as the "already listed" marker for every path
+    /// that dirties a slot).
+    #[inline]
+    fn note_dirty(&mut self, slot: usize) {
+        if self.flags[slot] == 0 {
+            self.dirty.push(slot as u32);
+        }
+    }
+
     /// Mark a block unavailable. Returns the group's new missing count.
     pub fn mark_missing(&mut self, b: BlockRef) -> u8 {
         let slot = self.slot(b);
         assert!(self.flags[slot] & 1 == 0, "block {b:?} already missing");
+        self.note_dirty(slot);
         self.flags[slot] |= 1;
         self.missing_count[b.group() as usize] += 1;
         self.missing_count[b.group() as usize]
@@ -305,7 +353,13 @@ impl GroupLayout {
     }
 
     pub fn mark_dead(&mut self, group: u32) {
-        self.dead[group as usize] = true;
+        if !self.dead[group as usize] {
+            // Any slot of the group reaches its `dead`/`missing_count`
+            // entries on reset; use the first.
+            let slot = group as usize * self.blocks_per_group as usize;
+            self.note_dirty(slot);
+            self.dead[group as usize] = true;
+        }
     }
 
     pub fn dead_groups(&self) -> u64 {
@@ -321,6 +375,7 @@ impl GroupLayout {
             self.vulnerable[slot].is_infinite(),
             "block {b:?} already vulnerable"
         );
+        self.note_dirty(slot);
         self.vulnerable[slot] = t.as_secs();
     }
 
@@ -346,6 +401,7 @@ impl GroupLayout {
 
     pub fn bump_epoch(&mut self, b: BlockRef) -> u32 {
         let slot = self.slot(b);
+        self.note_dirty(slot);
         self.flags[slot] += 2;
         self.flags[slot] >> 1
     }

@@ -212,6 +212,40 @@ impl Simulation {
     /// Observability must be detached (taken) before recycling; the
     /// recorders carry per-trial state that must not leak across trials.
     pub fn recycle(&mut self, cfg: &Arc<PreparedConfig>, seed: u64) {
+        self.reset_core(cfg, seed);
+        self.populate_disks();
+        self.place_all_groups();
+    }
+
+    /// Labels for the setup phases timed by [`Simulation::recycle_profiled`]:
+    /// state reset (seeds, layout, map, queue, metrics), disk
+    /// installation (lifetime sampling + failure scheduling), and the
+    /// initial RUSH placement of every group.
+    pub const SETUP_PHASE_LABELS: &'static [&'static str] = &["reset", "disks", "placement"];
+
+    /// [`Simulation::recycle`], with each setup phase timed into `prof`
+    /// (one slot per [`Simulation::SETUP_PHASE_LABELS`] entry) — the
+    /// same farm-obs profile the event loop uses, so reports can show
+    /// where the setup half of trial wall time goes.
+    pub fn recycle_profiled(
+        &mut self,
+        cfg: &Arc<PreparedConfig>,
+        seed: u64,
+        prof: &mut EventProfile,
+    ) {
+        let t0 = std::time::Instant::now();
+        self.reset_core(cfg, seed);
+        prof.record(0, t0.elapsed().as_nanos() as u64);
+        let t0 = std::time::Instant::now();
+        self.populate_disks();
+        prof.record(1, t0.elapsed().as_nanos() as u64);
+        let t0 = std::time::Instant::now();
+        self.place_all_groups();
+        prof.record(2, t0.elapsed().as_nanos() as u64);
+    }
+
+    /// Reset seeds, layout, map, queue, metrics and scratch state.
+    fn reset_core(&mut self, cfg: &Arc<PreparedConfig>, seed: u64) {
         assert!(
             cfg.replacement.threshold.is_none() || cfg.recovery == RecoveryPolicy::Farm,
             "batch replacement is modeled for FARM only (spares and \
@@ -252,10 +286,13 @@ impl Simulation {
         self.gauges = None;
         self.now = SimTime::ZERO;
         self.horizon = SimTime::ZERO + self.cfg.sim_duration;
-        for _ in 0..n_disks {
+    }
+
+    /// Install the initial disk population.
+    fn populate_disks(&mut self) {
+        for _ in 0..self.cfg.n_disks {
             self.add_disk(SimTime::ZERO);
         }
-        self.place_all_groups();
     }
 
     /// Install a new drive (initial population, spare, or batch member),
@@ -749,12 +786,22 @@ impl Simulation {
     /// event queue, so `events_processed` and queue tie-breaking are
     /// untouched and results stay bit-identical.
     fn run_loop_instrumented(&mut self, stop_on_loss: bool) {
+        // Batch timeline sampling: cache the next due sample instant so
+        // each event pays one float compare, entering the cold sampling
+        // path only when a sample interval actually elapsed — not once
+        // per event touch. Rows are unchanged: `timeline_sample_to`
+        // still records every due instant `s <= t` in order, and only
+        // this loop advances the recorder, so the cache cannot go stale.
+        let mut next_due: Option<f64> = self.timeline.as_deref().and_then(|tl| tl.due());
         while let Some((t, ev)) = self.queue.pop() {
             if t > self.horizon {
                 break;
             }
-            if self.timeline.is_some() {
-                self.timeline_sample_to(t);
+            if let Some(due) = next_due {
+                if due <= t.as_secs() {
+                    self.timeline_sample_to(t);
+                    next_due = self.timeline.as_deref().and_then(|tl| tl.due());
+                }
             }
             self.now = t;
             self.metrics.events_processed += 1;

@@ -428,9 +428,7 @@ impl EvenOdd {
 
 fn xor_into(dst: &mut [u8], src: &[u8]) {
     debug_assert_eq!(dst.len(), src.len());
-    for (d, s) in dst.iter_mut().zip(src) {
-        *d ^= s;
-    }
+    crate::gf256::xor_slice(src, dst);
 }
 
 #[cfg(test)]

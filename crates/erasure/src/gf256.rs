@@ -3,6 +3,13 @@
 //! We use the AES polynomial x^8 + x^4 + x^3 + x^2 + 1 (0x11d) with
 //! generator 2, and compile-time log/exp tables so multiplication and
 //! division are two lookups and an add mod 255.
+//!
+//! Whole-slice operations ([`mul_slice`], [`mul_slice_xor`]) dispatch
+//! through the runtime-selected region kernel in [`kernel`] — portable
+//! 64-bit, SSSE3 or AVX2 split-table — all byte-identical; set
+//! `FARM_GF_KERNEL=scalar|ssse3|avx2` to pin one.
+
+pub mod kernel;
 
 /// Reduction polynomial (x^8 + x^4 + x^3 + x^2 + 1).
 pub const POLY: u16 = 0x11d;
@@ -95,41 +102,22 @@ pub fn pow(a: u8, n: u64) -> u8 {
 pub const GENERATOR: u8 = 2;
 
 /// Multiply a slice by a constant, accumulating into `dst` with XOR:
-/// `dst[i] ^= c * src[i]`. This is the inner loop of encode/decode.
+/// `dst[i] ^= c * src[i]`. This is the inner loop of encode/decode,
+/// dispatched through the runtime-selected region kernel.
 pub fn mul_slice_xor(c: u8, src: &[u8], dst: &mut [u8]) {
-    assert_eq!(src.len(), dst.len(), "shard length mismatch");
-    if c == 0 {
-        return;
-    }
-    if c == 1 {
-        for (d, s) in dst.iter_mut().zip(src) {
-            *d ^= s;
-        }
-        return;
-    }
-    let lc = LOG[c as usize] as usize;
-    for (d, s) in dst.iter_mut().zip(src) {
-        if *s != 0 {
-            *d ^= EXP[lc + LOG[*s as usize] as usize];
-        }
-    }
+    kernel::mul_slice_xor(kernel::active(), c, src, dst)
 }
 
-/// Multiply a slice by a constant in place: `buf[i] = c * buf[i]`.
+/// Multiply a slice by a constant in place: `buf[i] = c * buf[i]`,
+/// dispatched through the runtime-selected region kernel.
 pub fn mul_slice(c: u8, buf: &mut [u8]) {
-    if c == 1 {
-        return;
-    }
-    if c == 0 {
-        buf.fill(0);
-        return;
-    }
-    let lc = LOG[c as usize] as usize;
-    for b in buf.iter_mut() {
-        if *b != 0 {
-            *b = EXP[lc + LOG[*b as usize] as usize];
-        }
-    }
+    kernel::mul_slice(kernel::active(), c, buf)
+}
+
+/// `dst[i] ^= src[i]` — XOR-parity accumulation, dispatched through the
+/// runtime-selected region kernel.
+pub fn xor_slice(src: &[u8], dst: &mut [u8]) {
+    kernel::xor_slice(kernel::active(), src, dst)
 }
 
 #[cfg(test)]

@@ -89,11 +89,13 @@ impl ReedSolomon {
         if len == 0 || data.iter().any(|d| d.len() != len) {
             return Err(CodeError::ShapeMismatch);
         }
+        // One kernel lookup for the whole encode, not one per shard pair.
+        let k = gf256::kernel::active();
         let mut parity = vec![vec![0u8; len]; self.parity_shards()];
         for (p, out) in parity.iter_mut().enumerate() {
             let grow = self.generator.row(self.m + p);
             for (j, shard) in data.iter().enumerate() {
-                gf256::mul_slice_xor(grow[j], shard, out);
+                gf256::kernel::mul_slice_xor(k, grow[j], shard, out);
             }
         }
         Ok(parity)
@@ -139,13 +141,14 @@ impl ReedSolomon {
             .expect("any m rows of the systematic Vandermonde generator are independent");
 
         // Recover data shards first.
+        let k = gf256::kernel::active();
         let missing_data: Vec<usize> = (0..self.m).filter(|&i| shards[i].is_none()).collect();
         for &d in &missing_data {
             let mut out = vec![0u8; len];
             let row = decode.row(d);
             for (j, &src_idx) in chosen.iter().enumerate() {
                 let shard = shards[src_idx].as_ref().expect("chosen is present");
-                gf256::mul_slice_xor(row[j], shard, &mut out);
+                gf256::kernel::mul_slice_xor(k, row[j], shard, &mut out);
             }
             shards[d] = Some(out);
         }
@@ -159,7 +162,7 @@ impl ReedSolomon {
             let grow = self.generator.row(p);
             for j in 0..self.m {
                 let shard = shards[j].as_ref().expect("data recovered above");
-                gf256::mul_slice_xor(grow[j], shard, &mut out);
+                gf256::kernel::mul_slice_xor(k, grow[j], shard, &mut out);
             }
             shards[p] = Some(out);
         }

@@ -14,12 +14,9 @@ pub fn parity(data: &[&[u8]]) -> Vec<u8> {
     out
 }
 
-/// `dst ^= src` element-wise.
+/// `dst ^= src` element-wise, through the runtime-selected region kernel.
 pub fn xor_into(dst: &mut [u8], src: &[u8]) {
-    assert_eq!(dst.len(), src.len(), "length mismatch");
-    for (d, s) in dst.iter_mut().zip(src) {
-        *d ^= s;
-    }
+    crate::gf256::xor_slice(src, dst);
 }
 
 /// Reconstruct the single missing block given the `m - 1` surviving data

@@ -85,6 +85,14 @@ pub struct Cluster {
     homes: HashMap<BlockKey, OsdId>,
     objects: HashMap<String, ObjectMeta>,
     next_group: u64,
+    /// Per-device capacity (devices are homogeneous).
+    osd_capacity: u64,
+    /// Upper bound on `used()` across devices; never decreased (deletes
+    /// leave it stale-high, which is safe: it only ever defers the fast
+    /// path). While `used_watermark + need <= osd_capacity`, every
+    /// active device can take the block, so placement skips the
+    /// per-candidate `free()` recheck.
+    used_watermark: u64,
 }
 
 impl Cluster {
@@ -113,7 +121,22 @@ impl Cluster {
             homes: HashMap::new(),
             objects: HashMap::new(),
             next_group: 0,
+            osd_capacity,
+            used_watermark: 0,
         }
+    }
+
+    /// Whether `osd` can surely take `need` more bytes without consulting
+    /// its fill level — the watermark fast path. Falls back to the exact
+    /// `free()` check only once some device has crossed the watermark.
+    #[inline]
+    fn has_room(&self, osd: &Osd, need: u64) -> bool {
+        self.used_watermark + need <= self.osd_capacity || osd.free() >= need
+    }
+
+    #[inline]
+    fn note_put(&mut self, id: OsdId) {
+        self.used_watermark = self.used_watermark.max(self.osds[id.0 as usize].used());
     }
 
     pub fn scheme(&self) -> Scheme {
@@ -227,69 +250,75 @@ impl Cluster {
     /// FARM recovery: re-create every block whose home has failed onto a
     /// new device from the group's candidate list, reconstructing the
     /// bytes from surviving buddies.
+    ///
+    /// Lost blocks are batched per redundancy group, so however many of
+    /// a group's blocks died, the group's survivors are read and run
+    /// through the erasure kernel exactly once; groups are processed in
+    /// ascending id order so the pass is deterministic.
     pub fn recover(&mut self) -> RecoveryReport {
         let mut report = RecoveryReport::default();
-        // Collect blocks homed on failed devices.
-        let lost: Vec<(BlockKey, OsdId)> = self
-            .homes
-            .iter()
-            .filter(|(_, &osd)| !self.osds[osd.0 as usize].is_active())
-            .map(|(&k, &osd)| (k, osd))
-            .collect();
-        let mut lost_groups: std::collections::HashSet<u64> = std::collections::HashSet::new();
-        for (key, _) in lost {
-            if lost_groups.contains(&key.group) {
-                continue;
+        // Lost blocks, batched by group.
+        let mut lost: std::collections::BTreeMap<u64, Vec<u8>> = std::collections::BTreeMap::new();
+        for (&k, &osd) in &self.homes {
+            if !self.osds[osd.0 as usize].is_active() {
+                lost.entry(k.group).or_default().push(k.idx);
             }
-            match self.rebuild_block(key) {
-                Ok(bytes) => {
-                    report.blocks_rebuilt += 1;
+        }
+        for (group, mut idxs) in lost {
+            idxs.sort_unstable();
+            match self.rebuild_group(group, &idxs) {
+                Ok((blocks, bytes)) => {
+                    report.blocks_rebuilt += blocks;
                     report.bytes_rebuilt += bytes;
                 }
-                Err(ClusterError::Unrecoverable { group }) => {
-                    lost_groups.insert(group);
-                }
                 Err(_) => {
-                    lost_groups.insert(key.group);
+                    report.groups_lost += 1;
                 }
             }
         }
-        report.groups_lost = lost_groups.len() as u64;
         report
     }
 
-    /// Rebuild one block onto a fresh target; returns bytes written.
-    fn rebuild_block(&mut self, key: BlockKey) -> Result<u64, ClusterError> {
-        // Reconstruct the group's missing blocks in memory.
+    /// Reconstruct a group once and re-place each of its lost blocks
+    /// onto a fresh target; returns (blocks, bytes) written.
+    fn rebuild_group(&mut self, group: u64, idxs: &[u8]) -> Result<(u64, u64), ClusterError> {
+        // One in-memory reconstruction covers every lost block.
         let mut blocks: Vec<Option<Vec<u8>>> = (0..self.scheme.n as u8)
             .map(|idx| {
-                let k = BlockKey {
-                    group: key.group,
-                    idx,
-                };
+                let k = BlockKey { group, idx };
                 self.homes
                     .get(&k)
                     .and_then(|&osd| self.osds[osd.0 as usize].get(k).ok().map(|b| b.to_vec()))
             })
             .collect();
         if !self.codec.reconstruct(&mut blocks) {
-            return Err(ClusterError::Unrecoverable { group: key.group });
+            return Err(ClusterError::Unrecoverable { group });
         }
-        let data = blocks[key.idx as usize].take().expect("reconstructed");
+        let mut rebuilt = (0u64, 0u64);
+        for &idx in idxs {
+            let key = BlockKey { group, idx };
+            let data = blocks[idx as usize].take().expect("reconstructed");
 
-        // Choose a target per §2.3: alive, no buddy of this group, space.
-        let target = self
-            .choose_target(key.group, data.len() as u64)
-            .ok_or(ClusterError::NoEligibleDevice { group: key.group })?;
-        self.osds[target.0 as usize].put(key, Bytes::from(data))?;
-        self.homes.insert(key, target);
-        Ok(self.block_bytes() as u64)
+            // Choose a target per §2.3: alive, no buddy of this group,
+            // space. Each placement updates `homes`, so later blocks of
+            // the same group automatically avoid this target.
+            let target = self
+                .choose_target(group, data.len() as u64)
+                .ok_or(ClusterError::NoEligibleDevice { group })?;
+            self.osds[target.0 as usize].put(key, Bytes::from(data))?;
+            self.note_put(target);
+            self.homes.insert(key, target);
+            rebuilt.0 += 1;
+            rebuilt.1 += self.block_bytes() as u64;
+        }
+        Ok(rebuilt)
     }
 
     fn choose_target(&self, group: u64, need: u64) -> Option<OsdId> {
         for cand in self.rush.candidates(&self.map, group) {
             let osd = &self.osds[cand.0 as usize];
-            if osd.is_active() && osd.free() >= need && !self.group_uses(group, OsdId(cand.0)) {
+            if osd.is_active() && self.has_room(osd, need) && !self.group_uses(group, OsdId(cand.0))
+            {
                 return Some(OsdId(cand.0));
             }
         }
@@ -361,7 +390,9 @@ impl Cluster {
         let parity = self.codec.encode(&refs);
         let all: Vec<Vec<u8>> = data.drain(..).chain(parity).collect();
 
-        // Place on the first n eligible candidates.
+        // Place on the first n eligible candidates. While the cluster is
+        // below the fill watermark the per-candidate free() recheck is
+        // skipped — any active device qualifies.
         let mut placed: Vec<(BlockKey, OsdId)> = Vec::with_capacity(all.len());
         for (idx, bytes) in all.into_iter().enumerate() {
             let key = BlockKey {
@@ -374,9 +405,11 @@ impl Cluster {
                 if placed.iter().any(|&(_, p)| p == id) {
                     continue;
                 }
-                let osd = &mut self.osds[cand.0 as usize];
-                if osd.is_active() && osd.free() >= bytes.len() as u64 {
-                    osd.put(key, Bytes::from(bytes))?;
+                let need = bytes.len() as u64;
+                let osd = &self.osds[cand.0 as usize];
+                if osd.is_active() && self.has_room(osd, need) {
+                    self.osds[cand.0 as usize].put(key, Bytes::from(bytes))?;
+                    self.note_put(id);
                     placed.push((key, id));
                     done = true;
                     break;

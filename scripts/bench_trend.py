@@ -33,6 +33,17 @@ COLUMNS = [
                           "telemetry_on_events_per_sec"), "pair"),
     ("monitor off/on", ("monitor_off_events_per_sec",
                         "monitor_on_events_per_sec"), "pair"),
+    ("setup phases", "setup_phases", "phases"),
+]
+
+# (column header, kernel-entry key) for the per-kernel GF(2^8) sweep
+# (PR 6 onwards; reports without a `gf_kernel` run section skip it).
+KERNEL_COLUMNS = [
+    ("mul_xor 4 KiB MB/s", "mul_xor_4KiB_mbps"),
+    ("mul_xor 64 KiB MB/s", "mul_xor_64KiB_mbps"),
+    ("mul_xor 1 MiB MB/s", "mul_xor_1MiB_mbps"),
+    ("encode 64 KiB MB/s", "encode_64KiB_mbps"),
+    ("reconstruct 64 KiB MB/s", "reconstruct_64KiB_mbps"),
 ]
 
 
@@ -52,12 +63,14 @@ def fmt(entry, key, spec):
         return ""
     if spec == "rss":
         return "{:.0f}".format(v / (1 << 20))
+    if spec == "phases":
+        return " ".join("{} {:.0f}%".format(k, 100 * f) for k, f in v.items())
     return spec.format(v)
 
 
 def load_rows(repo_dir):
-    """One row per (report file, run label, config)."""
-    rows = []
+    """Config rows, per-kernel GF(2^8) rows, and run notes."""
+    rows, kernel_rows, notes = [], [], []
     paths = sorted(glob.glob(os.path.join(repo_dir, "BENCH_PR*.json")),
                    key=pr_number)
     if not paths:
@@ -66,17 +79,29 @@ def load_rows(repo_dir):
         with open(path) as f:
             doc = json.load(f)
         for run in doc.get("runs", []):
+            report, label = os.path.basename(path), run.get("label", "")
             for cfg in run.get("configs", []):
                 rows.append({
-                    "report": os.path.basename(path),
-                    "label": run.get("label", ""),
+                    "report": report,
+                    "label": label,
                     "config": cfg.get("config", ""),
                     "entry": cfg,
                 })
-    return rows
+            gf = run.get("gf_kernel") or {}
+            for kern in gf.get("kernels", []):
+                if kern.get("supported"):
+                    kernel_rows.append({
+                        "report": report,
+                        "label": label,
+                        "kernel": kern.get("kernel", ""),
+                        "entry": kern,
+                    })
+            if run.get("notes"):
+                notes.append((report, label, run["notes"]))
+    return rows, kernel_rows, notes
 
 
-def render_markdown(rows):
+def render_markdown(rows, kernel_rows, notes):
     out = io.StringIO()
     print("# Benchmark trajectory", file=out)
     print(file=out)
@@ -93,17 +118,42 @@ def render_markdown(rows):
             cells = [r["report"], r["label"]]
             cells += [fmt(r["entry"], key, spec) for _, key, spec in COLUMNS]
             print("| " + " | ".join(cells) + " |", file=out)
+    if kernel_rows:
+        print("\n## GF(2^8) region kernels\n", file=out)
+        headers = ["report", "label", "kernel"] + [c[0] for c in KERNEL_COLUMNS]
+        print("| " + " | ".join(headers) + " |", file=out)
+        print("|" + "---|" * len(headers), file=out)
+        for r in kernel_rows:
+            cells = [r["report"], r["label"], r["kernel"]]
+            for _, key in KERNEL_COLUMNS:
+                v = r["entry"].get(key)
+                cells.append("" if v is None else "{:,.0f}".format(v))
+            print("| " + " | ".join(cells) + " |", file=out)
+    if notes:
+        print("\n## Notes\n", file=out)
+        for report, label, text in notes:
+            print(f"- **{report} / {label}**: {text}", file=out)
     return out.getvalue()
 
 
-def render_csv(rows):
+def render_csv(rows, kernel_rows):
+    def cell(v):
+        return json.dumps(v) if isinstance(v, dict) else v
+
     keys = sorted({k for r in rows for k in r["entry"]})
     out = io.StringIO()
     w = csv.writer(out)
     w.writerow(["report", "label"] + keys)
     for r in rows:
         w.writerow([r["report"], r["label"]] +
-                   [r["entry"].get(k, "") for k in keys])
+                   [cell(r["entry"].get(k, "")) for k in keys])
+    if kernel_rows:
+        kkeys = [k for _, k in KERNEL_COLUMNS]
+        w.writerow([])
+        w.writerow(["report", "label", "kernel"] + kkeys)
+        for r in kernel_rows:
+            w.writerow([r["report"], r["label"], r["kernel"]] +
+                       [r["entry"].get(k, "") for k in kkeys])
     return out.getvalue()
 
 
@@ -120,8 +170,8 @@ def main(argv):
         else:
             print(__doc__.strip(), file=sys.stderr)
             return 2
-    rows = load_rows(repo_dir)
-    md = render_markdown(rows)
+    rows, kernel_rows, notes = load_rows(repo_dir)
+    md = render_markdown(rows, kernel_rows, notes)
     if md_out:
         with open(md_out, "w") as f:
             f.write(md)
@@ -130,7 +180,7 @@ def main(argv):
         print(md, end="")
     if csv_out:
         with open(csv_out, "w") as f:
-            f.write(render_csv(rows))
+            f.write(render_csv(rows, kernel_rows))
         print(f"bench_trend: wrote {csv_out}")
     return 0
 

@@ -72,6 +72,86 @@ fn gf256_division_inverts_multiplication() {
     }
 }
 
+// ----- GF(256) kernel identity -------------------------------------------
+
+/// Every compiled region kernel (scalar SWAR, SSSE3, AVX2) must agree
+/// with the per-byte table lookup `gf256::mul` for **all 256 constants**,
+/// across odd lengths, unaligned starting offsets, and the zero-length
+/// slice. Unsupported kernels on this host are skipped (the CI kernel
+/// matrix covers them on hosts that do support them).
+#[test]
+fn gf256_kernels_match_scalar_mul_for_all_constants() {
+    use farm_erasure::gf256::kernel::{self, Kernel};
+    for k in Kernel::ALL {
+        if !k.supported() {
+            continue;
+        }
+        for c in 0..=255u8 {
+            for (i, mut rng) in cases(10 + c as u64, 4) {
+                // Odd lengths around the 16/32-byte vector widths plus a
+                // random tail, at an unaligned offset into the backing
+                // allocation.
+                let len = (2 * rng.below(40) + 1) as usize;
+                let offset = 1 + rng.below(7) as usize;
+                let backing: Vec<u8> = (0..offset + len).map(|_| rng.bits() as u8).collect();
+                let src = &backing[offset..];
+
+                let mut dst: Vec<u8> = (0..len).map(|_| rng.bits() as u8).collect();
+                let expect_xor: Vec<u8> = src
+                    .iter()
+                    .zip(&dst)
+                    .map(|(&s, &d)| d ^ gf256::mul(c, s))
+                    .collect();
+                kernel::mul_slice_xor(k, c, src, &mut dst);
+                assert_eq!(
+                    dst, expect_xor,
+                    "case {i}: kernel {k} c={c} len={len} offset={offset} (xor)"
+                );
+
+                let mut buf = src.to_vec();
+                let expect_mul: Vec<u8> = src.iter().map(|&s| gf256::mul(c, s)).collect();
+                kernel::mul_slice(k, c, &mut buf);
+                assert_eq!(
+                    buf, expect_mul,
+                    "case {i}: kernel {k} c={c} len={len} offset={offset} (in place)"
+                );
+            }
+        }
+        // Zero-length slices must be a no-op for every constant.
+        for c in 0..=255u8 {
+            let mut empty: Vec<u8> = Vec::new();
+            kernel::mul_slice_xor(k, c, &[], &mut empty);
+            kernel::mul_slice(k, c, &mut empty);
+            assert!(empty.is_empty(), "kernel {k} c={c} touched empty slice");
+        }
+    }
+}
+
+/// `xor_slice` is `mul_slice_xor` with c=1; check every kernel against a
+/// plain byte-wise xor at awkward lengths and offsets.
+#[test]
+fn gf256_kernel_xor_matches_reference() {
+    use farm_erasure::gf256::kernel::{self, Kernel};
+    for k in Kernel::ALL {
+        if !k.supported() {
+            continue;
+        }
+        for (i, mut rng) in cases(9, 200) {
+            let len = rng.below(300) as usize;
+            let offset = rng.below(9) as usize;
+            let backing: Vec<u8> = (0..offset + len).map(|_| rng.bits() as u8).collect();
+            let src = &backing[offset..];
+            let mut dst: Vec<u8> = (0..len).map(|_| rng.bits() as u8).collect();
+            let expect: Vec<u8> = src.iter().zip(&dst).map(|(&s, &d)| d ^ s).collect();
+            kernel::xor_slice(k, src, &mut dst);
+            assert_eq!(
+                dst, expect,
+                "case {i}: kernel {k} len={len} offset={offset}"
+            );
+        }
+    }
+}
+
 // ----- Reed–Solomon round trip -------------------------------------------
 
 #[test]
