@@ -15,14 +15,18 @@
 //! profiling on vs off), probes the cluster-state telemetry overhead
 //! (timeline + flight recorder on vs off, interleaved to cancel machine
 //! drift), probes the live campaign monitor the same way (status
-//! snapshots + /metrics exporter on vs off), splits per-trial setup
+//! snapshots + /metrics exporter on vs off), probes the convergence
+//! stream the same way (`FARM_CONVERGENCE`-style JSONL checkpoints on
+//! vs off), isolates the incremental `LiveGauges` maintenance cost
+//! (timeline attached with an interval past the horizon so no sample
+//! is ever taken — the `bench_gauges` pair), splits per-trial setup
 //! time into its phases (state reset, disk installation, placement)
 //! via `Simulation::recycle_profiled`, sweeps the GF(2^8) region
 //! kernels (scalar/SSSE3/AVX2 `mul_slice_xor` MB/s at 4 KiB / 64 KiB /
 //! 1 MiB plus RS 8/10 encode/reconstruct MB/s — the `gf_kernel`
 //! section), and merges the labelled result set — stamped with host
 //! metadata and an optional `--notes` annotation — into a JSON file
-//! (default `BENCH_PR6.json`). Re-running with an existing label
+//! (default `BENCH_PR7.json`). Re-running with an existing label
 //! replaces that label's entry, so a "before" run survives an "after"
 //! run of the same file.
 //!
@@ -38,7 +42,7 @@ use farm_bench::rss::peak_rss_bytes;
 use farm_core::prelude::*;
 use farm_core::workspace_reuse_enabled;
 use farm_des::rng::derive_seed;
-use farm_obs::{EventProfile, ObsOptions, StatusSpec, TimelineSpec};
+use farm_obs::{ConvergenceSpec, EventProfile, ObsOptions, StatusSpec, TimelineSpec};
 use std::collections::BTreeMap;
 use std::sync::Arc;
 use std::time::Instant;
@@ -107,6 +111,16 @@ struct RunResult {
     /// (status snapshots + /metrics exporter), interleaved chunks.
     monitor_off_events_per_sec: f64,
     monitor_on_events_per_sec: f64,
+    /// events/sec with the convergence stream off / on (decimated
+    /// JSONL checkpoints + reorder frontier), interleaved chunks.
+    convergence_off_events_per_sec: f64,
+    convergence_on_events_per_sec: f64,
+    /// events/sec with the incremental timeline gauge aggregates
+    /// (`LiveGauges`) off / on. The "on" side attaches a timeline whose
+    /// interval lies past the horizon, so no sample is ever taken and
+    /// the pair isolates the per-event maintenance cost alone.
+    gauges_off_events_per_sec: f64,
+    gauges_on_events_per_sec: f64,
     /// Fraction of recycled-setup time spent in each phase, in
     /// [`Simulation::SETUP_PHASE_LABELS`] order (reset, disks,
     /// placement).
@@ -216,6 +230,76 @@ fn monitor_pair(spec: &ConfigSpec, trials: u64) -> (f64, f64) {
     (off_events / off_wall, on_events / on_wall)
 }
 
+/// Generic interleaved overhead probe: alternate chunks of the same
+/// trial budget under `ObsOptions::off()` and `obs_on`, single-threaded,
+/// and return (off events/sec, on events/sec). Interleaving cancels
+/// CPU-frequency and load drift, the same design as the telemetry and
+/// monitor pairs above.
+fn interleaved_pair(spec: &ConfigSpec, trials: u64, obs_on: &ObsOptions) -> (f64, f64) {
+    let obs_off = ObsOptions::off();
+    const CHUNKS: u64 = 4;
+    let per_chunk = (trials / CHUNKS).max(1);
+    let (mut off_events, mut off_wall) = (0.0, 0.0);
+    let (mut on_events, mut on_wall) = (0.0, 0.0);
+    for _ in 0..CHUNKS {
+        for (obs, events, wall) in [
+            (&obs_off, &mut off_events, &mut off_wall),
+            (obs_on, &mut on_events, &mut on_wall),
+        ] {
+            let start = Instant::now();
+            let (summary, _) =
+                run_trials_observed(&spec.cfg, 2, per_chunk, TrialMode::Full, 1, obs);
+            *wall += start.elapsed().as_secs_f64();
+            *events += summary.events.mean() * summary.trials() as f64;
+        }
+    }
+    (off_events / off_wall, on_events / on_wall)
+}
+
+/// Probe the convergence-stream overhead: decimated JSONL checkpoints
+/// plus the reorder frontier, against an interleaved off control.
+fn convergence_pair(spec: &ConfigSpec, trials: u64) -> (f64, f64) {
+    let path = std::env::temp_dir().join(format!(
+        "farm-bench-conv-{}-{}.jsonl",
+        spec.name,
+        std::process::id()
+    ));
+    let obs_on = ObsOptions {
+        convergence: Some(ConvergenceSpec {
+            path: path.to_str().unwrap().to_string(),
+            base_trials: None,
+        }),
+        ..ObsOptions::off()
+    };
+    let pair = interleaved_pair(spec, trials, &obs_on);
+    std::fs::remove_file(&path).ok();
+    pair
+}
+
+/// Isolate the incremental `LiveGauges` maintenance cost: attach a
+/// timeline whose sample interval lies past the simulation horizon, so
+/// the recorder never takes a sample and the only "on" cost left is
+/// the per-event gauge bookkeeping in the handlers.
+fn gauges_pair(spec: &ConfigSpec, trials: u64) -> (f64, f64) {
+    let path = std::env::temp_dir().join(format!(
+        "farm-bench-gauges-{}-{}.csv",
+        spec.name,
+        std::process::id()
+    ));
+    let obs_on = ObsOptions {
+        timeline: Some(TimelineSpec {
+            path: path.to_str().unwrap().to_string(),
+            // Far beyond any simulated horizon: zero samples are taken,
+            // but the live gauge aggregates are still maintained.
+            interval_secs: Some(1e18),
+        }),
+        ..ObsOptions::off()
+    };
+    let pair = interleaved_pair(spec, trials, &obs_on);
+    std::fs::remove_file(&path).ok();
+    pair
+}
+
 /// Workspace-recycling probe: alternate chunks of trials whose setup
 /// comes from a recycled workspace vs fresh construction, timing only
 /// the setup (`obtain`) portion. The full event loop still runs between
@@ -293,6 +377,14 @@ fn measure(spec: &ConfigSpec) -> RunResult {
     // same interleaved design.
     let (monitor_off_eps, monitor_on_eps) = monitor_pair(spec, probe_trials);
 
+    // Convergence-stream probe: decimated JSONL checkpoints + reorder
+    // frontier vs off, interleaved.
+    let (convergence_off_eps, convergence_on_eps) = convergence_pair(spec, probe_trials);
+
+    // LiveGauges probe: incremental gauge maintenance with sampling
+    // suppressed vs off, interleaved.
+    let (gauges_off_eps, gauges_on_eps) = gauges_pair(spec, probe_trials);
+
     // Workspace-reuse probe: recycled vs fresh setup, interleaved.
     let (recycled_sps, fresh_sps) = reuse_pair(spec, probe_trials);
 
@@ -335,6 +427,10 @@ fn measure(spec: &ConfigSpec) -> RunResult {
         telemetry_on_events_per_sec: telemetry_on_eps,
         monitor_off_events_per_sec: monitor_off_eps,
         monitor_on_events_per_sec: monitor_on_eps,
+        convergence_off_events_per_sec: convergence_off_eps,
+        convergence_on_events_per_sec: convergence_on_eps,
+        gauges_off_events_per_sec: gauges_off_eps,
+        gauges_on_events_per_sec: gauges_on_eps,
         setup_phase_fracs,
     }
 }
@@ -511,6 +607,22 @@ fn result_to_json(r: &RunResult) -> Json {
             Json::num(r.monitor_on_events_per_sec.round()),
         ),
         (
+            "convergence_off_events_per_sec".into(),
+            Json::num(r.convergence_off_events_per_sec.round()),
+        ),
+        (
+            "convergence_on_events_per_sec".into(),
+            Json::num(r.convergence_on_events_per_sec.round()),
+        ),
+        (
+            "gauges_off_events_per_sec".into(),
+            Json::num(r.gauges_off_events_per_sec.round()),
+        ),
+        (
+            "gauges_on_events_per_sec".into(),
+            Json::num(r.gauges_on_events_per_sec.round()),
+        ),
+        (
             "setup_phases".into(),
             Json::Obj(
                 r.setup_phase_fracs
@@ -568,7 +680,7 @@ fn merge_into(doc: Json, label: &str, notes: &str, gf_kernel: Json, results: &[R
 
 fn main() {
     let mut label = String::from("run");
-    let mut out = String::from("BENCH_PR6.json");
+    let mut out = String::from("BENCH_PR7.json");
     let mut notes = String::new();
     let mut smoke = false;
     let mut args = std::env::args().skip(1);
@@ -653,6 +765,20 @@ fn main() {
             r.monitor_off_events_per_sec,
             r.monitor_on_events_per_sec,
             100.0 * (r.monitor_on_events_per_sec / r.monitor_off_events_per_sec - 1.0),
+        );
+        println!(
+            "{:<22} convergence off {:.1} on {:.1} events/sec ({:+.1}%)",
+            "",
+            r.convergence_off_events_per_sec,
+            r.convergence_on_events_per_sec,
+            100.0 * (r.convergence_on_events_per_sec / r.convergence_off_events_per_sec - 1.0),
+        );
+        println!(
+            "{:<22} gauges off {:.1} on {:.1} events/sec ({:+.1}%)",
+            "",
+            r.gauges_off_events_per_sec,
+            r.gauges_on_events_per_sec,
+            100.0 * (r.gauges_on_events_per_sec / r.gauges_off_events_per_sec - 1.0),
         );
         results.push(r);
     }

@@ -17,6 +17,9 @@
 //! solved exactly by Gaussian elimination on the (k+1)×(k+1) linear
 //! system (I restricted generator) · t = −1.
 
+use crate::config::{RecoveryPolicy, SystemConfig};
+use farm_des::time::Duration;
+
 /// A birth–death reliability chain for one m/n redundancy group.
 #[derive(Clone, Debug)]
 pub struct GroupChain {
@@ -82,6 +85,57 @@ impl GroupChain {
         let rate = 1.0 / self.mttdl();
         1.0 - (-(groups as f64) * rate * horizon_secs).exp()
     }
+
+    /// Build the chain matching a simulated configuration, when one
+    /// admits an exact Markov model.
+    ///
+    /// The chain assumes memoryless failures, FARM's independent
+    /// parallel repairs, and no second-order machinery, so the mapping
+    /// is gated: distributed (FARM) recovery only, no latent-error
+    /// model, no batch replacement thresholds, no workload-adaptive
+    /// bandwidth, no S.M.A.R.T. steering. Configs outside that envelope
+    /// return `None` rather than an anchor that would drift for model
+    /// reasons instead of statistical ones.
+    ///
+    /// λ is the horizon-averaged hazard rate (exact for constant
+    /// hazards; averages the Table 1 bathtub over the simulated
+    /// lifetime otherwise); μ⁻¹ is detection latency plus the
+    /// single-block rebuild time.
+    pub fn from_config(cfg: &SystemConfig) -> Option<GroupChain> {
+        if !matches!(cfg.recovery, RecoveryPolicy::Farm)
+            || cfg.latent.is_some()
+            || cfg.replacement.threshold.is_some()
+            || cfg.workload.is_some()
+            || cfg.smart.is_some()
+        {
+            return None;
+        }
+        let horizon = cfg.sim_duration();
+        let horizon_secs = horizon.as_secs();
+        if horizon_secs <= 0.0 {
+            return None;
+        }
+        let lambda = cfg.hazard.cumulative_hazard(Duration::ZERO, horizon) / horizon_secs;
+        let repair_secs = cfg.detection_latency.as_secs() + cfg.block_rebuild_secs();
+        if lambda <= 0.0 || repair_secs <= 0.0 {
+            return None;
+        }
+        Some(GroupChain::new(
+            cfg.scheme.n,
+            cfg.scheme.m,
+            lambda,
+            1.0 / repair_secs,
+        ))
+    }
+}
+
+/// Analytic data-loss probability over the configured horizon — the
+/// convergence layer's drift anchor. `None` when the config falls
+/// outside the exact chain's envelope (see [`GroupChain::from_config`]).
+pub fn anchor_loss_probability(cfg: &SystemConfig) -> Option<f64> {
+    let chain = GroupChain::from_config(cfg)?;
+    let p = chain.system_loss_probability(cfg.n_groups(), cfg.sim_duration().as_secs());
+    p.is_finite().then_some(p)
 }
 
 /// Gaussian elimination with partial pivoting on an augmented matrix;
@@ -206,5 +260,57 @@ mod tests {
     #[should_panic]
     fn start_beyond_transient_panics() {
         GroupChain::new(2, 1, 1e-9, 1e-2).mttdl_from(2);
+    }
+
+    #[test]
+    fn from_config_maps_the_baseline() {
+        let cfg = SystemConfig::default();
+        let chain = GroupChain::from_config(&cfg).expect("baseline admits a chain");
+        assert_eq!((chain.n, chain.m), (cfg.scheme.n, cfg.scheme.m));
+        // Table 1's bathtub averages to a per-hour rate in the same
+        // decade as its segment rates (0.2–0.5 % per 1000 h).
+        let per_khour = chain.lambda * 1000.0 * HOUR;
+        assert!(
+            per_khour > 1e-3 && per_khour < 1e-2,
+            "λ = {per_khour} per 1000 h"
+        );
+        // μ⁻¹ = detection + single-block rebuild.
+        let repair = cfg.detection_latency.as_secs() + cfg.block_rebuild_secs();
+        assert!((1.0 / chain.mu - repair).abs() < 1e-9);
+    }
+
+    #[test]
+    fn from_config_gates_out_second_order_machinery() {
+        use crate::config::ReplacementPolicy;
+
+        let cfg = SystemConfig {
+            recovery: RecoveryPolicy::SingleSpare,
+            ..SystemConfig::default()
+        };
+        assert!(GroupChain::from_config(&cfg).is_none());
+
+        let cfg = SystemConfig {
+            replacement: ReplacementPolicy::at_fraction(0.1),
+            ..SystemConfig::default()
+        };
+        assert!(GroupChain::from_config(&cfg).is_none());
+
+        let cfg = SystemConfig {
+            latent: Some(farm_disk::latent::LatentConfig::default()),
+            ..SystemConfig::default()
+        };
+        assert!(GroupChain::from_config(&cfg).is_none());
+    }
+
+    #[test]
+    fn anchor_probability_is_a_sane_probability() {
+        let p = anchor_loss_probability(&SystemConfig::small()).expect("anchor");
+        assert!(p > 0.0 && p < 1.0, "p = {p}");
+        // Constant-hazard flattening keeps the anchor in the same decade
+        // (same average rate by construction of `Hazard::flattened`).
+        let mut flat = SystemConfig::small();
+        flat.hazard = flat.hazard.flattened();
+        let pf = anchor_loss_probability(&flat).expect("anchor");
+        assert!((pf / p - 1.0).abs() < 0.5, "flat {pf} vs bathtub {p}");
     }
 }

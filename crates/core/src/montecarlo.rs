@@ -10,8 +10,8 @@ use crate::metrics::{McSummary, TrialMetrics};
 use crate::sim::Simulation;
 use farm_des::rng::derive_seed;
 use farm_obs::{
-    diag, BatchHandle, EventProfile, FlightRecorder, ObsOptions, Progress, TimelineBands,
-    TimelineRecorder, TraceSel, TrialTracer, WorkerShard,
+    diag, BatchHandle, ConvergenceCore, EventProfile, FlightRecorder, ObsOptions, Progress,
+    TimelineBands, TimelineRecorder, TraceSel, TrialTracer, WorkerShard,
 };
 use std::io::Write;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -112,9 +112,84 @@ struct TrialArtifacts {
     loss_trace: Option<Vec<u8>>,
 }
 
+/// A finished trial a worker cannot commit yet: under the sequential
+/// stopping rule, a trial may only enter the batch aggregate once every
+/// stop boundary at or below its index has been decided — otherwise a
+/// later "stop at B" verdict would leave trials `>= B` already baked
+/// into the summary. Held entries carry everything commit needs,
+/// including the wall time measured when the trial actually ran.
+struct HeldTrial {
+    trial: u64,
+    metrics: TrialMetrics,
+    profile: Option<Box<EventProfile>>,
+    artifacts: TrialArtifacts,
+    wall_secs: f64,
+}
+
 /// A worker thread's partial batch result: its local aggregate, merged
-/// profile and the artifacts of the trials it ran.
-type WorkerPartial = (McSummary, Option<EventProfile>, Vec<(u64, TrialArtifacts)>);
+/// profile, the artifacts of the trials it ran, and (stopping runs
+/// only) trials still awaiting a stop-boundary verdict when the worker
+/// exited — the driver settles those once the final stop limit is
+/// known.
+type WorkerPartial = (
+    McSummary,
+    Option<EventProfile>,
+    Vec<(u64, TrialArtifacts)>,
+    Vec<HeldTrial>,
+);
+
+/// Settle a worker's held trials against the stopping frontier: commit
+/// everything below `min(decided, limit)` (no future boundary can
+/// exclude it), discard everything at or beyond a triggered stop
+/// `limit`, keep the rest buffered.
+#[allow(clippy::too_many_arguments)]
+fn settle_held(
+    held: &mut Vec<HeldTrial>,
+    decided: u64,
+    limit: u64,
+    summary: &mut McSummary,
+    profile: &mut Option<EventProfile>,
+    artifacts: &mut Vec<(u64, TrialArtifacts)>,
+    shard: &Option<Arc<WorkerShard>>,
+    want_artifacts: bool,
+) {
+    let commit_below = decided.min(limit);
+    let mut i = 0;
+    while i < held.len() {
+        let t = held[i].trial;
+        if t < commit_below {
+            let h = held.swap_remove(i);
+            commit_trial(h, summary, profile, artifacts, shard, want_artifacts);
+        } else if t >= limit {
+            held.swap_remove(i);
+        } else {
+            i += 1;
+        }
+    }
+}
+
+/// Commit one trial to a worker's (or the driver's) partial aggregate.
+fn commit_trial(
+    h: HeldTrial,
+    summary: &mut McSummary,
+    profile: &mut Option<EventProfile>,
+    artifacts: &mut Vec<(u64, TrialArtifacts)>,
+    shard: &Option<Arc<WorkerShard>>,
+    want_artifacts: bool,
+) {
+    if let Some(shard) = shard {
+        shard.record_trial(
+            h.metrics.lost_data(),
+            h.metrics.events_processed,
+            h.wall_secs,
+        );
+    }
+    summary.push(&h.metrics);
+    merge_profile(profile, h.profile);
+    if want_artifacts {
+        artifacts.push((h.trial, h.artifacts));
+    }
+}
 
 /// A short human label for a batch's configuration, shown in the live
 /// monitor's status file and as the `config` label on `/metrics`
@@ -302,8 +377,30 @@ pub fn run_trials_observed(
     // Live campaign monitor (status snapshots / the /metrics exporter):
     // consulted once per batch; `None` — and zero per-trial work — when
     // neither FARM_STATUS nor FARM_HTTP asked for it.
+    let monitor = farm_obs::campaign_monitor(obs);
+    let convergence_requested = obs.convergence.is_some() || obs.target_rel_ci.is_some();
+    // The analytic Markov anchor, solved once per batch (a tiny linear
+    // system) and only when something will display it.
+    let anchor = if monitor.is_some() || convergence_requested {
+        crate::markov::anchor_loss_probability(cfg)
+    } else {
+        None
+    };
     let batch: Option<BatchHandle> =
-        farm_obs::campaign_monitor(obs).map(|mon| mon.begin_batch(config_label(cfg), trials));
+        monitor.map(|mon| mon.begin_batch_anchored(config_label(cfg), trials, anchor));
+    // Convergence layer: the trial-ordered tracker behind the JSONL
+    // stream and the `--target-rel-ci` stopping rule. One mutex lock
+    // per *trial* when on; `None` — and zero per-trial work — when off.
+    let conv: Option<ConvergenceCore> = convergence_requested.then(|| {
+        let base = obs
+            .convergence
+            .as_ref()
+            .map_or(farm_obs::convergence::DEFAULT_BASE_TRIALS, |s| {
+                s.resolve_base()
+            });
+        ConvergenceCore::new(config_label(cfg), trials, anchor, base, obs.target_rel_ci)
+    });
+    let conv = conv.as_ref();
     // One validated config per batch: every trial on every worker shares
     // the `Arc` instead of cloning the `SystemConfig`.
     let prepared = Arc::new(PreparedConfig::new(cfg.clone()));
@@ -323,10 +420,27 @@ pub fn run_trials_observed(
             if want_artifacts {
                 artifacts.push((t, a));
             }
+            if let Some(c) = conv {
+                c.submit(t, m.lost_data(), m.first_loss.map(|ft| ft.as_secs()));
+                // A stop at boundary B keeps exactly trials 0..B; in
+                // trial order the boundary can only be t+1, so the
+                // prefix already committed is the final result.
+                if t + 1 >= c.stop_limit() {
+                    break;
+                }
+            }
         }
         (summary, profile)
     } else {
         let next = AtomicU64::new(0);
+        // Under the stopping rule a worker may not commit a trial until
+        // every stop boundary at or below it has been decided — it
+        // buffers finished trials and settles them against the core's
+        // `decided_through` / `stop_limit` frontier (bounded by one
+        // boundary interval plus scheduling skew). Without stopping the
+        // commit path is exactly the PR 5 one, so convergence streaming
+        // alone leaves summaries bit-identical.
+        let stopping = conv.is_some_and(|c| c.stopping());
         let mut partials: Vec<WorkerPartial> = Vec::new();
         std::thread::scope(|scope| {
             let mut handles = Vec::with_capacity(threads);
@@ -339,6 +453,7 @@ pub fn run_trials_observed(
                     let mut local = McSummary::new();
                     let mut local_profile: Option<EventProfile> = None;
                     let mut local_artifacts: Vec<(u64, TrialArtifacts)> = Vec::new();
+                    let mut held: Vec<HeldTrial> = Vec::new();
                     let mut ws = TrialWorkspace::new();
                     let shard = batch.as_ref().map(|b| b.shard());
                     loop {
@@ -346,18 +461,48 @@ pub fn run_trials_observed(
                         if t >= trials {
                             break;
                         }
+                        if let Some(c) = conv {
+                            if t >= c.stop_limit() {
+                                break;
+                            }
+                        }
                         let started = shard.as_ref().map(|_| Instant::now());
                         let (m, p, a) =
                             run_trial_observed(&mut ws, prepared, master_seed, t, mode, obs);
-                        record_monitored(&shard, started, &m);
                         progress.trial_done(m.lost_data());
-                        local.push(&m);
-                        merge_profile(&mut local_profile, p);
-                        if want_artifacts {
-                            local_artifacts.push((t, a));
+                        if let Some(c) = conv {
+                            c.submit(t, m.lost_data(), m.first_loss.map(|ft| ft.as_secs()));
+                        }
+                        if stopping {
+                            let wall_secs = started.map_or(0.0, |t0| t0.elapsed().as_secs_f64());
+                            held.push(HeldTrial {
+                                trial: t,
+                                metrics: m,
+                                profile: p,
+                                artifacts: a,
+                                wall_secs,
+                            });
+                            let c = conv.expect("stopping implies a convergence core");
+                            settle_held(
+                                &mut held,
+                                c.decided_through(),
+                                c.stop_limit(),
+                                &mut local,
+                                &mut local_profile,
+                                &mut local_artifacts,
+                                &shard,
+                                want_artifacts,
+                            );
+                        } else {
+                            record_monitored(&shard, started, &m);
+                            local.push(&m);
+                            merge_profile(&mut local_profile, p);
+                            if want_artifacts {
+                                local_artifacts.push((t, a));
+                            }
                         }
                     }
-                    (local, local_profile, local_artifacts)
+                    (local, local_profile, local_artifacts, held)
                 }));
             }
             for h in handles {
@@ -366,7 +511,31 @@ pub fn run_trials_observed(
         });
         let mut summary = McSummary::new();
         let mut profile: Option<EventProfile> = None;
-        for (s, p, a) in partials {
+        // Settle trials still undecided when the workers exited: every
+        // trial has been submitted by now, so the stop limit is final —
+        // commit below it, discard at or above it. Committed through one
+        // extra shard so the monitor's totals match the summary exactly.
+        let leftover: Vec<HeldTrial> = partials
+            .iter_mut()
+            .flat_map(|(_, _, _, held)| held.drain(..))
+            .collect();
+        if !leftover.is_empty() {
+            let limit = conv.map_or(u64::MAX, |c| c.stop_limit());
+            let shard = batch.as_ref().map(|b| b.shard());
+            for h in leftover {
+                if h.trial < limit {
+                    commit_trial(
+                        h,
+                        &mut summary,
+                        &mut profile,
+                        &mut artifacts,
+                        &shard,
+                        want_artifacts,
+                    );
+                }
+            }
+        }
+        for (s, p, a, _) in partials {
             summary.merge(&s);
             merge_profile(&mut profile, p.map(Box::new));
             artifacts.extend(a);
@@ -374,6 +543,14 @@ pub fn run_trials_observed(
         (summary, profile)
     };
     progress.finish();
+    // Flush the convergence stream (final record carries the exact
+    // totals) and cross-check it against the aggregate: the tracker was
+    // fed exactly the committed trials, in trial order.
+    if let Some(c) = conv {
+        let final_p = c.finish(obs.convergence.as_ref());
+        debug_assert_eq!(final_p.trials, summary.trials());
+        debug_assert_eq!(final_p.successes, summary.p_loss.successes);
+    }
     // Every trial is recorded by now: mark the batch done and publish
     // the exact final snapshot synchronously.
     if let Some(b) = &batch {

@@ -160,6 +160,34 @@ impl Proportion {
         ((center - half).max(0.0), (center + half).min(1.0))
     }
 
+    /// Half-width of the Wilson score 95 % interval, `(hi - lo) / 2`.
+    ///
+    /// This is the convergence layer's primary gauge: it shrinks
+    /// monotonically in expectation as trials accumulate, and unlike
+    /// the normal approximation it never reports a zero width for a
+    /// config that has produced no losses yet.
+    pub fn wilson95_half_width(&self) -> f64 {
+        let (lo, hi) = self.wilson95();
+        (hi - lo) / 2.0
+    }
+
+    /// Relative Wilson-95 half-width (half-width over the point
+    /// estimate), the quantity the `--target-rel-ci` stopping rule
+    /// compares against its target.
+    ///
+    /// Returns `None` while the estimate is not yet informative — zero
+    /// trials, or zero successes (losses). A config that has seen no
+    /// losses has a point estimate of exactly zero, so *any* finite
+    /// interval is infinitely wide in relative terms; reporting `None`
+    /// instead of `inf` makes "never stop a zero-loss config" fall out
+    /// of the type rather than a float comparison.
+    pub fn rel_half_width(&self) -> Option<f64> {
+        if self.successes == 0 || self.trials == 0 {
+            return None;
+        }
+        Some(self.wilson95_half_width() / self.value())
+    }
+
     pub fn merge(&mut self, other: Proportion) {
         self.successes += other.successes;
         self.trials += other.trials;
@@ -300,6 +328,44 @@ mod tests {
             assert!(lo <= p.value() && p.value() <= hi, "{s}/{n}");
             assert!((0.0..=1.0).contains(&lo) && (0.0..=1.0).contains(&hi));
         }
+    }
+
+    #[test]
+    fn wilson95_half_width_is_half_the_interval() {
+        let p = Proportion::new(10, 100);
+        let (lo, hi) = p.wilson95();
+        assert_eq!(p.wilson95_half_width(), (hi - lo) / 2.0);
+        assert!(p.wilson95_half_width() > 0.0);
+    }
+
+    #[test]
+    fn rel_half_width_not_informative_at_zero_losses() {
+        // The stopping rule must never halt a config that has seen no
+        // losses, no matter how many trials have run: with successes ==
+        // 0 the relative width is undefined (p-hat = 0), so the
+        // accessor reports None rather than a number a `< eps`
+        // comparison could accidentally accept.
+        assert_eq!(Proportion::new(0, 0).rel_half_width(), None);
+        assert_eq!(Proportion::new(0, 10).rel_half_width(), None);
+        assert_eq!(Proportion::new(0, 1_000_000).rel_half_width(), None);
+    }
+
+    #[test]
+    fn rel_half_width_matches_ratio_once_informative() {
+        let p = Proportion::new(10, 100);
+        let rel = p.rel_half_width().unwrap();
+        assert_eq!(rel, p.wilson95_half_width() / p.value());
+        assert!(rel.is_finite() && rel > 0.0);
+    }
+
+    #[test]
+    fn rel_half_width_shrinks_with_more_trials() {
+        // Same point estimate, 100x the evidence: the relative width
+        // must narrow (this monotonic trajectory is what the streaming
+        // checkpoints record).
+        let coarse = Proportion::new(5, 50).rel_half_width().unwrap();
+        let fine = Proportion::new(500, 5000).rel_half_width().unwrap();
+        assert!(fine < coarse, "fine = {fine}, coarse = {coarse}");
     }
 
     #[test]

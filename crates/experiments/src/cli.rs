@@ -26,6 +26,16 @@
 //!   rewritten atomically every few seconds with per-config progress,
 //!   trials/sec, ETA and the online Wilson-interval loss estimate; SPEC
 //!   is `[path][@interval_secs]` (default `farm-status.json` every 1 s),
+//! * `--convergence [SPEC]` — stream estimator-convergence checkpoints
+//!   (Wilson-interval trajectory, analytic-anchor drift, batched-means
+//!   diagnostics) as JSONL on a decimated schedule; SPEC is
+//!   `[path][@base_trials]` (default `farm-convergence.jsonl`, first
+//!   checkpoint at 16 trials),
+//! * `--target-rel-ci EPS` — sequential stopping: end each batch once
+//!   the relative Wilson-95 half-width of its loss estimate reaches
+//!   EPS (checked at fixed trial boundaries, so the stopped run is a
+//!   bit-identical prefix of the unstopped one; a batch with zero
+//!   losses never stops early),
 //! * `--progress` / `--no-progress` — force batch progress reporting on
 //!   or off (default: on only when stderr is a terminal).
 //!
@@ -33,7 +43,7 @@
 //! The `/metrics` + `/status` HTTP exporter likewise: `FARM_HTTP=addr`.
 
 use farm_core::montecarlo;
-use farm_obs::{ObsOptions, StatusSpec, TimelineSpec, TraceSel, TraceSpec};
+use farm_obs::{ConvergenceSpec, ObsOptions, StatusSpec, TimelineSpec, TraceSel, TraceSpec};
 
 /// Parsed experiment options.
 #[derive(Clone, Debug)]
@@ -51,6 +61,10 @@ pub struct Options {
     pub timeline: Option<TimelineSpec>,
     /// Periodic live status snapshots (`--status [SPEC]`).
     pub status: Option<StatusSpec>,
+    /// Streaming convergence checkpoints (`--convergence [SPEC]`).
+    pub convergence: Option<ConvergenceSpec>,
+    /// Sequential stopping target (`--target-rel-ci EPS`).
+    pub target_rel_ci: Option<f64>,
     /// Force progress reporting on/off (`None` = auto).
     pub progress: Option<bool>,
     /// Print an event-loop profile per batch.
@@ -68,6 +82,8 @@ impl Options {
             trace: None,
             timeline: None,
             status: None,
+            convergence: None,
+            target_rel_ci: None,
             progress: None,
             profile: false,
         }
@@ -90,6 +106,8 @@ impl Options {
         let mut trace = None;
         let mut timeline = None;
         let mut status = None;
+        let mut convergence = None;
+        let mut target_rel_ci = None;
         let mut progress = None;
         let mut profile = false;
         let mut it = args.into_iter().peekable();
@@ -157,13 +175,34 @@ impl Options {
                     };
                     status = Some(spec);
                 }
+                "--convergence" => {
+                    // Optional `[path][@base_trials]` spec; bare
+                    // `--convergence` takes every default.
+                    let spec = match it.peek() {
+                        Some(v) if !v.starts_with('-') => {
+                            let v = it.next().unwrap();
+                            ConvergenceSpec::parse(&v).map_err(|e| format!("--convergence: {e}"))?
+                        }
+                        _ => ConvergenceSpec::parse("").expect("empty spec is valid"),
+                    };
+                    convergence = Some(spec);
+                }
+                "--target-rel-ci" => {
+                    let v = it.next().ok_or("--target-rel-ci needs a value")?;
+                    let eps: f64 = v.parse().map_err(|e| format!("--target-rel-ci: {e}"))?;
+                    if !(eps > 0.0 && eps.is_finite()) {
+                        return Err("--target-rel-ci must be a positive finite number".into());
+                    }
+                    target_rel_ci = Some(eps);
+                }
                 "--progress" => progress = Some(true),
                 "--no-progress" => progress = Some(false),
                 "--profile" => profile = true,
                 "--help" | "-h" => {
                     return Err(
                         "options: [--quick|--full] [--trials N] [--seed S] [--threads T] \
-                         [--trace [N|loss]] [--timeline [SPEC]] [--status [SPEC]] [--profile] \
+                         [--trace [N|loss]] [--timeline [SPEC]] [--status [SPEC]] \
+                         [--convergence [SPEC]] [--target-rel-ci EPS] [--profile] \
                          [--progress|--no-progress]"
                             .into(),
                     );
@@ -180,6 +219,8 @@ impl Options {
         opts.trace = trace;
         opts.timeline = timeline;
         opts.status = status;
+        opts.convergence = convergence;
+        opts.target_rel_ci = target_rel_ci;
         opts.progress = progress;
         opts.profile = profile;
         Ok(opts)
@@ -204,6 +245,12 @@ impl Options {
         }
         if let Some(spec) = &self.status {
             o.status = Some(spec.clone());
+        }
+        if let Some(spec) = &self.convergence {
+            o.convergence = Some(spec.clone());
+        }
+        if let Some(eps) = self.target_rel_ci {
+            o.target_rel_ci = Some(eps);
         }
         o
     }
@@ -355,6 +402,34 @@ mod tests {
     }
 
     #[test]
+    fn convergence_flag_forms() {
+        let o = parse(&[]).unwrap();
+        assert_eq!(o.convergence, None);
+        assert_eq!(o.target_rel_ci, None);
+
+        // Bare --convergence takes every default.
+        let o = parse(&["--convergence", "--no-progress"]).unwrap();
+        let spec = o.convergence.expect("convergence on");
+        assert_eq!(spec.path, farm_obs::convergence::DEFAULT_CONVERGENCE_PATH);
+        assert_eq!(spec.base_trials, None);
+
+        let o = parse(&["--convergence", "conv.jsonl@8", "--full"]).unwrap();
+        let spec = o.convergence.expect("convergence on");
+        assert_eq!(spec.path, "conv.jsonl");
+        assert_eq!(spec.base_trials, Some(8));
+        assert!(!o.quick);
+
+        let o = parse(&["--target-rel-ci", "0.1"]).unwrap();
+        assert_eq!(o.target_rel_ci, Some(0.1));
+
+        assert!(parse(&["--convergence", "c.jsonl@zero"]).is_err());
+        assert!(parse(&["--target-rel-ci"]).is_err());
+        assert!(parse(&["--target-rel-ci", "0"]).is_err());
+        assert!(parse(&["--target-rel-ci", "-0.5"]).is_err());
+        assert!(parse(&["--target-rel-ci", "inf"]).is_err());
+    }
+
+    #[test]
     fn obs_options_reflect_flags() {
         let mut o = parse(&["--profile", "--no-progress"]).unwrap();
         o.trace = Some(TraceSel::Trial(5));
@@ -373,5 +448,15 @@ mod tests {
             Some("live.json")
         );
         assert!(obs.monitor_requested());
+
+        let mut o = parse(&["--no-progress"]).unwrap();
+        o.convergence = Some(ConvergenceSpec::parse("conv.jsonl@32").unwrap());
+        o.target_rel_ci = Some(0.25);
+        let obs = o.obs_options();
+        assert_eq!(
+            obs.convergence.as_ref().map(|s| s.path.as_str()),
+            Some("conv.jsonl")
+        );
+        assert_eq!(obs.target_rel_ci, Some(0.25));
     }
 }

@@ -142,6 +142,59 @@ pub(crate) fn render_metrics(core: &MonitorCore) -> String {
         }
     }
 
+    // Convergence gauges (PR 7). The absolute half-width always exists;
+    // the relative width and the anchor-drift pair are emitted only for
+    // batches where they are informative (losses seen; config admits an
+    // analytic chain) — absent samples, not NaN, per exposition rules.
+    let _ = writeln!(
+        out,
+        "# HELP farm_ci_half_width Wilson 95% half-width of the loss estimate.\n\
+         # TYPE farm_ci_half_width gauge"
+    );
+    for (t, l) in totals.iter().zip(&labels) {
+        let _ = writeln!(
+            out,
+            "farm_ci_half_width{{{l}}} {}",
+            t.p_loss().wilson95_half_width()
+        );
+    }
+    let _ = writeln!(
+        out,
+        "# HELP farm_rel_ci_half_width Relative Wilson 95% half-width (half-width / estimate); absent until a loss is observed.\n\
+         # TYPE farm_rel_ci_half_width gauge"
+    );
+    for (t, l) in totals.iter().zip(&labels) {
+        if let Some(rel) = t.p_loss().rel_half_width() {
+            let _ = writeln!(out, "farm_rel_ci_half_width{{{l}}} {rel}");
+        }
+    }
+    let _ = writeln!(
+        out,
+        "# HELP farm_anchor_p_loss Analytic Markov/MTTDL loss probability for the config; absent when no exact chain applies.\n\
+         # TYPE farm_anchor_p_loss gauge"
+    );
+    for (b, l) in batches.iter().zip(&labels) {
+        if let Some(a) = b.anchor_p_loss {
+            let _ = writeln!(out, "farm_anchor_p_loss{{{l}}} {a}");
+        }
+    }
+    let _ = writeln!(
+        out,
+        "# HELP farm_anchor_drift Signed relative drift of the estimate from the analytic anchor ((p - anchor) / anchor).\n\
+         # TYPE farm_anchor_drift gauge"
+    );
+    for ((b, t), l) in batches.iter().zip(&totals).zip(&labels) {
+        if let Some(a) = b.anchor_p_loss {
+            if a > 0.0 {
+                let _ = writeln!(
+                    out,
+                    "farm_anchor_drift{{{l}}} {}",
+                    (t.p_loss().value() - a) / a
+                );
+            }
+        }
+    }
+
     let _ = writeln!(
         out,
         "# HELP farm_trial_wall_seconds Wall-clock seconds per finished trial.\n\
@@ -274,6 +327,41 @@ mod tests {
 
         let (head, _) = scrape(addr, "/nope");
         assert!(head.starts_with("HTTP/1.1 404"), "{head}");
+    }
+
+    #[test]
+    fn convergence_gauges_follow_informativeness() {
+        let mon = CampaignMonitor::new(None, None);
+        let anchored = mon.begin_batch_anchored("anchored".into(), 8, Some(0.25));
+        let plain = mon.begin_batch("plain".into(), 8);
+        anchored.shard().record_trial(true, 10, 0.01);
+        anchored.shard().record_trial(false, 10, 0.01);
+        plain.shard().record_trial(false, 10, 0.01);
+
+        let body = mon.render_metrics();
+        // Absolute half-width: always, for every batch.
+        assert!(body.contains("farm_ci_half_width{batch=\"0\""), "{body}");
+        assert!(body.contains("farm_ci_half_width{batch=\"1\""), "{body}");
+        // Relative width: only where a loss has been seen.
+        assert!(
+            body.contains("farm_rel_ci_half_width{batch=\"0\""),
+            "{body}"
+        );
+        assert!(
+            !body.contains("farm_rel_ci_half_width{batch=\"1\""),
+            "{body}"
+        );
+        // Anchor + drift: only where the config admits a chain. The
+        // anchored batch sits at p = 0.5 vs anchor 0.25 → drift +1.
+        assert!(body.contains("farm_anchor_p_loss{batch=\"0\",config=\"anchored\"} 0.25"));
+        assert!(body.contains("farm_anchor_drift{batch=\"0\",config=\"anchored\"} 1"));
+        assert!(!body.contains("farm_anchor_p_loss{batch=\"1\""), "{body}");
+        // And the same fields appear on /status.
+        let status = mon.render_status();
+        assert!(status.contains("\"ci_half_width\":"), "{status}");
+        assert!(status.contains("\"anchor_p_loss\":0.25"), "{status}");
+        assert!(status.contains("\"anchor_p_loss\":null"), "{status}");
+        assert!(status.contains("\"anchor_drift\":1"), "{status}");
     }
 
     #[test]

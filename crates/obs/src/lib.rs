@@ -23,9 +23,16 @@
 //!   atomic-rename status snapshots with an online Wilson-interval loss
 //!   estimate (`FARM_STATUS=path[@secs]` / `--status`), and a std-only
 //!   HTTP listener serving `/metrics` + `/status` (`FARM_HTTP=addr`),
+//! * [`convergence::ConvergenceTracker`] / [`convergence::ConvergenceCore`]
+//!   — estimator-convergence observability: a decimated JSONL stream of
+//!   Wilson-interval trajectories, analytic-anchor drift, and
+//!   batched-means drift diagnostics (`FARM_CONVERGENCE=path[@trials]`
+//!   / `--convergence`), plus the deterministic `--target-rel-ci`
+//!   sequential stopping rule,
 //! * [`ObsOptions`] — the switchboard, populated from `FARM_TRACE` /
 //!   `FARM_PROFILE` / `FARM_PROGRESS` / `FARM_TIMELINE` /
-//!   `FARM_POSTMORTEM` / `FARM_STATUS` / `FARM_HTTP` or from CLI flags.
+//!   `FARM_POSTMORTEM` / `FARM_STATUS` / `FARM_HTTP` /
+//!   `FARM_CONVERGENCE` / `FARM_TARGET_REL_CI` or from CLI flags.
 //!
 //! **Overhead contract:** everything here is *off by default*, and the
 //! disabled path inside the trial event loop is a branch on an
@@ -33,6 +40,7 @@
 //! observability is on or off never changes simulation results (pinned
 //! by the golden-metrics determinism test in `tests/observability.rs`).
 
+pub mod convergence;
 pub mod diag;
 pub mod flight;
 pub mod http;
@@ -45,6 +53,7 @@ pub mod status;
 pub mod timeline;
 pub mod trace;
 
+pub use convergence::{ConvergenceCore, ConvergenceSpec, ConvergenceTracker, STOP_CHECK_EVERY};
 pub use flight::FlightRecorder;
 pub use profile::EventProfile;
 pub use progress::Progress;
@@ -77,6 +86,17 @@ pub struct ObsOptions {
     /// Listen address for the `/metrics` + `/status` HTTP exporter
     /// (`FARM_HTTP=addr`, e.g. `127.0.0.1:9919`; port 0 picks one).
     pub http: Option<String>,
+    /// Streaming estimator-convergence checkpoints as JSONL
+    /// (`FARM_CONVERGENCE=path[@trials]` / `--convergence`).
+    pub convergence: Option<ConvergenceSpec>,
+    /// Sequential stopping: halt a batch once the relative Wilson-95
+    /// half-width of its loss estimate reaches this target
+    /// (`FARM_TARGET_REL_CI=eps` / `--target-rel-ci`). The one
+    /// observability knob that intentionally changes how many trials
+    /// run — but deterministically: same config + master seed + target
+    /// ⇒ the same stopping trial count, and the stopped run is a
+    /// bit-identical prefix of the unstopped one.
+    pub target_rel_ci: Option<f64>,
 }
 
 impl ObsOptions {
@@ -90,6 +110,8 @@ impl ObsOptions {
             postmortem: None,
             status: None,
             http: None,
+            convergence: None,
+            target_rel_ci: None,
         }
     }
 
@@ -149,6 +171,32 @@ impl ObsOptions {
         if let Ok(v) = std::env::var("FARM_HTTP") {
             if env_truthy(&v) {
                 o.http = Some(v.trim().to_string());
+            }
+        }
+        if let Ok(v) = std::env::var("FARM_CONVERGENCE") {
+            if env_truthy(&v) {
+                match ConvergenceSpec::parse(&v) {
+                    Ok(spec) => o.convergence = Some(spec),
+                    Err(e) => {
+                        diag::warn_once(
+                            "FARM_CONVERGENCE",
+                            &format!("ignoring FARM_CONVERGENCE={v:?}: {e}"),
+                        );
+                    }
+                }
+            }
+        }
+        if let Ok(v) = std::env::var("FARM_TARGET_REL_CI") {
+            match v.trim().parse::<f64>() {
+                Ok(eps) if eps > 0.0 && eps.is_finite() => o.target_rel_ci = Some(eps),
+                _ => {
+                    diag::warn_once(
+                        "FARM_TARGET_REL_CI",
+                        &format!(
+                            "ignoring FARM_TARGET_REL_CI={v:?}: expected a positive finite number"
+                        ),
+                    );
+                }
             }
         }
         o
@@ -217,6 +265,8 @@ mod tests {
         assert!(o.postmortem.is_none());
         assert!(o.status.is_none());
         assert!(o.http.is_none());
+        assert!(o.convergence.is_none());
+        assert!(o.target_rel_ci.is_none());
         assert!(!o.monitor_requested());
         // Off options never install a campaign monitor.
         assert!(campaign_monitor(&o).is_none());

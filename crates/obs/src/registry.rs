@@ -91,6 +91,10 @@ pub struct BatchState {
     pub total: u64,
     /// Campaign-clock second the batch began at.
     pub started_secs: f64,
+    /// Analytic (Markov/MTTDL) data-loss probability for this config,
+    /// when it admits an exact chain — the drift anchor on `/status`
+    /// and `/metrics`.
+    pub anchor_p_loss: Option<f64>,
     /// Campaign-clock millisecond the batch finished at, +1 (0 = still
     /// running) — atomics cannot hold an `Option<f64>`.
     finished_ms_plus_1: AtomicU64,
@@ -269,12 +273,24 @@ impl CampaignMonitor {
 
     /// Register a new batch of `total` trials under a config label.
     pub fn begin_batch(&self, label: String, total: u64) -> BatchHandle {
+        self.begin_batch_anchored(label, total, None)
+    }
+
+    /// [`begin_batch`](Self::begin_batch) plus the config's analytic
+    /// data-loss anchor, when one exists (surfaced as drift gauges).
+    pub fn begin_batch_anchored(
+        &self,
+        label: String,
+        total: u64,
+        anchor_p_loss: Option<f64>,
+    ) -> BatchHandle {
         let mut batches = self.core.batches.lock().expect("batches poisoned");
         let batch = Arc::new(BatchState {
             index: batches.len() as u64,
             label,
             total,
             started_secs: self.core.elapsed_secs(),
+            anchor_p_loss,
             finished_ms_plus_1: AtomicU64::new(0),
             shards: Mutex::new(Vec::new()),
         });

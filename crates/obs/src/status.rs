@@ -21,6 +21,8 @@
 //!       "events": 48211375, "trials_per_sec": 10.2, "eta_secs": 26.5,
 //!       "p_loss": 0.023076923076923078,
 //!       "wilson95_lo": 0.0079, "wilson95_hi": 0.0655,
+//!       "ci_half_width": 0.0288, "rel_half_width": 1.2486,
+//!       "anchor_p_loss": 0.0197, "anchor_drift": 0.1689,
 //!       "trial_secs_p50": 0.09, "trial_secs_p99": 0.12 }
 //!   ]
 //! }
@@ -89,7 +91,8 @@ impl StatusSpec {
 }
 
 /// A finite f64 as JSON, `null` otherwise (rates can be 0/0 early on).
-fn jnum(out: &mut String, v: f64) {
+/// Shared with the convergence stream, which has the same contract.
+pub(crate) fn jnum(out: &mut String, v: f64) {
     if v.is_finite() {
         let _ = write!(out, "{v}");
     } else {
@@ -97,7 +100,7 @@ fn jnum(out: &mut String, v: f64) {
     }
 }
 
-fn jstr(out: &mut String, s: &str) {
+pub(crate) fn jstr(out: &mut String, s: &str) {
     out.push('"');
     for c in s.chars() {
         match c {
@@ -189,6 +192,27 @@ pub(crate) fn render_status(core: &MonitorCore, seq: u64) -> String {
         jnum(&mut e, lo);
         e.push_str(",\"wilson95_hi\":");
         jnum(&mut e, hi);
+        // Convergence diagnostics (PR 7): the interval's absolute and
+        // relative half-width — what `--target-rel-ci` watches — plus
+        // the analytic Markov anchor and the estimate's signed relative
+        // drift from it when the config admits an exact chain.
+        e.push_str(",\"ci_half_width\":");
+        jnum(&mut e, p.wilson95_half_width());
+        e.push_str(",\"rel_half_width\":");
+        match p.rel_half_width() {
+            Some(rel) => jnum(&mut e, rel),
+            None => e.push_str("null"),
+        }
+        e.push_str(",\"anchor_p_loss\":");
+        match b.anchor_p_loss {
+            Some(a) => jnum(&mut e, a),
+            None => e.push_str("null"),
+        }
+        e.push_str(",\"anchor_drift\":");
+        match b.anchor_p_loss {
+            Some(a) if a > 0.0 => jnum(&mut e, (p.value() - a) / a),
+            _ => e.push_str("null"),
+        }
         e.push_str(",\"trial_secs_p50\":");
         jnum(&mut e, t.trial_secs.p50());
         e.push_str(",\"trial_secs_p99\":");

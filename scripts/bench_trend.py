@@ -33,6 +33,10 @@ COLUMNS = [
                           "telemetry_on_events_per_sec"), "pair"),
     ("monitor off/on", ("monitor_off_events_per_sec",
                         "monitor_on_events_per_sec"), "pair"),
+    ("convergence off/on", ("convergence_off_events_per_sec",
+                            "convergence_on_events_per_sec"), "pair"),
+    ("gauges off/on", ("gauges_off_events_per_sec",
+                       "gauges_on_events_per_sec"), "pair"),
     ("setup phases", "setup_phases", "phases"),
 ]
 

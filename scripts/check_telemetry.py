@@ -5,6 +5,7 @@ Usage:
     check_telemetry.py TIMELINE.csv POSTMORTEM.jsonl [--expect-loss]
     check_telemetry.py status STATUS.json
     check_telemetry.py metrics METRICS.txt [LATER_METRICS.txt]
+    check_telemetry.py convergence STREAM.jsonl [--expect-stop]
 
 The first form checks the timeline CSV and post-mortem JSONL produced
 by `--timeline` and `FARM_POSTMORTEM` (schema: DESIGN.md section 11).
@@ -20,6 +21,16 @@ sums).
 exposition syntax (metric/label names, label escaping, HELP/TYPE
 comments), counters named `*_total`, and — given a second, later
 scrape — that every counter series is monotone non-decreasing.
+
+`convergence` validates a convergence stream (`FARM_CONVERGENCE` /
+`--convergence`, schema `farm-convergence-v1`, DESIGN.md section 15):
+per-(batch, config) strictly-increasing trial counts with a thinning
+decimation schedule, Wilson brackets, half-width consistency, losses
+never informative-null, and exactly one final record per stream. With
+`--expect-stop`, at least one stream must end at a stop-boundary
+multiple (64 trials) with an informative rel_half_width — callers
+request a batch total that is *not* a multiple of 64, so a boundary-
+aligned final record proves the sequential stopping rule fired.
 
 Stdlib only; exits non-zero with a message on the first violation.
 """
@@ -134,7 +145,8 @@ def _num_or_null(doc, key, where):
 STATUS_BATCH_KEYS = [
     "batch", "config", "done", "trials_done", "trials_total", "losses",
     "events", "trials_per_sec", "eta_secs", "p_loss", "wilson95_lo",
-    "wilson95_hi", "trial_secs_p50", "trial_secs_p99",
+    "wilson95_hi", "ci_half_width", "rel_half_width", "anchor_p_loss",
+    "anchor_drift", "trial_secs_p50", "trial_secs_p99",
 ]
 
 
@@ -180,8 +192,11 @@ def check_status(path):
         if b["done"] and done != total:
             fail(f"{where}: done but only {done}/{total} trials")
         for key in ("trials_per_sec", "eta_secs", "trial_secs_p50",
-                    "trial_secs_p99"):
+                    "trial_secs_p99", "ci_half_width", "rel_half_width",
+                    "anchor_p_loss", "anchor_drift"):
             _num_or_null(b, key, where)
+        if losses == 0 and b["rel_half_width"] is not None:
+            fail(f"{where}: rel_half_width must be null at zero losses")
         p = b["p_loss"]
         if done == 0:
             if p != 0:
@@ -199,6 +214,104 @@ def check_status(path):
             fail(f"{path}: campaign {key} {doc[key]} != batch sum {want}")
     print(f"check_telemetry: {path}: seq {doc['seq']}, {len(batches)} "
           f"batch(es), totals consistent")
+
+
+CONVERGENCE_KEYS = [
+    "schema", "batch", "config", "checkpoint", "trials", "losses",
+    "p_loss", "wilson95_lo", "wilson95_hi", "ci_half_width",
+    "rel_half_width", "anchor_p_loss", "anchor_drift", "batch_var_ratio",
+    "first_loss_p50_secs", "first_loss_p99_secs", "loss_gap_p50_trials",
+    "final",
+]
+STOP_CHECK_EVERY = 64  # keep in sync with farm_obs::STOP_CHECK_EVERY
+
+
+def check_convergence(path, expect_stop=False):
+    with open(path) as f:
+        lines = [l for l in f.read().splitlines() if l]
+    if not lines:
+        fail(f"{path}: empty convergence stream")
+    streams = {}  # (batch, config) -> list of records
+    for n, line in enumerate(lines, start=1):
+        where = f"{path}:{n}"
+        try:
+            rec = json.loads(line)
+        except json.JSONDecodeError as e:
+            fail(f"{where}: invalid JSON: {e}")
+        if rec.get("schema") != "farm-convergence-v1":
+            fail(f"{where}: schema {rec.get('schema')!r}, "
+                 f"want 'farm-convergence-v1'")
+        for key in CONVERGENCE_KEYS:
+            if key not in rec:
+                fail(f"{where}: missing key {key!r}")
+        for key in ("batch", "checkpoint", "trials", "losses"):
+            if not isinstance(rec[key], int) or rec[key] < 0:
+                fail(f"{where}: {key} must be a non-negative integer, "
+                     f"got {rec[key]!r}")
+        if not isinstance(rec["config"], str) or not rec["config"]:
+            fail(f"{where}: config must be a non-empty string")
+        if not isinstance(rec["final"], bool):
+            fail(f"{where}: final must be a boolean")
+        # Core trajectory numbers must be present and finite (jnum
+        # renders non-finite values as null, which is a violation here).
+        for key in ("p_loss", "wilson95_lo", "wilson95_hi", "ci_half_width"):
+            if not isinstance(rec[key], (int, float)):
+                fail(f"{where}: {key} must be a finite number, "
+                     f"got {rec[key]!r}")
+        trials, losses, p = rec["trials"], rec["losses"], rec["p_loss"]
+        if not (0 <= losses <= trials) or trials == 0:
+            fail(f"{where}: want 0 <= losses <= trials with trials >= 1, "
+                 f"got {losses}/{trials}")
+        if p != losses / trials:
+            fail(f"{where}: p_loss {p} != losses/trials = {losses / trials}")
+        lo, hi, hw = rec["wilson95_lo"], rec["wilson95_hi"], rec["ci_half_width"]
+        # The score interval's endpoints carry ~1 ulp of rounding (lo can
+        # surface as ~7e-18 instead of 0 at zero losses), so the bracket
+        # check allows that much slack.
+        if not (0.0 <= lo <= p + 1e-12 and p - 1e-12 <= hi <= 1.0):
+            fail(f"{where}: Wilson interval [{lo}, {hi}] does not bracket "
+                 f"p_loss {p} inside [0, 1]")
+        if abs(hw - (hi - lo) / 2) > 1e-12:
+            fail(f"{where}: ci_half_width {hw} != (hi - lo)/2")
+        rel = _num_or_null(rec, "rel_half_width", where)
+        if losses == 0 and rel is not None:
+            fail(f"{where}: rel_half_width must be null at zero losses")
+        if losses > 0 and (rel is None or abs(rel - hw / p) > 1e-9 * max(1.0, rel)):
+            fail(f"{where}: rel_half_width {rel!r} != half-width/p̂ = {hw / p}")
+        for key in ("anchor_p_loss", "anchor_drift", "batch_var_ratio",
+                    "first_loss_p50_secs", "first_loss_p99_secs",
+                    "loss_gap_p50_trials"):
+            _num_or_null(rec, key, where)
+        streams.setdefault((rec["batch"], rec["config"]), []).append((n, rec))
+
+    stopped = 0
+    for (batch, config), recs in streams.items():
+        where = f"{path}: batch {batch} ({config!r})"
+        trials = [r["trials"] for _, r in recs]
+        if any(b <= a for a, b in zip(trials, trials[1:])):
+            fail(f"{where}: checkpoint trials not strictly increasing: "
+                 f"{trials}")
+        # Geometric decimation only thins: gaps are non-decreasing,
+        # except the final record, which lands wherever the batch ends.
+        gaps = [b - a for a, b in zip(trials, trials[1:])]
+        body = gaps[:-1] if len(gaps) >= 2 else []
+        if any(b < a for a, b in zip(body, body[1:])):
+            fail(f"{where}: decimation gaps shrink mid-stream: {trials}")
+        finals = [r["final"] for _, r in recs]
+        if finals.count(True) != 1 or not finals[-1]:
+            fail(f"{where}: want exactly one final record, at the end")
+        losses = [r["losses"] for _, r in recs]
+        if any(b < a for a, b in zip(losses, losses[1:])):
+            fail(f"{where}: loss counter went backwards: {losses}")
+        last = recs[-1][1]
+        if (last["trials"] % STOP_CHECK_EVERY == 0
+                and last["rel_half_width"] is not None):
+            stopped += 1
+    if expect_stop and stopped == 0:
+        fail(f"{path}: --expect-stop but no stream ended at a "
+             f"boundary-aligned trial count with an informative CI")
+    print(f"check_telemetry: {path}: {len(lines)} record(s), "
+          f"{len(streams)} stream(s), trajectories consistent")
 
 
 METRIC_NAME_RE = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
@@ -299,6 +412,14 @@ def main(argv):
             print(__doc__.strip(), file=sys.stderr)
             return 2
         check_metrics(argv[1], argv[2] if len(argv) == 3 else None)
+        print("check_telemetry: OK")
+        return 0
+    if argv and argv[0] == "convergence":
+        args = [a for a in argv[1:] if a != "--expect-stop"]
+        if len(args) != 1:
+            print(__doc__.strip(), file=sys.stderr)
+            return 2
+        check_convergence(args[0], expect_stop="--expect-stop" in argv)
         print("check_telemetry: OK")
         return 0
     args = [a for a in argv if a != "--expect-loss"]

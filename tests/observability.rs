@@ -74,6 +74,8 @@ fn golden_metrics_identical_with_observability_on() {
         postmortem: Some(postmortem_path.to_str().unwrap().to_string()),
         status: None,
         http: None,
+        convergence: None,
+        target_rel_ci: None,
     };
 
     // Single-threaded so aggregation order is fixed and the comparison
