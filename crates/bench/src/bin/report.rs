@@ -17,7 +17,9 @@
 //! drift), probes the live campaign monitor the same way (status
 //! snapshots + /metrics exporter on vs off), probes the convergence
 //! stream the same way (`FARM_CONVERGENCE`-style JSONL checkpoints on
-//! vs off), isolates the incremental `LiveGauges` maintenance cost
+//! vs off), probes recovery-span tracing the same way (`FARM_SPANS`
+//! per-repair span rows + bandwidth attribution on vs off), isolates
+//! the incremental `LiveGauges` maintenance cost
 //! (timeline attached with an interval past the horizon so no sample
 //! is ever taken — the `bench_gauges` pair), splits per-trial setup
 //! time into its phases (state reset, disk installation, placement)
@@ -26,7 +28,7 @@
 //! 1 MiB plus RS 8/10 encode/reconstruct MB/s — the `gf_kernel`
 //! section), and merges the labelled result set — stamped with host
 //! metadata and an optional `--notes` annotation — into a JSON file
-//! (default `BENCH_PR7.json`). Re-running with an existing label
+//! (default `BENCH_PR8.json`). Re-running with an existing label
 //! replaces that label's entry, so a "before" run survives an "after"
 //! run of the same file.
 //!
@@ -42,7 +44,9 @@ use farm_bench::rss::peak_rss_bytes;
 use farm_core::prelude::*;
 use farm_core::workspace_reuse_enabled;
 use farm_des::rng::derive_seed;
-use farm_obs::{ConvergenceSpec, EventProfile, ObsOptions, StatusSpec, TimelineSpec};
+use farm_obs::{
+    ConvergenceSpec, EventProfile, ObsOptions, SpanFormat, SpansSpec, StatusSpec, TimelineSpec,
+};
 use std::collections::BTreeMap;
 use std::sync::Arc;
 use std::time::Instant;
@@ -121,6 +125,11 @@ struct RunResult {
     /// the pair isolates the per-event maintenance cost alone.
     gauges_off_events_per_sec: f64,
     gauges_on_events_per_sec: f64,
+    /// events/sec with recovery-span tracing off / on (`FARM_SPANS`
+    /// JSONL export: per-repair span rows + bandwidth attribution),
+    /// interleaved chunks.
+    spans_off_events_per_sec: f64,
+    spans_on_events_per_sec: f64,
     /// Fraction of recycled-setup time spent in each phase, in
     /// [`Simulation::SETUP_PHASE_LABELS`] order (reset, disks,
     /// placement).
@@ -300,6 +309,26 @@ fn gauges_pair(spec: &ConfigSpec, trials: u64) -> (f64, f64) {
     pair
 }
 
+/// Probe the recovery-span tracing overhead: per-repair span recording
+/// plus the JSONL artifact export, against an interleaved off control.
+fn spans_pair(spec: &ConfigSpec, trials: u64) -> (f64, f64) {
+    let path = std::env::temp_dir().join(format!(
+        "farm-bench-spans-{}-{}.jsonl",
+        spec.name,
+        std::process::id()
+    ));
+    let obs_on = ObsOptions {
+        spans: Some(SpansSpec {
+            path: path.to_str().unwrap().to_string(),
+            format: SpanFormat::Jsonl,
+        }),
+        ..ObsOptions::off()
+    };
+    let pair = interleaved_pair(spec, trials, &obs_on);
+    std::fs::remove_file(&path).ok();
+    pair
+}
+
 /// Workspace-recycling probe: alternate chunks of trials whose setup
 /// comes from a recycled workspace vs fresh construction, timing only
 /// the setup (`obtain`) portion. The full event loop still runs between
@@ -385,6 +414,10 @@ fn measure(spec: &ConfigSpec) -> RunResult {
     // suppressed vs off, interleaved.
     let (gauges_off_eps, gauges_on_eps) = gauges_pair(spec, probe_trials);
 
+    // Recovery-span probe: per-repair span recording + JSONL export vs
+    // off, interleaved.
+    let (spans_off_eps, spans_on_eps) = spans_pair(spec, probe_trials);
+
     // Workspace-reuse probe: recycled vs fresh setup, interleaved.
     let (recycled_sps, fresh_sps) = reuse_pair(spec, probe_trials);
 
@@ -431,6 +464,8 @@ fn measure(spec: &ConfigSpec) -> RunResult {
         convergence_on_events_per_sec: convergence_on_eps,
         gauges_off_events_per_sec: gauges_off_eps,
         gauges_on_events_per_sec: gauges_on_eps,
+        spans_off_events_per_sec: spans_off_eps,
+        spans_on_events_per_sec: spans_on_eps,
         setup_phase_fracs,
     }
 }
@@ -623,6 +658,14 @@ fn result_to_json(r: &RunResult) -> Json {
             Json::num(r.gauges_on_events_per_sec.round()),
         ),
         (
+            "spans_off_events_per_sec".into(),
+            Json::num(r.spans_off_events_per_sec.round()),
+        ),
+        (
+            "spans_on_events_per_sec".into(),
+            Json::num(r.spans_on_events_per_sec.round()),
+        ),
+        (
             "setup_phases".into(),
             Json::Obj(
                 r.setup_phase_fracs
@@ -680,7 +723,7 @@ fn merge_into(doc: Json, label: &str, notes: &str, gf_kernel: Json, results: &[R
 
 fn main() {
     let mut label = String::from("run");
-    let mut out = String::from("BENCH_PR7.json");
+    let mut out = String::from("BENCH_PR8.json");
     let mut notes = String::new();
     let mut smoke = false;
     let mut args = std::env::args().skip(1);
@@ -779,6 +822,13 @@ fn main() {
             r.gauges_off_events_per_sec,
             r.gauges_on_events_per_sec,
             100.0 * (r.gauges_on_events_per_sec / r.gauges_off_events_per_sec - 1.0),
+        );
+        println!(
+            "{:<22} spans off {:.1} on {:.1} events/sec ({:+.1}%)",
+            "",
+            r.spans_off_events_per_sec,
+            r.spans_on_events_per_sec,
+            100.0 * (r.spans_on_events_per_sec / r.spans_off_events_per_sec - 1.0),
         );
         results.push(r);
     }

@@ -35,6 +35,13 @@ impl BlockRef {
     pub fn idx(self) -> u8 {
         self.0 as u8
     }
+
+    /// The packed `group << 8 | idx` key — a stable per-block id for
+    /// observability layers that need a plain integer.
+    #[inline]
+    pub fn raw(self) -> u32 {
+        self.0
+    }
 }
 
 impl std::fmt::Debug for BlockRef {

@@ -41,6 +41,15 @@ pub struct TrialMetrics {
     /// Distribution of rebuild queueing delays (how long each rebuild
     /// waited for busy recovery pipes before starting), seconds.
     pub queue_delay: Histogram,
+    /// Distribution of detection lag per scheduled rebuild: how long the
+    /// block had been vulnerable when the Detect event launched its
+    /// attempt, seconds (the "detect" span phase).
+    #[serde(default)]
+    pub detect_lag: Histogram,
+    /// Distribution of bandwidth-limited transfer times per scheduled
+    /// rebuild, seconds (the "transfer" span phase).
+    #[serde(default)]
+    pub transfer: Histogram,
     /// Distribution of recovery fan-out: rebuilds launched per detected
     /// disk failure (FARM spreads these across disks; single-spare RAID
     /// funnels the same count into one drive).
@@ -65,6 +74,8 @@ impl TrialMetrics {
             no_targets: 0,
             vulnerability: Histogram::new(),
             queue_delay: Histogram::new(),
+            detect_lag: Histogram::new(),
+            transfer: Histogram::new(),
             fanout: Histogram::new(),
         }
     }
@@ -90,6 +101,8 @@ impl TrialMetrics {
         self.no_targets = 0;
         self.vulnerability.reset();
         self.queue_delay.reset();
+        self.detect_lag.reset();
+        self.transfer.reset();
         self.fanout.reset();
     }
 
@@ -148,6 +161,12 @@ pub struct McSummary {
     pub vulnerability: Histogram,
     /// Pooled distribution of rebuild queueing delays, secs.
     pub queue_delay: Histogram,
+    /// Pooled distribution of detection lag per scheduled rebuild, secs.
+    #[serde(default)]
+    pub detect_lag: Histogram,
+    /// Pooled distribution of rebuild transfer times, secs.
+    #[serde(default)]
+    pub transfer: Histogram,
     /// Pooled distribution of rebuild fan-out per detected failure.
     pub fanout: Histogram,
 }
@@ -166,6 +185,8 @@ impl McSummary {
             no_targets: Running::new(),
             vulnerability: Histogram::new(),
             queue_delay: Histogram::new(),
+            detect_lag: Histogram::new(),
+            transfer: Histogram::new(),
             fanout: Histogram::new(),
         }
     }
@@ -183,6 +204,8 @@ impl McSummary {
         self.no_targets.push(t.no_targets as f64);
         self.vulnerability.merge(&t.vulnerability);
         self.queue_delay.merge(&t.queue_delay);
+        self.detect_lag.merge(&t.detect_lag);
+        self.transfer.merge(&t.transfer);
         self.fanout.merge(&t.fanout);
     }
 
@@ -198,6 +221,8 @@ impl McSummary {
         self.no_targets.merge(&other.no_targets);
         self.vulnerability.merge(&other.vulnerability);
         self.queue_delay.merge(&other.queue_delay);
+        self.detect_lag.merge(&other.detect_lag);
+        self.transfer.merge(&other.transfer);
         self.fanout.merge(&other.fanout);
     }
 

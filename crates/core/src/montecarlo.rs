@@ -11,7 +11,8 @@ use crate::sim::Simulation;
 use farm_des::rng::derive_seed;
 use farm_obs::{
     diag, BatchHandle, ConvergenceCore, EventProfile, FlightRecorder, ObsOptions, Progress,
-    TimelineBands, TimelineRecorder, TraceSel, TrialTracer, WorkerShard,
+    SpanFormat, SpanRecorder, TimelineBands, TimelineRecorder, TraceSel, TrialSpans, TrialTracer,
+    WorkerShard,
 };
 use std::io::Write;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -110,6 +111,7 @@ struct TrialArtifacts {
     timeline: Option<Box<TimelineRecorder>>,
     postmortems: Vec<String>,
     loss_trace: Option<Vec<u8>>,
+    spans: Option<TrialSpans>,
 }
 
 /// A finished trial a worker cannot commit yet: under the sequential
@@ -222,6 +224,7 @@ fn record_monitored(shard: &Option<Arc<WorkerShard>>, started: Option<Instant>, 
 fn artifacts_requested(obs: &ObsOptions) -> bool {
     obs.timeline.is_some()
         || obs.postmortem.is_some()
+        || obs.spans.is_some()
         || matches!(
             &obs.trace,
             Some(spec) if spec.sel == TraceSel::Loss
@@ -272,6 +275,9 @@ fn run_trial_observed(
     if obs.postmortem.is_some() {
         sim.set_flight(FlightRecorder::new(trial, cfg.n_groups as usize));
     }
+    if obs.spans.is_some() {
+        sim.set_spans(SpanRecorder::new());
+    }
     let metrics = match mode {
         TrialMode::Full => sim.run(),
         TrialMode::UntilLoss => sim.run_until_loss(),
@@ -299,6 +305,9 @@ fn run_trial_observed(
     artifacts.timeline = sim.take_timeline();
     if let Some(f) = sim.take_flight() {
         artifacts.postmortems = f.take_postmortems();
+    }
+    if let Some(mut s) = sim.take_spans() {
+        artifacts.spans = Some(s.take());
     }
     (metrics, sim.take_profile(), artifacts)
 }
@@ -551,22 +560,30 @@ pub fn run_trials_observed(
         debug_assert_eq!(final_p.trials, summary.trials());
         debug_assert_eq!(final_p.successes, summary.p_loss.successes);
     }
-    // Every trial is recorded by now: mark the batch done and publish
+    // Every trial is recorded by now: publish the batch's pooled
+    // span-phase histograms (detect / queue / transfer / end-to-end
+    // repair) to the live monitor, then mark the batch done and publish
     // the exact final snapshot synchronously.
     if let Some(b) = &batch {
+        b.record_phases(
+            &summary.detect_lag,
+            &summary.queue_delay,
+            &summary.transfer,
+            &summary.vulnerability,
+        );
         b.finish();
     }
     if want_artifacts {
-        emit_artifacts(obs, artifacts);
+        emit_artifacts(obs, &config_label(cfg), artifacts);
     }
     (summary, profile)
 }
 
 /// Write the batch's telemetry artifacts: timeline bands, post-mortem
-/// JSONL, buffered traces of losing trials. Artifacts are sorted by
-/// trial index first, so the files are bit-identical regardless of how
-/// the trials were scheduled across worker threads.
-fn emit_artifacts(obs: &ObsOptions, mut artifacts: Vec<(u64, TrialArtifacts)>) {
+/// JSONL, recovery spans, buffered traces of losing trials. Artifacts
+/// are sorted by trial index first, so the files are bit-identical
+/// regardless of how the trials were scheduled across worker threads.
+fn emit_artifacts(obs: &ObsOptions, label: &str, mut artifacts: Vec<(u64, TrialArtifacts)>) {
     artifacts.sort_by_key(|&(t, _)| t);
     if let Some(spec) = &obs.timeline {
         let mut bands = TimelineBands::new();
@@ -605,6 +622,41 @@ fn emit_artifacts(obs: &ObsOptions, mut artifacts: Vec<(u64, TrialArtifacts)>) {
                     "postmortem-open",
                     &format!("cannot open post-mortem output {path:?}: {e}"),
                 );
+            }
+        }
+    }
+    if let Some(spec) = &obs.spans {
+        match spec.format {
+            SpanFormat::Jsonl => match farm_obs::open_batch_file(&spec.path) {
+                Ok((mut f, _, batch)) => {
+                    let mut body = String::new();
+                    for (t, a) in &artifacts {
+                        if let Some(s) = &a.spans {
+                            s.render_jsonl(&mut body, batch, label, *t);
+                        }
+                    }
+                    let _ = f.write_all(body.as_bytes());
+                }
+                Err(e) => {
+                    diag::warn_once(
+                        "spans-open",
+                        &format!("cannot open spans output {:?}: {e}", spec.path),
+                    );
+                }
+            },
+            SpanFormat::Chrome => {
+                let mut events = Vec::new();
+                for (t, a) in &artifacts {
+                    if let Some(s) = &a.spans {
+                        s.render_chrome(&mut events, *t);
+                    }
+                }
+                if let Err(e) = farm_obs::spans::chrome_flush(&spec.path, events) {
+                    diag::warn_once(
+                        "spans-open",
+                        &format!("cannot write chrome trace {:?}: {e}", spec.path),
+                    );
+                }
             }
         }
     }

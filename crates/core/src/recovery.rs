@@ -144,6 +144,7 @@ impl Simulation {
                     // can assert that).
                     self.metrics_mut().no_targets += 1;
                     self.flight_record(b.group(), flight_kind::NO_TARGET, NO_DISK, b.idx());
+                    self.span_no_target(b);
                     trace_ev!(
                         self,
                         "no_target",
@@ -214,6 +215,15 @@ impl Simulation {
         }
         let wait_secs = (start - now).as_secs();
         self.metrics_mut().queue_delay.record(wait_secs);
+        // Per-phase repair histograms (§ spans): how stale the Detect
+        // that launched this attempt was, relative to the block's first
+        // vulnerable instant. Recorded unconditionally — cheap, and it
+        // keeps summaries identical whether span export is on or off.
+        let lag = self
+            .layout()
+            .vulnerable_since(b)
+            .map_or(0.0, |since| (now - since).as_secs());
+        self.metrics_mut().detect_lag.record(lag);
         self.flight_record(b.group(), flight_kind::REBUILD_START, target.0, b.idx());
         trace_ev!(
             self,
@@ -226,6 +236,8 @@ impl Simulation {
         let bw = self.recovery_bandwidth_at(start);
         let duration = Duration::from_secs(block_bytes as f64 / bw as f64);
         let done = start + duration;
+        self.metrics_mut().transfer.record(duration.as_secs());
+        self.span_schedule(b, start, duration.as_secs(), target.0, &sources);
         if self.config().model_contention {
             self.set_recovery_busy(target, done);
             for &s in &sources {

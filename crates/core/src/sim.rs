@@ -26,7 +26,9 @@ use farm_des::AnyQueue;
 use farm_disk::health::SmartVerdict;
 use farm_disk::model::Disk;
 use farm_obs::flight::kind as flight_kind;
-use farm_obs::{EventProfile, FlightRecorder, TimelineRecorder, TrialTracer, N_GAUGES};
+use farm_obs::{
+    EventProfile, FlightRecorder, SpanRecorder, TimelineRecorder, TrialTracer, N_GAUGES,
+};
 use farm_placement::{ClusterMap, DiskId, Rush, RushScratch};
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
@@ -149,6 +151,10 @@ pub struct Simulation {
     /// Per-group flight recorder for data-loss post-mortems
     /// (observability; `None` = off).
     flight: Option<Box<FlightRecorder>>,
+    /// Recovery-lifecycle span recorder: one span per block repair with
+    /// phase attribution (observability; `None` = off — every hook is a
+    /// null test on this box).
+    spans: Option<Box<SpanRecorder>>,
     /// Running aggregates for the timeline gauges (observability;
     /// `None` = off, initialized when a timeline is attached).
     gauges: Option<Box<LiveGauges>>,
@@ -191,6 +197,7 @@ impl Simulation {
             tracer: None,
             timeline: None,
             flight: None,
+            spans: None,
             gauges: None,
             ablation_rng: seeds.stream(streams::ABLATION),
             latent_rng: seeds.stream(streams::LATENT),
@@ -255,7 +262,8 @@ impl Simulation {
             self.profiler.is_none()
                 && self.tracer.is_none()
                 && self.timeline.is_none()
-                && self.flight.is_none(),
+                && self.flight.is_none()
+                && self.spans.is_none(),
             "detach observability before recycling"
         );
         if !Arc::ptr_eq(&self.cfg, cfg) {
@@ -653,14 +661,20 @@ impl Simulation {
         }
     }
 
-    /// Cold half of post-mortem emission: replays the group's ring into
-    /// one JSON line. Record the fatal event *before* calling this.
+    /// Cold half of data-loss observability: closes the dying group's
+    /// open spans (obtaining the critical path of the fatal window) and
+    /// replays the group's flight ring into one JSON line. Record the
+    /// fatal event *before* calling this.
     #[cold]
     #[inline(never)]
     fn flight_postmortem_slow(&mut self, group: u32, cause: &str) {
         let t = self.now.as_secs();
+        let cp = self
+            .spans
+            .as_deref_mut()
+            .and_then(|s| s.on_group_loss(group, t, cause == "latent_read_error"));
         if let Some(f) = self.flight.as_deref_mut() {
-            f.postmortem(group, t, cause);
+            f.postmortem(group, t, cause, cp.as_ref());
         }
     }
 
@@ -672,11 +686,136 @@ impl Simulation {
         }
     }
 
-    /// Post-mortem hook shared with the recovery module.
+    /// Data-loss hook shared with the recovery module: span closure and
+    /// post-mortem emission (whichever recorders are attached).
     #[inline]
     pub(crate) fn flight_postmortem(&mut self, group: u32, cause: &str) {
-        if self.flight.is_some() {
+        if self.flight.is_some() || self.spans.is_some() {
             self.flight_postmortem_slow(group, cause);
+        }
+    }
+
+    // ----- recovery-span hooks (no-ops unless a recorder is attached) ----
+
+    /// Attach a recovery-span recorder: every block repair becomes a
+    /// span with phase attribution (detect / queue / transfer), and
+    /// data-loss post-mortems gain a critical-path breakdown. Never
+    /// changes results.
+    pub fn set_spans(&mut self, rec: SpanRecorder) {
+        self.spans = Some(Box::new(rec));
+    }
+
+    /// Take the span recorder, closing any still-open spans as
+    /// `truncated` at the current instant (after a run, the horizon).
+    pub fn take_spans(&mut self) -> Option<Box<SpanRecorder>> {
+        let now = self.now.as_secs();
+        let mut rec = self.spans.take();
+        if let Some(s) = rec.as_deref_mut() {
+            s.finalize(now);
+        }
+        rec
+    }
+
+    #[cold]
+    #[inline(never)]
+    fn span_fail_slow(&mut self, b: BlockRef, disk: u32) {
+        let t = self.now.as_secs();
+        if let Some(s) = self.spans.as_deref_mut() {
+            s.on_fail(b.group(), b.raw(), disk, t);
+        }
+    }
+
+    /// A failure just made `b` vulnerable: open its span.
+    #[inline]
+    fn span_fail(&mut self, b: BlockRef, disk: u32) {
+        if self.spans.is_some() {
+            self.span_fail_slow(b, disk);
+        }
+    }
+
+    #[cold]
+    #[inline(never)]
+    fn span_redirect_slow(&mut self, b: BlockRef) {
+        let t = self.now.as_secs();
+        if let Some(s) = self.spans.as_deref_mut() {
+            s.on_redirect(b.raw(), t);
+        }
+    }
+
+    /// A re-failure bumped `b`'s epoch: its span re-enters detection.
+    #[inline]
+    fn span_redirect(&mut self, b: BlockRef) {
+        if self.spans.is_some() {
+            self.span_redirect_slow(b);
+        }
+    }
+
+    #[cold]
+    #[inline(never)]
+    fn span_done_slow(&mut self, b: BlockRef) {
+        let t = self.now.as_secs();
+        let bytes = self.cfg.block_bytes;
+        if let Some(s) = self.spans.as_deref_mut() {
+            s.on_done(b.raw(), t, bytes);
+        }
+    }
+
+    /// `b`'s rebuild completed: close its span.
+    #[inline]
+    fn span_done(&mut self, b: BlockRef) {
+        if self.spans.is_some() {
+            self.span_done_slow(b);
+        }
+    }
+
+    #[cold]
+    #[inline(never)]
+    fn span_schedule_slow(
+        &mut self,
+        b: BlockRef,
+        start: SimTime,
+        duration: f64,
+        target: u32,
+        sources: &[DiskId],
+    ) {
+        let t = self.now.as_secs();
+        let bytes = self.cfg.block_bytes;
+        let ids: Vec<u32> = sources.iter().map(|d| d.0).collect();
+        if let Some(s) = self.spans.as_deref_mut() {
+            s.on_schedule(b.raw(), t, start.as_secs(), duration, target, &ids, bytes);
+        }
+    }
+
+    /// A rebuild for `b` was scheduled on `target`, starting at `start`
+    /// for `duration` seconds, reading from `sources` (recovery hook).
+    #[inline]
+    pub(crate) fn span_schedule(
+        &mut self,
+        b: BlockRef,
+        start: SimTime,
+        duration: f64,
+        target: u32,
+        sources: &[DiskId],
+    ) {
+        if self.spans.is_some() {
+            self.span_schedule_slow(b, start, duration, target, sources);
+        }
+    }
+
+    #[cold]
+    #[inline(never)]
+    fn span_no_target_slow(&mut self, b: BlockRef) {
+        let t = self.now.as_secs();
+        if let Some(s) = self.spans.as_deref_mut() {
+            s.on_no_target(b.raw(), t);
+        }
+    }
+
+    /// A Detect round found no spare capacity for `b` (recovery hook).
+    #[inline]
+    pub(crate) fn span_no_target(&mut self, b: BlockRef) {
+        if self.spans.is_some() {
+            self.span_no_target_slow(b);
         }
     }
 
@@ -700,16 +839,18 @@ impl Simulation {
         let di = d.0 as usize;
         self.recovery_busy[di] = until;
         if let Some(g) = &mut self.gauges {
-            // Every write pushes an expiry snapshot; the sampler checks
-            // snapshots against the authoritative value when they
-            // surface, so re-extended (or even shortened) pipes stay
-            // exact.
+            // One heap entry per busy pipe: push only on the idle→busy
+            // transition. A surfacing entry is checked against the
+            // authoritative `recovery_busy` value and re-armed if the
+            // pipe was extended meanwhile, so extensions — the common
+            // case, every rebuild re-busies m+1 pipes — cost no heap
+            // traffic at all.
             if until > self.now {
                 if !g.pipe_busy[di] {
                     g.pipe_busy[di] = true;
                     g.busy_pipes += 1;
+                    g.expiries.push(Reverse((until, d.0)));
                 }
-                g.expiries.push(Reverse((until, d.0)));
             } else if g.pipe_busy[di] {
                 g.pipe_busy[di] = false;
                 g.busy_pipes -= 1;
@@ -858,8 +999,9 @@ impl Simulation {
     /// The gauge row at sample instant `at`, read from the O(1) live
     /// aggregates. The only per-sample work proportional to anything is
     /// draining recovery-pipe expiries that elapsed since the previous
-    /// sample — each pipe write is drained at most once, so the total
-    /// over a trial is O(rebuilds), not O(samples × disks).
+    /// sample — each busy pipe holds exactly one heap entry (re-armed
+    /// in place when the pipe was extended), so the heap stays at most
+    /// busy-pipes deep and the drain is O(pipes that went idle).
     ///
     /// Debug builds cross-check every row against the full scan
     /// ([`Simulation::timeline_gauges`]), which is what keeps the
@@ -873,9 +1015,17 @@ impl Simulation {
                     }
                     g.expiries.pop();
                     let di = d as usize;
-                    if g.pipe_busy[di] && self.recovery_busy[di] <= at {
-                        g.pipe_busy[di] = false;
-                        g.busy_pipes -= 1;
+                    if g.pipe_busy[di] {
+                        let live = self.recovery_busy[di];
+                        if live > at {
+                            // Extended since the entry was pushed:
+                            // re-arm with the authoritative expiry
+                            // (strictly later, so the drain advances).
+                            g.expiries.push(Reverse((live, d)));
+                        } else {
+                            g.pipe_busy[di] = false;
+                            g.busy_pipes -= 1;
+                        }
                     }
                 }
                 [
@@ -981,6 +1131,7 @@ impl Simulation {
                 self.metrics.redirections += 1;
                 self.layout.bump_epoch(b);
                 self.flight_record(b.group(), flight_kind::REDIRECT, d.0, b.idx());
+                self.span_redirect(b);
                 trace_ev!(
                     self,
                     "redirect",
@@ -993,6 +1144,7 @@ impl Simulation {
                 self.layout.set_vulnerable(b, self.now);
                 self.gauge_block_missing(missing);
                 self.flight_record(b.group(), flight_kind::FAILURE, d.0, b.idx());
+                self.span_fail(b, d.0);
                 let available = self.cfg.scheme.n - missing as u32;
                 if available < self.cfg.scheme.m {
                     self.layout.mark_dead(b.group());
@@ -1075,6 +1227,7 @@ impl Simulation {
         }
         self.layout.mark_available(b);
         self.gauge_block_available(self.layout.missing_count(b.group()));
+        self.span_done(b);
         self.metrics.rebuilds_completed += 1;
         if self.flight.is_some() {
             let home = self.layout.home(b);

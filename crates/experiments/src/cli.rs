@@ -36,6 +36,11 @@
 //!   EPS (checked at fixed trial boundaries, so the stopped run is a
 //!   bit-identical prefix of the unstopped one; a batch with zero
 //!   losses never stops early),
+//! * `--spans [SPEC]` — record every block repair as a lifecycle span
+//!   (failure → detect → queue → transfer → done) and export it; SPEC
+//!   is `[path][@fmt]` with fmt `jsonl` (default, `farm-spans-v1` rows
+//!   plus per-disk/per-group bandwidth attribution) or `chrome` (a
+//!   trace-event JSON loadable in Perfetto),
 //! * `--progress` / `--no-progress` — force batch progress reporting on
 //!   or off (default: on only when stderr is a terminal).
 //!
@@ -43,7 +48,9 @@
 //! The `/metrics` + `/status` HTTP exporter likewise: `FARM_HTTP=addr`.
 
 use farm_core::montecarlo;
-use farm_obs::{ConvergenceSpec, ObsOptions, StatusSpec, TimelineSpec, TraceSel, TraceSpec};
+use farm_obs::{
+    ConvergenceSpec, ObsOptions, SpansSpec, StatusSpec, TimelineSpec, TraceSel, TraceSpec,
+};
 
 /// Parsed experiment options.
 #[derive(Clone, Debug)]
@@ -65,6 +72,8 @@ pub struct Options {
     pub convergence: Option<ConvergenceSpec>,
     /// Sequential stopping target (`--target-rel-ci EPS`).
     pub target_rel_ci: Option<f64>,
+    /// Recovery-lifecycle span export (`--spans [SPEC]`).
+    pub spans: Option<SpansSpec>,
     /// Force progress reporting on/off (`None` = auto).
     pub progress: Option<bool>,
     /// Print an event-loop profile per batch.
@@ -84,6 +93,7 @@ impl Options {
             status: None,
             convergence: None,
             target_rel_ci: None,
+            spans: None,
             progress: None,
             profile: false,
         }
@@ -108,6 +118,7 @@ impl Options {
         let mut status = None;
         let mut convergence = None;
         let mut target_rel_ci = None;
+        let mut spans = None;
         let mut progress = None;
         let mut profile = false;
         let mut it = args.into_iter().peekable();
@@ -187,6 +198,18 @@ impl Options {
                     };
                     convergence = Some(spec);
                 }
+                "--spans" => {
+                    // Optional `[path][@fmt]` spec; bare `--spans`
+                    // takes every default.
+                    let spec = match it.peek() {
+                        Some(v) if !v.starts_with('-') => {
+                            let v = it.next().unwrap();
+                            SpansSpec::parse(&v).map_err(|e| format!("--spans: {e}"))?
+                        }
+                        _ => SpansSpec::parse("").expect("empty spec is valid"),
+                    };
+                    spans = Some(spec);
+                }
                 "--target-rel-ci" => {
                     let v = it.next().ok_or("--target-rel-ci needs a value")?;
                     let eps: f64 = v.parse().map_err(|e| format!("--target-rel-ci: {e}"))?;
@@ -202,8 +225,8 @@ impl Options {
                     return Err(
                         "options: [--quick|--full] [--trials N] [--seed S] [--threads T] \
                          [--trace [N|loss]] [--timeline [SPEC]] [--status [SPEC]] \
-                         [--convergence [SPEC]] [--target-rel-ci EPS] [--profile] \
-                         [--progress|--no-progress]"
+                         [--convergence [SPEC]] [--target-rel-ci EPS] [--spans [SPEC]] \
+                         [--profile] [--progress|--no-progress]"
                             .into(),
                     );
                 }
@@ -221,6 +244,7 @@ impl Options {
         opts.status = status;
         opts.convergence = convergence;
         opts.target_rel_ci = target_rel_ci;
+        opts.spans = spans;
         opts.progress = progress;
         opts.profile = profile;
         Ok(opts)
@@ -251,6 +275,9 @@ impl Options {
         }
         if let Some(eps) = self.target_rel_ci {
             o.target_rel_ci = Some(eps);
+        }
+        if let Some(spec) = &self.spans {
+            o.spans = Some(spec.clone());
         }
         o
     }
@@ -427,6 +454,32 @@ mod tests {
         assert!(parse(&["--target-rel-ci", "0"]).is_err());
         assert!(parse(&["--target-rel-ci", "-0.5"]).is_err());
         assert!(parse(&["--target-rel-ci", "inf"]).is_err());
+    }
+
+    #[test]
+    fn spans_flag_forms() {
+        let o = parse(&[]).unwrap();
+        assert_eq!(o.spans, None);
+
+        // Bare --spans takes every default.
+        let o = parse(&["--spans", "--no-progress"]).unwrap();
+        let spec = o.spans.expect("spans on");
+        assert_eq!(spec.path, farm_obs::spans::DEFAULT_SPANS_PATH);
+        assert_eq!(spec.format, farm_obs::SpanFormat::Jsonl);
+
+        let o = parse(&["--spans", "trace.json@chrome", "--full"]).unwrap();
+        let spec = o.spans.expect("spans on");
+        assert_eq!(spec.path, "trace.json");
+        assert_eq!(spec.format, farm_obs::SpanFormat::Chrome);
+        assert!(!o.quick);
+
+        let obs = parse(&["--spans", "run.jsonl"]).unwrap().obs_options();
+        assert_eq!(
+            obs.spans.as_ref().map(|s| s.path.as_str()),
+            Some("run.jsonl")
+        );
+
+        assert!(parse(&["--spans", "x@perfetto"]).is_err());
     }
 
     #[test]

@@ -7,6 +7,13 @@
 //! recorder replays the group's ring in chronological order and emits
 //! one structured JSON line — the causal chain that produced the loss,
 //! ending in the exact event that killed the group.
+//!
+//! When the span recorder is also attached ([`crate::spans`]), the
+//! post-mortem additionally carries a `critical_path` object: the
+//! phase breakdown (detect / queue / transfer) of the fatal
+//! vulnerability window, whose durations sum to the window.
+
+use crate::spans::CriticalPath;
 
 /// Ring capacity per redundancy group. Losses are caused by short
 /// overlapping-failure windows, so a dozen events is plenty of context;
@@ -98,7 +105,15 @@ impl FlightRecorder {
     /// JSON line. `cause` names the fatal event class
     /// (`"disk_failure"` or `"latent_read_error"`); record the fatal
     /// event *before* calling this, so the chain ends with it.
-    pub fn postmortem(&mut self, group: u32, t_secs: f64, cause: &str) {
+    /// `critical_path` is the span-derived phase breakdown of the fatal
+    /// window, when span tracing is on.
+    pub fn postmortem(
+        &mut self,
+        group: u32,
+        t_secs: f64,
+        cause: &str,
+        critical_path: Option<&CriticalPath>,
+    ) {
         use std::fmt::Write as _;
         let dropped = (self.written[group as usize] as usize).saturating_sub(RING);
         let mut line = format!(
@@ -131,7 +146,12 @@ impl FlightRecorder {
             }
             let _ = write!(line, ",\"idx\":{}}}", ev.idx);
         }
-        line.push_str("]}");
+        line.push(']');
+        if let Some(cp) = critical_path {
+            line.push_str(",\"critical_path\":");
+            cp.render(&mut line);
+        }
+        line.push('}');
         self.postmortems.push(line);
     }
 
@@ -178,7 +198,7 @@ mod tests {
             fr.record(2, i as f64, kind::REBUILD_DONE, i, 1);
         }
         fr.record(2, 99.0, kind::FAILURE, 42, 3);
-        fr.postmortem(2, 99.0, "disk_failure");
+        fr.postmortem(2, 99.0, "disk_failure", None);
 
         let pm = &fr.postmortems()[0];
         assert!(
@@ -195,10 +215,33 @@ mod tests {
     }
 
     #[test]
+    fn critical_path_is_appended_after_the_chain() {
+        let mut fr = FlightRecorder::new(3, 1);
+        fr.record(0, 10.0, kind::FAILURE, 5, 0);
+        let cp = CriticalPath {
+            window_secs: 100.0,
+            detect_secs: 30.0,
+            queue_secs: 10.0,
+            transfer_secs: 60.0,
+        };
+        fr.postmortem(0, 10.0, "disk_failure", Some(&cp));
+        let pm = &fr.postmortems()[0];
+        assert!(
+            pm.ends_with(
+                ",\"critical_path\":{\"window_secs\":100,\"detect_secs\":30,\
+                 \"queue_secs\":10,\"transfer_secs\":60,\"dominant\":\"transfer\"}}"
+            ),
+            "{pm}"
+        );
+        // The chain itself is untouched.
+        assert!(pm.contains("\"chain\":[{"), "{pm}");
+    }
+
+    #[test]
     fn no_disk_renders_as_null() {
         let mut fr = FlightRecorder::new(0, 1);
         fr.record(0, 1.5, kind::NO_TARGET, NO_DISK, 2);
-        fr.postmortem(0, 1.5, "disk_failure");
+        fr.postmortem(0, 1.5, "disk_failure", None);
         assert!(
             fr.postmortems()[0].contains("\"ev\":\"no_target\",\"disk\":null,\"idx\":2"),
             "{}",

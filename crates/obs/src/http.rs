@@ -210,6 +210,58 @@ pub(crate) fn render_metrics(core: &MonitorCore) -> String {
         let _ = writeln!(out, "farm_trial_wall_seconds_sum{{{l}}} {}", h.sum());
         let _ = writeln!(out, "farm_trial_wall_seconds_count{{{l}}} {}", h.count());
     }
+
+    // Recovery-span phase summaries (simulated seconds), published per
+    // batch by the Monte-Carlo driver once the batch summary is final.
+    // Absent until then — never a hollow series.
+    let phases: Vec<_> = batches.iter().map(|b| b.span_phases()).collect();
+    for (phase, metric, help) in [
+        (
+            "detect",
+            "farm_span_detect_seconds",
+            "Detection lag per scheduled rebuild (simulated seconds).",
+        ),
+        (
+            "queue",
+            "farm_span_queue_seconds",
+            "Queue wait behind busy recovery pipes per rebuild (simulated seconds).",
+        ),
+        (
+            "transfer",
+            "farm_span_transfer_seconds",
+            "Bandwidth-limited transfer time per rebuild (simulated seconds).",
+        ),
+        (
+            "repair",
+            "farm_span_repair_seconds",
+            "End-to-end repair window per completed rebuild (simulated seconds).",
+        ),
+    ] {
+        if !phases.iter().any(|p| {
+            p.as_ref()
+                .is_some_and(|p| p.named().iter().any(|(n, h)| *n == phase && !h.is_empty()))
+        }) {
+            continue;
+        }
+        let _ = writeln!(out, "# HELP {metric} {help}\n# TYPE {metric} summary");
+        for (p, l) in phases.iter().zip(&labels) {
+            let Some(p) = p else { continue };
+            let (_, h) = p.named()[match phase {
+                "detect" => 0,
+                "queue" => 1,
+                "transfer" => 2,
+                _ => 3,
+            }];
+            if h.is_empty() {
+                continue;
+            }
+            for (q, v) in [(0.5, h.p50()), (0.9, h.p90()), (0.99, h.p99())] {
+                let _ = writeln!(out, "{metric}{{{l},quantile=\"{q}\"}} {v}");
+            }
+            let _ = writeln!(out, "{metric}_sum{{{l}}} {}", h.sum());
+            let _ = writeln!(out, "{metric}_count{{{l}}} {}", h.count());
+        }
+    }
     out
 }
 

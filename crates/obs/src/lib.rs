@@ -29,10 +29,17 @@
 //!   batched-means drift diagnostics (`FARM_CONVERGENCE=path[@trials]`
 //!   / `--convergence`), plus the deterministic `--target-rel-ci`
 //!   sequential stopping rule,
+//! * [`spans::SpanRecorder`] — recovery-lifecycle span tracing: every
+//!   block repair as a span with phase attribution (detect / queue /
+//!   transfer), per-disk/per-group bandwidth accounting, exported as
+//!   `farm-spans-v1` JSONL or a Chrome trace-event file
+//!   (`FARM_SPANS=path[@fmt]` / `--spans`), and critical-path
+//!   breakdowns in data-loss post-mortems,
 //! * [`ObsOptions`] — the switchboard, populated from `FARM_TRACE` /
 //!   `FARM_PROFILE` / `FARM_PROGRESS` / `FARM_TIMELINE` /
 //!   `FARM_POSTMORTEM` / `FARM_STATUS` / `FARM_HTTP` /
-//!   `FARM_CONVERGENCE` / `FARM_TARGET_REL_CI` or from CLI flags.
+//!   `FARM_CONVERGENCE` / `FARM_TARGET_REL_CI` / `FARM_SPANS` or from
+//!   CLI flags.
 //!
 //! **Overhead contract:** everything here is *off by default*, and the
 //! disabled path inside the trial event loop is a branch on an
@@ -49,6 +56,7 @@ pub mod progress;
 pub mod registry;
 pub mod rss;
 pub mod sink;
+pub mod spans;
 pub mod status;
 pub mod timeline;
 pub mod trace;
@@ -57,8 +65,9 @@ pub use convergence::{ConvergenceCore, ConvergenceSpec, ConvergenceTracker, STOP
 pub use flight::FlightRecorder;
 pub use profile::EventProfile;
 pub use progress::Progress;
-pub use registry::{BatchHandle, BatchTotals, CampaignMonitor, WorkerShard};
+pub use registry::{BatchHandle, BatchTotals, CampaignMonitor, SpanPhases, WorkerShard};
 pub use sink::open_batch_file;
+pub use spans::{CriticalPath, SpanFormat, SpanRecorder, SpansSpec, TrialSpans};
 pub use status::StatusSpec;
 pub use timeline::{TimelineBands, TimelineRecorder, TimelineSpec, GAUGES, N_GAUGES};
 pub use trace::{TraceSel, TraceSpec, TrialTracer};
@@ -97,6 +106,11 @@ pub struct ObsOptions {
     /// ⇒ the same stopping trial count, and the stopped run is a
     /// bit-identical prefix of the unstopped one.
     pub target_rel_ci: Option<f64>,
+    /// Recovery-lifecycle span tracing: one span per block repair with
+    /// phase attribution and bandwidth accounting, exported as
+    /// `farm-spans-v1` JSONL or a Chrome trace-event file
+    /// (`FARM_SPANS=path[@fmt]` / `--spans`).
+    pub spans: Option<SpansSpec>,
 }
 
 impl ObsOptions {
@@ -112,6 +126,7 @@ impl ObsOptions {
             http: None,
             convergence: None,
             target_rel_ci: None,
+            spans: None,
         }
     }
 
@@ -182,6 +197,16 @@ impl ObsOptions {
                             "FARM_CONVERGENCE",
                             &format!("ignoring FARM_CONVERGENCE={v:?}: {e}"),
                         );
+                    }
+                }
+            }
+        }
+        if let Ok(v) = std::env::var("FARM_SPANS") {
+            if env_truthy(&v) {
+                match SpansSpec::parse(&v) {
+                    Ok(spec) => o.spans = Some(spec),
+                    Err(e) => {
+                        diag::warn_once("FARM_SPANS", &format!("ignoring FARM_SPANS={v:?}: {e}"));
                     }
                 }
             }
@@ -267,6 +292,7 @@ mod tests {
         assert!(o.http.is_none());
         assert!(o.convergence.is_none());
         assert!(o.target_rel_ci.is_none());
+        assert!(o.spans.is_none());
         assert!(!o.monitor_requested());
         // Off options never install a campaign monitor.
         assert!(campaign_monitor(&o).is_none());

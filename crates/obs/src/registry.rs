@@ -71,6 +71,30 @@ pub struct BatchTotals {
     pub trial_secs: Histogram,
 }
 
+/// Pooled recovery-span phase distributions of one batch, published by
+/// the Monte-Carlo driver when the batch completes (simulated seconds).
+/// The four phases mirror the span model: detection lag, queue wait,
+/// bandwidth-limited transfer, and the end-to-end repair window.
+#[derive(Clone, Debug, Default)]
+pub struct SpanPhases {
+    pub detect: Histogram,
+    pub queue: Histogram,
+    pub transfer: Histogram,
+    pub repair: Histogram,
+}
+
+impl SpanPhases {
+    /// `(name, histogram)` pairs for renderers, in display order.
+    pub fn named(&self) -> [(&'static str, &Histogram); 4] {
+        [
+            ("detect", &self.detect),
+            ("queue", &self.queue),
+            ("transfer", &self.transfer),
+            ("repair", &self.repair),
+        ]
+    }
+}
+
 impl BatchTotals {
     /// The online data-loss estimate as a binomial proportion (read its
     /// Wilson interval via [`Proportion::wilson95`]).
@@ -99,6 +123,8 @@ pub struct BatchState {
     /// running) — atomics cannot hold an `Option<f64>`.
     finished_ms_plus_1: AtomicU64,
     shards: Mutex<Vec<Arc<WorkerShard>>>,
+    /// Batch-end span-phase distributions (`None` until published).
+    phases: Mutex<Option<SpanPhases>>,
 }
 
 impl BatchState {
@@ -137,6 +163,11 @@ impl BatchState {
             ms => Some((ms - 1) as f64 / 1e3),
         }
     }
+
+    /// The batch's published span-phase distributions, if any.
+    pub fn span_phases(&self) -> Option<SpanPhases> {
+        self.phases.lock().expect("phases poisoned").clone()
+    }
 }
 
 /// A worker-facing handle to one batch: hand out shards, then report
@@ -162,6 +193,29 @@ impl BatchHandle {
     /// The batch's registry entry (for assertions and renderers).
     pub fn state(&self) -> &BatchState {
         &self.batch
+    }
+
+    /// Publish the batch's pooled span-phase distributions (detect /
+    /// queue / transfer / end-to-end repair, simulated seconds). Called
+    /// once by the Monte-Carlo driver when the batch's summary is
+    /// final; empty histograms are skipped so `/metrics` never exports
+    /// hollow quantile series.
+    pub fn record_phases(
+        &self,
+        detect: &Histogram,
+        queue: &Histogram,
+        transfer: &Histogram,
+        repair: &Histogram,
+    ) {
+        if detect.is_empty() && queue.is_empty() && transfer.is_empty() && repair.is_empty() {
+            return;
+        }
+        let mut slot = self.batch.phases.lock().expect("phases poisoned");
+        let p = slot.get_or_insert_with(SpanPhases::default);
+        p.detect.merge(detect);
+        p.queue.merge(queue);
+        p.transfer.merge(transfer);
+        p.repair.merge(repair);
     }
 
     /// Mark the batch complete and synchronously write a status
@@ -293,6 +347,7 @@ impl CampaignMonitor {
             anchor_p_loss,
             finished_ms_plus_1: AtomicU64::new(0),
             shards: Mutex::new(Vec::new()),
+            phases: Mutex::new(None),
         });
         batches.push(Arc::clone(&batch));
         drop(batches);

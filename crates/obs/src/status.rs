@@ -217,6 +217,29 @@ pub(crate) fn render_status(core: &MonitorCore, seq: u64) -> String {
         jnum(&mut e, t.trial_secs.p50());
         e.push_str(",\"trial_secs_p99\":");
         jnum(&mut e, t.trial_secs.p99());
+        // Recovery-span phase percentiles (simulated seconds), published
+        // by the driver when the batch summary is final; absent mid-run.
+        if let Some(ph) = b.span_phases() {
+            e.push_str(",\"span_phases\":{");
+            let mut first = true;
+            for (name, h) in ph.named() {
+                if h.is_empty() {
+                    continue;
+                }
+                if !first {
+                    e.push(',');
+                }
+                first = false;
+                let _ = write!(e, "\"{name}\":{{\"count\":{},\"mean\":", h.count());
+                jnum(&mut e, h.mean());
+                e.push_str(",\"p50\":");
+                jnum(&mut e, h.p50());
+                e.push_str(",\"p99\":");
+                jnum(&mut e, h.p99());
+                e.push('}');
+            }
+            e.push('}');
+        }
         e.push('}');
         rendered.push(e);
     }

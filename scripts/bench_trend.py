@@ -37,6 +37,8 @@ COLUMNS = [
                             "convergence_on_events_per_sec"), "pair"),
     ("gauges off/on", ("gauges_off_events_per_sec",
                        "gauges_on_events_per_sec"), "pair"),
+    ("spans off/on", ("spans_off_events_per_sec",
+                      "spans_on_events_per_sec"), "pair"),
     ("setup phases", "setup_phases", "phases"),
 ]
 
@@ -56,19 +58,26 @@ def pr_number(path):
     return int(m.group(1)) if m else -1
 
 
+def _num(v):
+    return v if isinstance(v, (int, float)) and not isinstance(v, bool) else None
+
+
 def fmt(entry, key, spec):
     if spec == "pair":
-        off, on = (entry.get(k) for k in key)
-        if off is None or on is None:
+        off, on = (_num(entry.get(k)) for k in key)
+        if off is None or on is None or off == 0:
             return ""
         return "{:,.0f} / {:,.0f} ({:+.1f}%)".format(off, on, 100 * (on / off - 1))
     v = entry.get(key)
-    if v is None:
+    if spec == "phases":
+        if not isinstance(v, dict):
+            return ""
+        return " ".join("{} {:.0f}%".format(k, 100 * f)
+                        for k, f in v.items() if _num(f) is not None)
+    if _num(v) is None:
         return ""
     if spec == "rss":
         return "{:.0f}".format(v / (1 << 20))
-    if spec == "phases":
-        return " ".join("{} {:.0f}%".format(k, 100 * f) for k, f in v.items())
     return spec.format(v)
 
 
@@ -80,20 +89,40 @@ def load_rows(repo_dir):
     if not paths:
         sys.exit(f"bench_trend: no BENCH_PR*.json under {repo_dir}")
     for path in paths:
-        with open(path) as f:
-            doc = json.load(f)
-        for run in doc.get("runs", []):
+        # Reports grew sections over time and may predate any given
+        # probe; a report that is unreadable or oddly shaped is skipped
+        # with a warning rather than sinking the whole trajectory.
+        try:
+            with open(path) as f:
+                doc = json.load(f)
+        except (OSError, json.JSONDecodeError) as e:
+            print(f"bench_trend: skipping {path}: {e}", file=sys.stderr)
+            continue
+        if not isinstance(doc, dict):
+            print(f"bench_trend: skipping {path}: not a JSON object",
+                  file=sys.stderr)
+            continue
+        runs = doc.get("runs")
+        if not isinstance(runs, list):
+            runs = []
+        for run in runs:
+            if not isinstance(run, dict):
+                continue
             report, label = os.path.basename(path), run.get("label", "")
-            for cfg in run.get("configs", []):
+            configs = run.get("configs")
+            for cfg in configs if isinstance(configs, list) else []:
+                if not isinstance(cfg, dict):
+                    continue
                 rows.append({
                     "report": report,
                     "label": label,
                     "config": cfg.get("config", ""),
                     "entry": cfg,
                 })
-            gf = run.get("gf_kernel") or {}
-            for kern in gf.get("kernels", []):
-                if kern.get("supported"):
+            gf = run.get("gf_kernel")
+            kernels = gf.get("kernels") if isinstance(gf, dict) else None
+            for kern in kernels if isinstance(kernels, list) else []:
+                if isinstance(kern, dict) and kern.get("supported"):
                     kernel_rows.append({
                         "report": report,
                         "label": label,
@@ -102,6 +131,8 @@ def load_rows(repo_dir):
                     })
             if run.get("notes"):
                 notes.append((report, label, run["notes"]))
+    if not rows and not kernel_rows:
+        sys.exit(f"bench_trend: no usable runs in any report under {repo_dir}")
     return rows, kernel_rows, notes
 
 
@@ -130,7 +161,7 @@ def render_markdown(rows, kernel_rows, notes):
         for r in kernel_rows:
             cells = [r["report"], r["label"], r["kernel"]]
             for _, key in KERNEL_COLUMNS:
-                v = r["entry"].get(key)
+                v = _num(r["entry"].get(key))
                 cells.append("" if v is None else "{:,.0f}".format(v))
             print("| " + " | ".join(cells) + " |", file=out)
     if notes:

@@ -6,6 +6,8 @@ Usage:
     check_telemetry.py status STATUS.json
     check_telemetry.py metrics METRICS.txt [LATER_METRICS.txt]
     check_telemetry.py convergence STREAM.jsonl [--expect-stop]
+    check_telemetry.py spans SPANS.jsonl [--expect-loss]
+    check_telemetry.py spans TRACE.json --chrome
 
 The first form checks the timeline CSV and post-mortem JSONL produced
 by `--timeline` and `FARM_POSTMORTEM` (schema: DESIGN.md section 11).
@@ -31,6 +33,16 @@ never informative-null, and exactly one final record per stream. With
 multiple (64 trials) with an informative rel_half_width — callers
 request a batch total that is *not* a multiple of 64, so a boundary-
 aligned final record proves the sequential stopping rule fired.
+
+`spans` validates a recovery-span artifact (`FARM_SPANS` / `--spans`,
+schemas `farm-spans-v1` + `farm-spans-bw-v1`, DESIGN.md section 16):
+monotone phase timestamps, non-negative bytes and phase durations,
+phase durations telescoping to the span window, exactly one terminal
+outcome per span, and well-formed bandwidth-attribution rows. With
+`--expect-loss`, at least one span must end in a loss outcome. With
+`--chrome`, the file is instead validated as a Chrome trace-event
+document (one JSON object with a `traceEvents` array of complete
+events), the format Perfetto / chrome://tracing load.
 
 Stdlib only; exits non-zero with a message on the first violation.
 """
@@ -314,6 +326,143 @@ def check_convergence(path, expect_stop=False):
           f"{len(streams)} stream(s), trajectories consistent")
 
 
+SPAN_OUTCOMES = {"rebuilt", "loss_disk", "loss_latent", "truncated"}
+SPAN_INT_KEYS = ("batch", "trial", "span", "group", "block", "fail_disk",
+                 "bytes", "attempts", "redirects", "no_target")
+SPAN_SECS_KEYS = ("detect_secs", "queue_secs", "transfer_secs")
+BW_INT_KEYS = ("batch", "trial", "id", "bytes_read", "bytes_written", "spans")
+
+
+def _finite_num(rec, key, where):
+    v = rec.get(key)
+    if not isinstance(v, (int, float)) or isinstance(v, bool):
+        fail(f"{where}: {key} must be a number, got {v!r}")
+    return v
+
+
+def check_spans(path, expect_loss=False):
+    with open(path) as f:
+        lines = [l for l in f.read().splitlines() if l]
+    if not lines:
+        fail(f"{path}: empty spans artifact")
+    n_spans = n_bw = n_loss = 0
+    seen = set()  # (batch, trial, span): exactly one terminal row each
+    for n, line in enumerate(lines, start=1):
+        where = f"{path}:{n}"
+        try:
+            rec = json.loads(line)
+        except json.JSONDecodeError as e:
+            fail(f"{where}: invalid JSON: {e}")
+        schema = rec.get("schema")
+        if not isinstance(rec.get("config"), str) or not rec["config"]:
+            fail(f"{where}: config must be a non-empty string")
+        if schema == "farm-spans-v1":
+            n_spans += 1
+            for key in SPAN_INT_KEYS:
+                v = rec.get(key)
+                if not isinstance(v, int) or v < 0:
+                    fail(f"{where}: {key} must be a non-negative integer, "
+                         f"got {v!r}")
+            target = rec.get("target")
+            if target is not None and (not isinstance(target, int) or target < 0):
+                fail(f"{where}: target must be a non-negative integer or "
+                     f"null, got {target!r}")
+            key = (rec["batch"], rec["trial"], rec["span"])
+            if key in seen:
+                fail(f"{where}: span {key} has more than one terminal row")
+            seen.add(key)
+            outcome = rec.get("outcome")
+            if outcome not in SPAN_OUTCOMES:
+                fail(f"{where}: unknown outcome {outcome!r}")
+            if outcome.startswith("loss_"):
+                n_loss += 1
+            # Phase timestamps are monotone where present (null = the
+            # span never reached that phase). `t_start` is the *planned*
+            # transfer start: a span that dies while still queued closes
+            # with t_end < t_start and zero transfer time, so t_end must
+            # only follow t_start once a transfer actually ran.
+            t_fail = _finite_num(rec, "t_fail", where)
+            t_end = _finite_num(rec, "t_end", where)
+            last, last_key = t_fail, "t_fail"
+            for key in ("t_detect", "t_start"):
+                v = rec.get(key)
+                if v is None:
+                    continue
+                if not isinstance(v, (int, float)):
+                    fail(f"{where}: {key} must be a number or null, got {v!r}")
+                if v < last:
+                    fail(f"{where}: {key} {v} precedes {last_key} {last}")
+                last, last_key = v, key
+            t_detect = rec.get("t_detect")
+            if t_detect is not None and t_end < t_detect:
+                fail(f"{where}: t_end {t_end} precedes t_detect {t_detect}")
+            if t_end < t_fail:
+                fail(f"{where}: t_end {t_end} precedes t_fail {t_fail}")
+            if rec.get("transfer_secs", 0) > 0 and rec.get("t_start") is not None \
+                    and t_end < rec["t_start"]:
+                fail(f"{where}: transfer ran but t_end {t_end} precedes "
+                     f"t_start {rec['t_start']}")
+            total = 0.0
+            for key in SPAN_SECS_KEYS:
+                v = _finite_num(rec, key, where)
+                if v < 0:
+                    fail(f"{where}: {key} must be >= 0, got {v}")
+                total += v
+            window = t_end - t_fail
+            if abs(total - window) > 1e-6 * max(1.0, window):
+                fail(f"{where}: phase durations {total} don't telescope "
+                     f"to the span window {window}")
+        elif schema == "farm-spans-bw-v1":
+            n_bw += 1
+            if rec.get("resource") not in ("disk", "group"):
+                fail(f"{where}: resource must be 'disk' or 'group', "
+                     f"got {rec.get('resource')!r}")
+            for key in BW_INT_KEYS:
+                v = rec.get(key)
+                if not isinstance(v, int) or v < 0:
+                    fail(f"{where}: {key} must be a non-negative integer, "
+                         f"got {v!r}")
+            if _finite_num(rec, "busy_secs", where) < 0:
+                fail(f"{where}: busy_secs must be >= 0")
+        else:
+            fail(f"{where}: unknown schema {schema!r}")
+    if n_spans == 0:
+        fail(f"{path}: no farm-spans-v1 rows")
+    if expect_loss and n_loss == 0:
+        fail(f"{path}: --expect-loss but no span ended in a loss outcome")
+    print(f"check_telemetry: {path}: {n_spans} span(s), {n_bw} bandwidth "
+          f"row(s), {n_loss} loss(es), phases telescoped")
+
+
+def check_chrome_trace(path):
+    with open(path) as f:
+        try:
+            doc = json.load(f)
+        except json.JSONDecodeError as e:
+            fail(f"{path}: invalid JSON: {e}")
+    events = doc.get("traceEvents")
+    if not isinstance(events, list) or not events:
+        fail(f"{path}: traceEvents must be a non-empty array")
+    for i, ev in enumerate(events):
+        where = f"{path}: traceEvents[{i}]"
+        if not isinstance(ev, dict):
+            fail(f"{where}: event must be an object")
+        if not isinstance(ev.get("name"), str) or not ev["name"]:
+            fail(f"{where}: name must be a non-empty string")
+        if ev.get("ph") != "X":
+            fail(f"{where}: ph must be 'X' (complete events), "
+                 f"got {ev.get('ph')!r}")
+        for key in ("ts", "dur"):
+            _finite_num(ev, key, where)
+        if ev["dur"] < 0:
+            fail(f"{where}: dur must be >= 0, got {ev['dur']}")
+        for key in ("pid", "tid"):
+            if not isinstance(ev.get(key), int):
+                fail(f"{where}: {key} must be an integer, got {ev.get(key)!r}")
+    print(f"check_telemetry: {path}: {len(events)} trace event(s), "
+          f"document well-formed")
+
+
 METRIC_NAME_RE = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
 SAMPLE_RE = re.compile(r"^([a-zA-Z_:][a-zA-Z0-9_:]*)(?:\{(.*)\})?\s+(\S+)$")
 LABEL_RE = re.compile(r'([a-zA-Z_][a-zA-Z0-9_]*)="((?:\\.|[^"\\])*)"(,|$)')
@@ -412,6 +561,17 @@ def main(argv):
             print(__doc__.strip(), file=sys.stderr)
             return 2
         check_metrics(argv[1], argv[2] if len(argv) == 3 else None)
+        print("check_telemetry: OK")
+        return 0
+    if argv and argv[0] == "spans":
+        args = [a for a in argv[1:] if a not in ("--expect-loss", "--chrome")]
+        if len(args) != 1:
+            print(__doc__.strip(), file=sys.stderr)
+            return 2
+        if "--chrome" in argv:
+            check_chrome_trace(args[0])
+        else:
+            check_spans(args[0], expect_loss="--expect-loss" in argv)
         print("check_telemetry: OK")
         return 0
     if argv and argv[0] == "convergence":

@@ -5,7 +5,7 @@
 
 use farm_core::prelude::*;
 use farm_des::stats::Running;
-use farm_obs::{ObsOptions, TimelineSpec, TraceSel, TraceSpec};
+use farm_obs::{ObsOptions, SpanFormat, SpansSpec, TimelineSpec, TraceSel, TraceSpec};
 
 fn tiny() -> SystemConfig {
     SystemConfig {
@@ -43,6 +43,8 @@ fn assert_summaries_identical(a: &McSummary, b: &McSummary) {
     // The compact form is lossless, so string equality is bit equality.
     assert_eq!(a.vulnerability.to_compact(), b.vulnerability.to_compact());
     assert_eq!(a.queue_delay.to_compact(), b.queue_delay.to_compact());
+    assert_eq!(a.detect_lag.to_compact(), b.detect_lag.to_compact());
+    assert_eq!(a.transfer.to_compact(), b.transfer.to_compact());
     assert_eq!(a.fanout.to_compact(), b.fanout.to_compact());
 }
 
@@ -56,10 +58,15 @@ fn golden_metrics_identical_with_observability_on() {
     let tmp = std::env::temp_dir();
     let timeline_path = tmp.join(format!("farm-obs-golden-tl-{}.csv", std::process::id()));
     let postmortem_path = tmp.join(format!("farm-obs-golden-pm-{}.jsonl", std::process::id()));
+    let spans_path = tmp.join(format!(
+        "farm-obs-golden-spans-{}.jsonl",
+        std::process::id()
+    ));
 
     let off = ObsOptions::off();
     // Everything on: profiling, a trace of trial 1, progress reporting,
-    // the cluster-state timeline and the flight recorder + post-mortems.
+    // the cluster-state timeline, the flight recorder + post-mortems,
+    // and recovery-span export.
     let on = ObsOptions {
         progress: Some(true),
         profile: true,
@@ -76,6 +83,10 @@ fn golden_metrics_identical_with_observability_on() {
         http: None,
         convergence: None,
         target_rel_ci: None,
+        spans: Some(SpansSpec {
+            path: spans_path.to_str().unwrap().to_string(),
+            format: SpanFormat::Jsonl,
+        }),
     };
 
     // Single-threaded so aggregation order is fixed and the comparison
@@ -112,6 +123,18 @@ fn golden_metrics_identical_with_observability_on() {
         assert!(
             l.starts_with("{\"trial\":") && l.ends_with('}'),
             "bad post-mortem: {l}"
+        );
+    }
+
+    // The spans file was written: `farm-spans-v1` rows plus bandwidth
+    // attribution, every line a complete JSON object.
+    let sp = std::fs::read_to_string(&spans_path).expect("spans file written");
+    std::fs::remove_file(&spans_path).ok();
+    assert!(!sp.is_empty(), "this config rebuilds, so spans exist");
+    for l in sp.lines() {
+        assert!(
+            l.starts_with("{\"schema\":\"farm-spans-") && l.ends_with('}'),
+            "bad span row: {l}"
         );
     }
 
