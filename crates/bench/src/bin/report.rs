@@ -23,14 +23,19 @@
 //! (timeline attached with an interval past the horizon so no sample
 //! is ever taken — the `bench_gauges` pair), splits per-trial setup
 //! time into its phases (state reset, disk installation, placement)
-//! via `Simulation::recycle_profiled`, sweeps the GF(2^8) region
-//! kernels (scalar/SSSE3/AVX2 `mul_slice_xor` MB/s at 4 KiB / 64 KiB /
-//! 1 MiB plus RS 8/10 encode/reconstruct MB/s — the `gf_kernel`
-//! section), and merges the labelled result set — stamped with host
-//! metadata and an optional `--notes` annotation — into a JSON file
-//! (default `BENCH_PR8.json`). Re-running with an existing label
-//! replaces that label's entry, so a "before" run survives an "after"
-//! run of the same file.
+//! via `Simulation::recycle_profiled`, probes the batched placement
+//! engine the same way (`FARM_PLACE_ENGINE`-style multi-lane RUSH
+//! prehash + memoized walk prefixes off vs on, whole trials in
+//! interleaved chunks — the `placement_*` pair), sweeps the GF(2^8)
+//! region kernels (scalar/SSSE3/AVX2 `mul_slice_xor` MB/s at 4 KiB /
+//! 64 KiB / 1 MiB plus RS 8/10 encode/reconstruct MB/s — the
+//! `gf_kernel` section), sweeps the placement kernels the same way
+//! (raw `draw_hashes` rates plus `place_all_groups` throughput per
+//! kernel — the `place_kernel` section), and merges the labelled
+//! result set — stamped with host metadata and an optional `--notes`
+//! annotation — into a JSON file (default `BENCH_PR9.json`).
+//! Re-running with an existing label replaces that label's entry, so a
+//! "before" run survives an "after" run of the same file.
 //!
 //! The workspace-recycling win is recorded as a before/after pair:
 //! `FARM_WORKSPACE=0 report --label before` then `report --label after`
@@ -130,6 +135,15 @@ struct RunResult {
     /// interleaved chunks.
     spans_off_events_per_sec: f64,
     spans_on_events_per_sec: f64,
+    /// Whole-trial throughput (setup + event loop) with the batched
+    /// placement engine disabled / enabled (`FARM_PLACE_ENGINE`),
+    /// interleaved chunks. The engine only accelerates setup, so the
+    /// events/sec gap is the trial-level win of the multi-lane prehash
+    /// plus the memoized walk prefixes.
+    placement_off_events_per_sec: f64,
+    placement_on_events_per_sec: f64,
+    placement_off_trials_per_sec: f64,
+    placement_on_trials_per_sec: f64,
     /// Fraction of recycled-setup time spent in each phase, in
     /// [`Simulation::SETUP_PHASE_LABELS`] order (reset, disks,
     /// placement).
@@ -329,6 +343,53 @@ fn spans_pair(spec: &ConfigSpec, trials: u64) -> (f64, f64) {
     pair
 }
 
+/// Batched-placement-engine probe: whole trials (recycled setup +
+/// event loop) with the engine off vs on, in alternating chunks with
+/// one workspace per side so recycling state is comparable. Returns
+/// (off events/sec, on events/sec, off trials/sec, on trials/sec).
+/// Trial *results* are bit-identical either way (pinned by
+/// `tests/placement_kernel_identity.rs`); only the wall time moves.
+fn placement_pair(spec: &ConfigSpec, trials: u64) -> (f64, f64, f64, f64) {
+    use farm_placement::kernel;
+    let prepared = Arc::new(PreparedConfig::new(spec.cfg.clone()));
+    const CHUNKS: u64 = 4;
+    let per_chunk = (trials / CHUNKS).max(1);
+    let startup = kernel::engine_enabled();
+    let mut ws_off = TrialWorkspace::new();
+    let mut ws_on = TrialWorkspace::new();
+    let (mut off_events, mut off_wall, mut off_n) = (0.0f64, 0.0f64, 0u64);
+    let (mut on_events, mut on_wall, mut on_n) = (0.0f64, 0.0f64, 0u64);
+    for chunk in 0..CHUNKS {
+        for (engine, ws, events, wall, n) in [
+            (
+                false,
+                &mut ws_off,
+                &mut off_events,
+                &mut off_wall,
+                &mut off_n,
+            ),
+            (true, &mut ws_on, &mut on_events, &mut on_wall, &mut on_n),
+        ] {
+            kernel::set_engine_enabled(engine);
+            for t in 0..per_chunk {
+                let seed = derive_seed(6, chunk * per_chunk + t);
+                let start = Instant::now();
+                let m = ws.obtain(&prepared, seed).run();
+                *wall += start.elapsed().as_secs_f64();
+                *events += m.events_processed as f64;
+                *n += 1;
+            }
+        }
+    }
+    kernel::set_engine_enabled(startup);
+    (
+        off_events / off_wall,
+        on_events / on_wall,
+        off_n as f64 / off_wall,
+        on_n as f64 / on_wall,
+    )
+}
+
 /// Workspace-recycling probe: alternate chunks of trials whose setup
 /// comes from a recycled workspace vs fresh construction, timing only
 /// the setup (`obtain`) portion. The full event loop still runs between
@@ -418,6 +479,11 @@ fn measure(spec: &ConfigSpec) -> RunResult {
     // off, interleaved.
     let (spans_off_eps, spans_on_eps) = spans_pair(spec, probe_trials);
 
+    // Placement-engine probe: whole trials with the batched engine off
+    // vs on, interleaved.
+    let (placement_off_eps, placement_on_eps, placement_off_tps, placement_on_tps) =
+        placement_pair(spec, probe_trials);
+
     // Workspace-reuse probe: recycled vs fresh setup, interleaved.
     let (recycled_sps, fresh_sps) = reuse_pair(spec, probe_trials);
 
@@ -466,6 +532,10 @@ fn measure(spec: &ConfigSpec) -> RunResult {
         gauges_on_events_per_sec: gauges_on_eps,
         spans_off_events_per_sec: spans_off_eps,
         spans_on_events_per_sec: spans_on_eps,
+        placement_off_events_per_sec: placement_off_eps,
+        placement_on_events_per_sec: placement_on_eps,
+        placement_off_trials_per_sec: placement_off_tps,
+        placement_on_trials_per_sec: placement_on_tps,
         setup_phase_fracs,
     }
 }
@@ -577,6 +647,98 @@ fn gf_kernel_section() -> Json {
     ]))
 }
 
+/// Placement-kernel sweep: raw batched `draw_hashes` rates per
+/// available kernel, plus the real `place_all_groups` throughput
+/// (initial placement of the small tracked config, timed through
+/// `Simulation::recycle_profiled`'s placement phase) under each kernel
+/// and with the engine off — the sequential-walk baseline the speedup
+/// is quoted against.
+fn place_kernel_section(smoke: bool) -> Json {
+    use farm_placement::kernel::{self, Kernel};
+
+    let cfg = SystemConfig {
+        total_user_bytes: 64 * TIB,
+        group_user_bytes: 10 * GIB,
+        ..SystemConfig::default()
+    };
+    let prepared = Arc::new(PreparedConfig::new(cfg));
+    let recycles = if smoke { 4u64 } else { 48 };
+    let mut sim = Simulation::from_shared(Arc::clone(&prepared), derive_seed(8, 0));
+    let n_groups = sim.layout().n_groups() as f64;
+
+    // groups/sec through place_all_groups alone (placement-phase nanos
+    // of profiled recycles; reset and disk installation excluded).
+    let mut place_rate = |engine: bool| -> f64 {
+        let prev = kernel::set_engine_enabled(engine);
+        let mut prof = EventProfile::new(Simulation::SETUP_PHASE_LABELS);
+        for t in 0..recycles {
+            sim.recycle_profiled(&prepared, derive_seed(8, t + 1), &mut prof);
+        }
+        kernel::set_engine_enabled(prev);
+        let placement_secs = (prof.nanos(2).max(1)) as f64 / 1e9;
+        recycles as f64 * n_groups / placement_secs
+    };
+
+    let startup = kernel::active();
+    let seq_rate = place_rate(false);
+    let mut kernels = Vec::new();
+    let mut active_rate = seq_rate;
+    for k in Kernel::ALL {
+        let mut entry = BTreeMap::from([
+            ("kernel".into(), Json::str(k.name())),
+            ("supported".into(), Json::Bool(k.supported())),
+        ]);
+        if k.supported() {
+            kernel::set_active(k);
+            // Raw multi-lane hash rate, independent of the simulator.
+            let gkeys: [u64; kernel::LANES] =
+                std::array::from_fn(|l| 0x9E37_79B9u64.wrapping_mul(l as u64 + 1));
+            let n_idx = 16usize;
+            let mut out = vec![0u64; n_idx * kernel::LANES];
+            k.run(&gkeys, n_idx, &mut out);
+            let start = Instant::now();
+            let mut iters = 0u64;
+            while start.elapsed().as_secs_f64() < 0.1 {
+                for _ in 0..256 {
+                    k.run(&gkeys, n_idx, &mut out);
+                }
+                iters += 256;
+            }
+            std::hint::black_box(&out);
+            let mhashes =
+                iters as f64 * (n_idx * kernel::LANES) as f64 / start.elapsed().as_secs_f64() / 1e6;
+            let groups = place_rate(true);
+            if k == startup {
+                active_rate = groups;
+            }
+            entry.insert("draw_mhashes_per_sec".into(), Json::num(mhashes.round()));
+            entry.insert(
+                "place_all_groups_kgroups_per_sec".into(),
+                Json::num((groups / 1e3 * 1e1).round() / 1e1),
+            );
+        }
+        kernels.push(Json::Obj(entry));
+    }
+    kernel::set_active(startup);
+
+    Json::Obj(BTreeMap::from([
+        ("active".into(), Json::str(startup.name())),
+        (
+            "engine_enabled".into(),
+            Json::Bool(kernel::engine_enabled()),
+        ),
+        (
+            "place_all_groups_seq_kgroups_per_sec".into(),
+            Json::num((seq_rate / 1e3 * 1e1).round() / 1e1),
+        ),
+        (
+            "engine_speedup".into(),
+            Json::num((active_rate / seq_rate.max(1e-9) * 1e2).round() / 1e2),
+        ),
+        ("kernels".into(), Json::Arr(kernels)),
+    ]))
+}
+
 fn result_to_json(r: &RunResult) -> Json {
     Json::Obj(BTreeMap::from([
         ("config".into(), Json::str(r.name)),
@@ -666,6 +828,22 @@ fn result_to_json(r: &RunResult) -> Json {
             Json::num(r.spans_on_events_per_sec.round()),
         ),
         (
+            "placement_off_events_per_sec".into(),
+            Json::num(r.placement_off_events_per_sec.round()),
+        ),
+        (
+            "placement_on_events_per_sec".into(),
+            Json::num(r.placement_on_events_per_sec.round()),
+        ),
+        (
+            "placement_off_trials_per_sec".into(),
+            Json::num((r.placement_off_trials_per_sec * 1e3).round() / 1e3),
+        ),
+        (
+            "placement_on_trials_per_sec".into(),
+            Json::num((r.placement_on_trials_per_sec * 1e3).round() / 1e3),
+        ),
+        (
             "setup_phases".into(),
             Json::Obj(
                 r.setup_phase_fracs
@@ -694,7 +872,14 @@ fn host_metadata() -> Json {
 }
 
 /// Replace-or-append this label's entry in the report document.
-fn merge_into(doc: Json, label: &str, notes: &str, gf_kernel: Json, results: &[RunResult]) -> Json {
+fn merge_into(
+    doc: Json,
+    label: &str,
+    notes: &str,
+    gf_kernel: Json,
+    place_kernel: Json,
+    results: &[RunResult],
+) -> Json {
     let mut runs: Vec<Json> = doc
         .get("runs")
         .and_then(|r| r.as_arr())
@@ -710,6 +895,7 @@ fn merge_into(doc: Json, label: &str, notes: &str, gf_kernel: Json, results: &[R
             Json::Bool(workspace_reuse_enabled()),
         ),
         ("gf_kernel".into(), gf_kernel),
+        ("place_kernel".into(), place_kernel),
         (
             "configs".into(),
             Json::Arr(results.iter().map(result_to_json).collect()),
@@ -723,7 +909,7 @@ fn merge_into(doc: Json, label: &str, notes: &str, gf_kernel: Json, results: &[R
 
 fn main() {
     let mut label = String::from("run");
-    let mut out = String::from("BENCH_PR8.json");
+    let mut out = String::from("BENCH_PR9.json");
     let mut notes = String::new();
     let mut smoke = false;
     let mut args = std::env::args().skip(1);
@@ -748,6 +934,12 @@ fn main() {
     let gf_kernel = gf_kernel_section();
     if let Some(speedup) = gf_kernel.get("simd_speedup_64KiB").and_then(|s| s.as_f64()) {
         println!("gf_kernel: best SIMD mul_slice_xor is {speedup:.2}x scalar on 64 KiB regions");
+    }
+
+    eprintln!("sweeping placement kernels...");
+    let place_kernel = place_kernel_section(smoke);
+    if let Some(speedup) = place_kernel.get("engine_speedup").and_then(|s| s.as_f64()) {
+        println!("place_kernel: batched place_all_groups is {speedup:.2}x the sequential walk");
     }
 
     let mut results = Vec::new();
@@ -830,6 +1022,13 @@ fn main() {
             r.spans_on_events_per_sec,
             100.0 * (r.spans_on_events_per_sec / r.spans_off_events_per_sec - 1.0),
         );
+        println!(
+            "{:<22} placement engine off {:.3} on {:.3} trials/sec ({:+.1}%)",
+            "",
+            r.placement_off_trials_per_sec,
+            r.placement_on_trials_per_sec,
+            100.0 * (r.placement_on_trials_per_sec / r.placement_off_trials_per_sec - 1.0),
+        );
         results.push(r);
     }
 
@@ -837,7 +1036,7 @@ fn main() {
         .ok()
         .and_then(|s| Json::parse(&s).ok())
         .unwrap_or(Json::Null);
-    let doc = merge_into(existing, &label, &notes, gf_kernel, &results);
+    let doc = merge_into(existing, &label, &notes, gf_kernel, place_kernel, &results);
     std::fs::write(&out, doc.pretty()).expect("write report");
     eprintln!("wrote label {label:?} to {out}");
 }

@@ -107,6 +107,30 @@ pub struct GroupLayout {
     /// re-zeroes just these instead of memsetting every array —
     /// recycled workspaces skip work proportional to cluster size.
     dirty: Vec<u32>,
+    /// Memoized walk prefixes: `walk_memo[group * n .. (group+1) * n]`
+    /// holds the first `n` candidates the group's placement walk
+    /// emitted this trial, so recovery-target walks resume from the
+    /// cached frontier instead of rehashing it (see
+    /// `Rush::walk_resumed`). Valid only while `walk_gen[group]`
+    /// matches `memo_gen`.
+    walk_memo: Vec<DiskId>,
+    /// Per-group memo validity stamp (matches `memo_gen` when valid).
+    walk_gen: Vec<u32>,
+    /// Deferred-index state: `false` between `finish_bulk_placement`
+    /// and `build_reverse_index`, when per-disk loads live in
+    /// `bulk_counts` and the spans are stale. The incremental
+    /// `push_group` path keeps the index live throughout.
+    index_built: bool,
+    /// Per-disk block counts from the bulk histogram (valid while the
+    /// index is deferred) and the scatter cursors that consume them.
+    /// Kept on the struct so the per-trial rebuild reuses allocations.
+    bulk_counts: Vec<u32>,
+    bulk_cursors: Vec<u32>,
+    /// Current memo generation. The prefixes are scoped to one (seed,
+    /// cluster map): bumping the generation — O(1), no clearing —
+    /// drops every row at once. 0 is never a valid generation, so
+    /// freshly zeroed stamps can never match.
+    memo_gen: u32,
 }
 
 impl GroupLayout {
@@ -123,6 +147,12 @@ impl GroupLayout {
             missing_count: Vec::new(),
             dead: Vec::new(),
             dirty: Vec::new(),
+            walk_memo: Vec::new(),
+            walk_gen: Vec::new(),
+            memo_gen: 0,
+            index_built: true,
+            bulk_counts: Vec::new(),
+            bulk_cursors: Vec::new(),
         };
         l.reset(n_groups, blocks_per_group, n_disks);
         l
@@ -147,6 +177,18 @@ impl GroupLayout {
         );
         let blocks = n_groups as usize * blocks_per_group as usize;
         let per_disk = blocks / (n_disks.max(1) as usize) + 8;
+        // The walk-prefix memo is scoped to one (seed, map): a new trial
+        // means a new Rush seed, so every row is dropped here — an O(1)
+        // generation bump, NOT the dirty-slot list: dirtiness tracks
+        // availability state, but a reseed stales even untouched groups'
+        // prefixes. The initial placement repopulates every row anyway.
+        self.invalidate_walk_prefixes();
+        if self.walk_memo.len() != blocks || self.walk_gen.len() != n_groups as usize {
+            self.walk_memo.clear();
+            self.walk_memo.resize(blocks, DiskId(0));
+            self.walk_gen.clear();
+            self.walk_gen.resize(n_groups as usize, 0);
+        }
         if n_groups == self.n_groups && blocks_per_group == self.blocks_per_group {
             // Same shape: every non-initial entry is on the dirty list.
             for &s in &self.dirty {
@@ -192,6 +234,9 @@ impl GroupLayout {
             len: 0,
             cap: per_disk as u32,
         }));
+        // Empty spans ARE a live (empty) index; the incremental path
+        // keeps it live, the bulk path defers it again.
+        self.index_built = true;
     }
 
     #[inline]
@@ -254,6 +299,132 @@ impl GroupLayout {
         };
     }
 
+    // ----- bulk initial placement --------------------------------------
+
+    /// Switch initial placement to bulk mode: size `homes` so the
+    /// placement loop writes each group's homes in place via
+    /// [`GroupLayout::group_homes_mut`] — no intermediate buffer, no
+    /// per-block `Vec` pushes. The reverse index is not touched until
+    /// [`GroupLayout::finish_bulk_placement`]; nothing reads it during
+    /// initial placement.
+    pub fn begin_bulk_placement(&mut self) {
+        debug_assert_eq!(
+            self.pushed_groups, 0,
+            "bulk placement starts from a reset layout"
+        );
+        let blocks = self.n_groups as usize * self.blocks_per_group as usize;
+        self.homes.clear();
+        self.homes.resize(blocks, DiskId(0));
+    }
+
+    /// The writable homes slot of `group` during bulk placement.
+    #[inline]
+    pub fn group_homes_mut(&mut self, group: u32) -> &mut [DiskId] {
+        let n = self.blocks_per_group as usize;
+        &mut self.homes[group as usize * n..(group as usize + 1) * n]
+    }
+
+    /// [`GroupLayout::record_walk_prefix`] straight from a bulk-placed
+    /// group's homes slot, for callers that filled it in place.
+    #[inline]
+    pub fn record_walk_prefix_of(&mut self, group: u32) {
+        let n = self.blocks_per_group as usize;
+        let start = group as usize * n;
+        self.walk_memo[start..start + n].copy_from_slice(&self.homes[start..start + n]);
+        self.walk_gen[group as usize] = self.memo_gen;
+    }
+
+    /// Memoize every group's walk prefix as its current homes in two
+    /// bulk array copies. Valid only right after an *unfiltered* bulk
+    /// placement, where each group's homes are exactly the first
+    /// `blocks_per_group` emissions of its walk — the optimistic
+    /// placement path's closing step.
+    pub fn memoize_all_walk_prefixes(&mut self) {
+        self.walk_memo.copy_from_slice(&self.homes);
+        self.walk_gen.fill(self.memo_gen);
+    }
+
+    /// Finish bulk placement: mark every group pushed and take the
+    /// per-disk load histogram in one pass over `homes`. The reverse
+    /// index itself is NOT built here — setup only needs per-disk
+    /// *counts* (capacity check, byte commit), so the arena scatter is
+    /// deferred to [`GroupLayout::build_reverse_index`], which the
+    /// first failure of the trial triggers from inside the event loop.
+    /// A histogram increment per block is ~3x cheaper than the scatter,
+    /// and trials that never lose a disk skip the scatter entirely.
+    pub fn finish_bulk_placement(&mut self) {
+        debug_assert_eq!(
+            self.homes.len(),
+            self.n_groups as usize * self.blocks_per_group as usize
+        );
+        self.pushed_groups = self.n_groups;
+        self.index_built = false;
+        self.bulk_counts.clear();
+        self.bulk_counts.resize(self.spans.len(), 0);
+        for &d in &self.homes {
+            self.bulk_counts[d.0 as usize] += 1;
+        }
+    }
+
+    /// Blocks currently homed on `disk`, as a count. Valid in both
+    /// index states: served from the deferred histogram until
+    /// [`GroupLayout::build_reverse_index`] runs, from the span after.
+    #[inline]
+    pub fn disk_load(&self, disk: DiskId) -> u32 {
+        if self.index_built {
+            self.spans[disk.0 as usize].len
+        } else {
+            self.bulk_counts[disk.0 as usize]
+        }
+    }
+
+    /// Materialize the deferred reverse index: scatter `homes` into the
+    /// per-disk spans. Spans fill in `(group, idx)` visit order —
+    /// exactly the per-disk block order the incremental
+    /// [`GroupLayout::push_group`] path produces, so every `blocks_on`
+    /// sequence is identical between the two paths. Idempotent; O(1)
+    /// when the index is already live.
+    pub fn build_reverse_index(&mut self) {
+        if self.index_built {
+            return;
+        }
+        self.index_built = true;
+        let n = self.blocks_per_group as usize;
+        let homes = std::mem::take(&mut self.homes);
+        // The histogram tells us up front whether every span fits its
+        // reset-time slack; when it does (RUSH's near-uniform load makes
+        // the alternative a cold event) the scatter is a bare
+        // cursor-bump per block with no capacity checks or
+        // span-struct round trips.
+        let fits = self
+            .spans
+            .iter()
+            .zip(&self.bulk_counts)
+            .all(|(s, &c)| c <= s.cap);
+        if fits {
+            self.bulk_cursors.clear();
+            self.bulk_cursors.extend(self.spans.iter().map(|s| s.start));
+            for (group, hs) in homes.chunks_exact(n).enumerate() {
+                for (idx, &d) in hs.iter().enumerate() {
+                    let di = d.0 as usize;
+                    let c = self.bulk_cursors[di];
+                    self.arena[c as usize] = BlockRef::new(group as u32, idx as u8);
+                    self.bulk_cursors[di] = c + 1;
+                }
+            }
+            for (s, &c) in self.spans.iter_mut().zip(&self.bulk_cursors) {
+                s.len = c - s.start;
+            }
+        } else {
+            for (group, hs) in homes.chunks_exact(n).enumerate() {
+                for (idx, &d) in hs.iter().enumerate() {
+                    self.push_block(d.0 as usize, BlockRef::new(group as u32, idx as u8));
+                }
+            }
+        }
+        self.homes = homes;
+    }
+
     /// All block homes of a group.
     pub fn homes_of(&self, group: u32) -> &[DiskId] {
         let n = self.blocks_per_group as usize;
@@ -265,7 +436,11 @@ impl GroupLayout {
     }
 
     /// Blocks currently homed on a disk (live or rebuilding into it).
+    /// Callers must have materialized the deferred index (see
+    /// [`GroupLayout::build_reverse_index`]); the failure path does so
+    /// before its first span read.
     pub fn blocks_on(&self, disk: DiskId) -> &[BlockRef] {
+        debug_assert!(self.index_built, "reverse index read while deferred");
         let s = self.spans[disk.0 as usize];
         &self.arena[s.start as usize..(s.start + s.len) as usize]
     }
@@ -274,6 +449,7 @@ impl GroupLayout {
     /// New spans start empty; their first block relocates them to the
     /// end of the arena.
     pub fn grow_disks(&mut self, new_total: u32) {
+        self.build_reverse_index();
         assert!(new_total as usize >= self.spans.len());
         self.spans.resize(
             new_total as usize,
@@ -289,8 +465,49 @@ impl GroupLayout {
         self.spans.len() as u32
     }
 
+    // ----- memoized walk prefixes --------------------------------------
+
+    /// Cache a group's walk prefix: the first `blocks_per_group`
+    /// candidates its placement walk emitted this trial, in emission
+    /// order. Recovery-target walks for the group replay this frontier
+    /// instead of rehashing it.
+    pub fn record_walk_prefix(&mut self, group: u32, prefix: &[DiskId]) {
+        debug_assert_eq!(prefix.len(), self.blocks_per_group as usize);
+        let stride = self.blocks_per_group as usize;
+        let start = group as usize * stride;
+        self.walk_memo[start..start + stride].copy_from_slice(prefix);
+        self.walk_gen[group as usize] = self.memo_gen;
+    }
+
+    /// The memoized walk prefix for `group` — empty when no valid memo
+    /// exists (never recorded this trial, or invalidated since).
+    #[inline]
+    pub fn walk_prefix(&self, group: u32) -> &[DiskId] {
+        let g = group as usize;
+        if self.walk_gen.get(g) == Some(&self.memo_gen) {
+            let stride = self.blocks_per_group as usize;
+            &self.walk_memo[g * stride..(g + 1) * stride]
+        } else {
+            &[]
+        }
+    }
+
+    /// Drop every memoized walk prefix in O(1) (generation bump). The
+    /// trial reset calls this (prefixes are seed-scoped), and so does
+    /// batch replacement after growing the cluster map — a new
+    /// sub-cluster changes every group's walk, so resuming from a
+    /// pre-growth frontier would emit the wrong sequence.
+    pub fn invalidate_walk_prefixes(&mut self) {
+        self.memo_gen = self.memo_gen.wrapping_add(1);
+        if self.memo_gen == 0 {
+            self.walk_gen.fill(0);
+            self.memo_gen = 1;
+        }
+    }
+
     /// Re-home a block (rebuild target chosen, redirection, migration).
     pub fn move_block(&mut self, b: BlockRef, to: DiskId) {
+        debug_assert!(self.index_built, "reverse index moved while deferred");
         let slot = self.slot(b);
         let from = self.homes[slot];
         if from == to {
@@ -431,6 +648,59 @@ mod tests {
     }
 
     #[test]
+    fn bulk_placement_matches_push_group() {
+        let n_disks = 7u32;
+        let mut inc = GroupLayout::new(16, 3, n_disks);
+        let mut bulk = GroupLayout::new(16, 3, n_disks);
+        bulk.begin_bulk_placement();
+        for g in 0..16u32 {
+            let homes = [d(g % 7), d((g + 2) % 7), d((g + 5) % 7)];
+            inc.push_group(&homes);
+            bulk.group_homes_mut(g).copy_from_slice(&homes);
+            bulk.record_walk_prefix_of(g);
+        }
+        bulk.finish_bulk_placement();
+        for g in 0..16u32 {
+            assert_eq!(inc.homes_of(g), bulk.homes_of(g));
+            assert_eq!(bulk.walk_prefix(g), bulk.homes_of(g));
+        }
+        for disk in 0..n_disks {
+            // Histogram loads agree before the index materializes...
+            assert_eq!(
+                inc.disk_load(d(disk)) as usize,
+                bulk.disk_load(d(disk)) as usize
+            );
+        }
+        bulk.build_reverse_index();
+        bulk.build_reverse_index(); // idempotent
+        for disk in 0..n_disks {
+            // ...and the scattered spans hold the same blocks in the
+            // same per-disk order after.
+            assert_eq!(inc.disk_load(d(disk)), bulk.disk_load(d(disk)));
+            assert_eq!(inc.blocks_on(d(disk)), bulk.blocks_on(d(disk)));
+        }
+    }
+
+    #[test]
+    fn bulk_placement_overflow_falls_back_to_push_block() {
+        // Pile every block onto one disk so its span outgrows the
+        // reset-time slack and the scatter must take the grow path.
+        let mut l = GroupLayout::new(40, 2, 16);
+        l.begin_bulk_placement();
+        for g in 0..40u32 {
+            l.group_homes_mut(g).copy_from_slice(&[d(3), d(3)]);
+        }
+        l.finish_bulk_placement();
+        assert_eq!(l.disk_load(d(3)), 80);
+        l.build_reverse_index();
+        assert_eq!(l.disk_load(d(3)), 80);
+        assert_eq!(l.blocks_on(d(3)).len(), 80);
+        assert_eq!(l.blocks_on(d(3))[0], BlockRef::new(0, 0));
+        assert_eq!(l.blocks_on(d(3))[79], BlockRef::new(39, 1));
+        assert!(l.blocks_on(d(0)).is_empty());
+    }
+
+    #[test]
     fn push_and_lookup() {
         let l = layout_3_groups();
         assert_eq!(l.homes_of(0), &[d(0), d(1)]);
@@ -528,6 +798,35 @@ mod tests {
         assert_eq!(l.bump_epoch(b), 1);
         assert_eq!(l.bump_epoch(b), 2);
         assert_eq!(l.epoch(b), 2);
+    }
+
+    #[test]
+    fn walk_prefix_memo_records_and_invalidates() {
+        let mut l = layout_3_groups();
+        assert!(l.walk_prefix(0).is_empty());
+        l.record_walk_prefix(0, &[d(0), d(1)]);
+        l.record_walk_prefix(2, &[d(3), d(4)]);
+        assert_eq!(l.walk_prefix(0), &[d(0), d(1)]);
+        assert!(l.walk_prefix(1).is_empty());
+        assert_eq!(l.walk_prefix(2), &[d(3), d(4)]);
+
+        // Explicit invalidation drops every prefix at once.
+        l.invalidate_walk_prefixes();
+        assert!(l.walk_prefix(0).is_empty());
+        assert!(l.walk_prefix(2).is_empty());
+
+        // Re-recording after invalidation works, and a trial reset
+        // (same or different shape) also drops the memo.
+        l.record_walk_prefix(1, &[d(2), d(0)]);
+        assert_eq!(l.walk_prefix(1), &[d(2), d(0)]);
+        l.reset(3, 2, 5);
+        assert!(l.walk_prefix(1).is_empty());
+        l.reset(4, 3, 6);
+        for g in 0..4 {
+            assert!(l.walk_prefix(g).is_empty());
+        }
+        l.record_walk_prefix(3, &[d(0), d(2), d(4)]);
+        assert_eq!(l.walk_prefix(3), &[d(0), d(2), d(4)]);
     }
 
     #[test]

@@ -43,7 +43,13 @@ impl Simulation {
         let mut fallback: Option<DiskId> = None;
         let mut fallback_suspect: Option<DiskId> = None;
         let mut scanned = 0usize;
-        for cand in rush.walk(self.cluster_map(), group as u64, &mut scratch) {
+        // Resume from the memoized placement prefix when one is cached
+        // (engine on, group placed on the fast path, memo still valid
+        // for this map): the first `n` candidates are replayed from the
+        // layout instead of rehashed. An empty prefix degrades to the
+        // plain walk, so the emitted sequence is identical either way.
+        let prefix = self.layout().walk_prefix(group);
+        for cand in rush.walk_resumed(self.cluster_map(), group as u64, &mut scratch, prefix) {
             let disk = self.disk(cand);
             // Hard constraints (a)–(c).
             if !disk.is_active()

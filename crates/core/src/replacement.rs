@@ -39,6 +39,10 @@ impl Simulation {
         // the weight of each disk is set to that of the existing drives
         // for simplicity", §3.5).
         let cluster_idx = self.map_mut().add_cluster(batch_size, 1.0);
+        // The grown map changes every group's candidate walk, so the
+        // memoized placement prefixes no longer describe it — drop them
+        // all before any recovery walk can resume from a stale frontier.
+        self.layout_mut().invalidate_walk_prefixes();
         let first_new = self.cluster_map().cluster(cluster_idx).first;
         for _ in 0..batch_size {
             let id = self.add_disk(now);

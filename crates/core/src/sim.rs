@@ -29,7 +29,7 @@ use farm_obs::flight::kind as flight_kind;
 use farm_obs::{
     EventProfile, FlightRecorder, SpanRecorder, TimelineRecorder, TrialTracer, N_GAUGES,
 };
-use farm_placement::{ClusterMap, DiskId, Rush, RushScratch};
+use farm_placement::{kernel, ClusterMap, DiskId, PreDraws, Rush, RushScratch};
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 use std::sync::Arc;
@@ -138,6 +138,9 @@ pub struct Simulation {
     blocks_scratch: Vec<BlockRef>,
     /// Reusable buffer for rebuild-source selection.
     pub(crate) sources_scratch: Vec<DiskId>,
+    /// Reusable buffer for the batched placement engine's prehashed
+    /// attempt-0 draws (index-major, [`kernel::LANES`] lanes per row).
+    place_hashes: Vec<u64>,
     /// Failed drives in the placement population since the last batch.
     pub(crate) failed_since_batch: u32,
     /// Event-loop profiler (observability; `None` = off, the zero-cost
@@ -192,6 +195,7 @@ impl Simulation {
             metrics: TrialMetrics::new(),
             blocks_scratch: Vec::new(),
             sources_scratch: Vec::new(),
+            place_hashes: Vec::new(),
             failed_since_batch: 0,
             profiler: None,
             tracer: None,
@@ -355,46 +359,238 @@ impl Simulation {
     /// by construction: the skipped check always returned `true`. At the
     /// paper's 40% utilization the slow path never triggers; it exists
     /// for adversarially full configurations.
+    ///
+    /// Batched engine: with [`kernel::engine_enabled`] and a uniform
+    /// (single-cluster) map, rounds of [`kernel::LANES`] groups prehash
+    /// their attempt-0 within-draws through the dispatched multi-lane
+    /// kernel; each group's walk then consumes its lane. Duplicate
+    /// candidates, attempts ≥ 1 and the fallback probe stay on the
+    /// sequential fold, so the emitted candidate sequence — and hence
+    /// every trial artifact — is byte-identical to the engine-off walk
+    /// by construction (pinned by `tests/placement_kernel_identity.rs`).
+    /// Fast-path groups also memoize their walk prefix in the layout so
+    /// recovery-target walks resume from the cached frontier instead of
+    /// rehashing the placement draws.
     fn place_all_groups(&mut self) {
+        if self.place_all_groups_throughput() {
+            return;
+        }
+        // Some disk came within one block of capacity, so the optimistic
+        // run cannot prove it matches the per-group capacity checks of
+        // the sequential specification. Discard it (the reset drops the
+        // layout and its walk memos; disks were never charged) and
+        // replay with full tracking — identical output in every
+        // configuration both paths complete, because the optimistic run
+        // only commits when every group would have taken the careful
+        // path's capacity fast branch anyway.
+        let (n_groups, bpg, n_disks) = (
+            self.layout.n_groups(),
+            self.layout.blocks_per_group(),
+            self.layout.n_disks(),
+        );
+        self.layout.reset(n_groups, bpg, n_disks);
+        self.place_all_groups_careful();
+    }
+
+    /// The optimistic bulk fast path: place every group with no per-block
+    /// disk accounting, build the reverse index in one pass, then charge
+    /// disks from their span lengths — provided no disk ended within one
+    /// block of capacity (the paper's 40 % utilization never comes
+    /// close). Returns false, leaving the disks untouched, when that
+    /// margin is violated and the careful replay must decide.
+    fn place_all_groups_throughput(&mut self) -> bool {
         let n = self.cfg.scheme.n as usize;
         let block_bytes = self.cfg.block_bytes;
         let capacity = self.cfg.disk_capacity;
-        // Reuse the sources scratch as the homes buffer (same element
-        // type, both self-clearing before use).
-        let mut homes = std::mem::take(&mut self.sources_scratch);
-        let mut max_used = 0u64;
-        for g in 0..self.layout.n_groups() {
-            homes.clear();
-            let mut walk = self.rush.walk(&self.map, g as u64, &mut self.rush_scratch);
-            if max_used + block_bytes <= capacity {
-                for d in walk.by_ref() {
-                    homes.push(d);
-                    if homes.len() == n {
-                        break;
-                    }
-                }
+        let n_groups = self.layout.n_groups();
+        let engine = kernel::engine_enabled() && self.map.n_clusters() == 1;
+        let mut hashes = std::mem::take(&mut self.place_hashes);
+        // Homes are written straight into the layout's bulk slots; the
+        // reverse index is built in one pass at the end (same per-disk
+        // block order as the incremental path, so identical artifacts).
+        self.layout.begin_bulk_placement();
+        let lanes = kernel::LANES as u32;
+        // Strips of STRIP_ROUNDS lane-rounds per kernel call amortize
+        // dispatch, constant broadcasts and in-kernel key folding; the
+        // tail (< LANES groups) walks sequentially.
+        const STRIP_ROUNDS: u32 = 16;
+        let prefix = self.rush.key_prefix();
+        let row = n * kernel::LANES;
+        let mut g = 0u32;
+        while g < n_groups {
+            let rounds = ((n_groups - g) / lanes).min(STRIP_ROUNDS);
+            let prehashed = engine && rounds > 0;
+            let strip_groups = if prehashed {
+                hashes.resize(rounds as usize * row, 0);
+                kernel::draw_hashes_strip(prefix, g as u64, rounds as usize, n, &mut hashes);
+                rounds * lanes
             } else {
-                for d in walk {
-                    if self.disks[d.0 as usize].has_space_for(block_bytes) {
-                        homes.push(d);
-                        if homes.len() == n {
+                n_groups - g
+            };
+            for s in 0..strip_groups {
+                let gi = g + s;
+                let pre = if prehashed {
+                    let r = (s / lanes) as usize;
+                    PreDraws::new(&hashes[r * row..(r + 1) * row], (s % lanes) as usize)
+                } else {
+                    PreDraws::empty()
+                };
+                let filled = prehashed
+                    && self.rush.fill_prehashed(
+                        &self.map,
+                        &mut self.rush_scratch,
+                        pre,
+                        self.layout.group_homes_mut(gi),
+                    );
+                if !filled {
+                    // Engine off, or an attempt-0 collision: the generic
+                    // walk re-begins the scratch and emits the identical
+                    // sequence.
+                    let slot = self.layout.group_homes_mut(gi);
+                    let walk =
+                        self.rush
+                            .walk_prehashed(&self.map, gi as u64, &mut self.rush_scratch, pre);
+                    let mut got = 0;
+                    for d in walk {
+                        slot[got] = d;
+                        got += 1;
+                        if got == n {
                             break;
                         }
                     }
+                    assert_eq!(got, n, "system too full to place group {gi}");
                 }
             }
-            assert_eq!(homes.len(), n, "system too full to place group {g}");
-            for &d in &homes {
-                let disk = &mut self.disks[d.0 as usize];
-                disk.allocate(block_bytes);
-                if disk.used > max_used {
-                    max_used = disk.used;
-                }
-            }
-            self.layout.push_group(&homes);
+            g += strip_groups;
         }
-        homes.clear();
-        self.sources_scratch = homes;
+        self.layout.finish_bulk_placement();
+        self.place_hashes = hashes;
+        let mut max_blocks = 0u64;
+        for di in 0..self.layout.n_disks() {
+            max_blocks = max_blocks.max(self.layout.disk_load(DiskId(di)) as u64);
+        }
+        if max_blocks * block_bytes + block_bytes > capacity {
+            return false;
+        }
+        // Unfiltered placement means every group's homes are its walk's
+        // first n emissions — the whole homes array is a valid memo.
+        if engine {
+            self.layout.memoize_all_walk_prefixes();
+        }
+        for (di, disk) in self.disks.iter_mut().enumerate() {
+            let bytes = self.layout.disk_load(DiskId(di as u32)) as u64 * block_bytes;
+            if bytes > 0 {
+                disk.allocate(bytes);
+            }
+        }
+        true
+    }
+
+    /// The sequential specification: per-group capacity fast-path check,
+    /// per-block disk charging, space-filtered walks once any disk is
+    /// within one block of full. Only runs when
+    /// [`Simulation::place_all_groups_throughput`] bails.
+    fn place_all_groups_careful(&mut self) {
+        let n = self.cfg.scheme.n as usize;
+        let block_bytes = self.cfg.block_bytes;
+        let capacity = self.cfg.disk_capacity;
+        let n_groups = self.layout.n_groups();
+        let engine = kernel::engine_enabled() && self.map.n_clusters() == 1;
+        let mut hashes = std::mem::take(&mut self.place_hashes);
+        self.layout.begin_bulk_placement();
+        let mut max_used = 0u64;
+        let lanes = kernel::LANES as u32;
+        const STRIP_ROUNDS: u32 = 16;
+        let prefix = self.rush.key_prefix();
+        let row = n * kernel::LANES;
+        let mut g = 0u32;
+        while g < n_groups {
+            let rounds = ((n_groups - g) / lanes).min(STRIP_ROUNDS);
+            // One emission consumes exactly one candidate index, so `n`
+            // prehashed indices per lane cover every fast-path walk; a
+            // lane only outruns its prehash when attempt-0 draws collide,
+            // and then only past the prehashed range.
+            let prehashed = engine && rounds > 0;
+            let strip_groups = if prehashed {
+                hashes.resize(rounds as usize * row, 0);
+                kernel::draw_hashes_strip(prefix, g as u64, rounds as usize, n, &mut hashes);
+                rounds * lanes
+            } else {
+                n_groups - g
+            };
+            for s in 0..strip_groups {
+                let gi = g + s;
+                let pre = if prehashed {
+                    let r = (s / lanes) as usize;
+                    PreDraws::new(&hashes[r * row..(r + 1) * row], (s % lanes) as usize)
+                } else {
+                    PreDraws::empty()
+                };
+                if max_used + block_bytes <= capacity {
+                    let filled = prehashed
+                        && self.rush.fill_prehashed(
+                            &self.map,
+                            &mut self.rush_scratch,
+                            pre,
+                            self.layout.group_homes_mut(gi),
+                        );
+                    if !filled {
+                        // Engine off, or an attempt-0 collision: the
+                        // generic walk re-begins the scratch and emits
+                        // the identical sequence.
+                        let slot = self.layout.group_homes_mut(gi);
+                        let walk = self.rush.walk_prehashed(
+                            &self.map,
+                            gi as u64,
+                            &mut self.rush_scratch,
+                            pre,
+                        );
+                        let mut got = 0;
+                        for d in walk {
+                            slot[got] = d;
+                            got += 1;
+                            if got == n {
+                                break;
+                            }
+                        }
+                        assert_eq!(got, n, "system too full to place group {gi}");
+                    }
+                    // On the fast path the slot holds exactly the walk's
+                    // first n emissions in order — a valid resume
+                    // prefix. (The slow path filters, so its homes are
+                    // not; those groups just stay unmemoized.)
+                    if engine {
+                        self.layout.record_walk_prefix_of(gi);
+                    }
+                } else {
+                    let slot = self.layout.group_homes_mut(gi);
+                    let walk =
+                        self.rush
+                            .walk_prehashed(&self.map, gi as u64, &mut self.rush_scratch, pre);
+                    let mut got = 0;
+                    for d in walk {
+                        if self.disks[d.0 as usize].has_space_for(block_bytes) {
+                            slot[got] = d;
+                            got += 1;
+                            if got == n {
+                                break;
+                            }
+                        }
+                    }
+                    assert_eq!(got, n, "system too full to place group {gi}");
+                }
+                for &d in self.layout.homes_of(gi) {
+                    let disk = &mut self.disks[d.0 as usize];
+                    disk.allocate(block_bytes);
+                    if disk.used > max_used {
+                        max_used = disk.used;
+                    }
+                }
+            }
+            g += strip_groups;
+        }
+        self.layout.finish_bulk_placement();
+        self.place_hashes = hashes;
     }
 
     // ----- accessors -----------------------------------------------------
@@ -589,10 +785,10 @@ impl Simulation {
             g.active -= 1;
             g.free -= disk.free_bytes();
             g.capacity -= disk.capacity;
-            if g.pipe_busy[di] {
-                g.pipe_busy[di] = false;
-                g.busy_pipes -= 1;
-            }
+            // Branchless: an idle pipe subtracts 0 and rewrites false.
+            let was_busy = g.pipe_busy[di];
+            g.pipe_busy[di] = false;
+            g.busy_pipes -= was_busy as u64;
         }
     }
 
@@ -602,9 +798,9 @@ impl Simulation {
     fn gauge_block_missing(&mut self, new_group_count: u8) {
         if let Some(g) = &mut self.gauges {
             g.rebuilds_in_flight += 1;
-            if new_group_count == 1 {
-                g.vulnerable_groups += 1;
-            }
+            // Branchless: the 0→1 missing transition is data-dependent
+            // (unpredictable under load), so fold it into the add.
+            g.vulnerable_groups += (new_group_count == 1) as u64;
         }
     }
 
@@ -614,9 +810,8 @@ impl Simulation {
     fn gauge_block_available(&mut self, remaining: u8) {
         if let Some(g) = &mut self.gauges {
             g.rebuilds_in_flight -= 1;
-            if remaining == 0 {
-                g.vulnerable_groups -= 1;
-            }
+            // Branchless mirror of `gauge_block_missing`.
+            g.vulnerable_groups -= (remaining == 0) as u64;
         }
     }
 
@@ -845,15 +1040,16 @@ impl Simulation {
             // pipe was extended meanwhile, so extensions — the common
             // case, every rebuild re-busies m+1 pipes — cost no heap
             // traffic at all.
-            if until > self.now {
-                if !g.pipe_busy[di] {
-                    g.pipe_busy[di] = true;
-                    g.busy_pipes += 1;
-                    g.expiries.push(Reverse((until, d.0)));
-                }
-            } else if g.pipe_busy[di] {
-                g.pipe_busy[di] = false;
-                g.busy_pipes -= 1;
+            // The counter update is branchless (+1 on idle→busy, −1 on
+            // busy→idle, 0 on the no-transition cases via wrapping
+            // arithmetic); only the heap push — a real side effect —
+            // keeps its idle→busy condition.
+            let was = g.pipe_busy[di] as u64;
+            let busy = (until > self.now) as u64;
+            g.pipe_busy[di] = busy != 0;
+            g.busy_pipes = g.busy_pipes.wrapping_add(busy).wrapping_sub(was);
+            if busy > was {
+                g.expiries.push(Reverse((until, d.0)));
             }
         }
     }
@@ -1115,8 +1311,12 @@ impl Simulation {
         self.disks[d.0 as usize].fail();
         trace_ev!(self, "failure", ",\"disk\":{}", d.0);
 
-        // Classify every block homed here. Snapshot the reverse index
-        // into the reusable scratch (the loop body mutates the layout).
+        // Classify every block homed here. The first failure of the
+        // trial materializes the reverse index the bulk placement
+        // deferred (see `GroupLayout::build_reverse_index`); then
+        // snapshot it into the reusable scratch (the loop body mutates
+        // the layout).
+        self.layout.build_reverse_index();
         let mut blocks = std::mem::take(&mut self.blocks_scratch);
         blocks.clear();
         blocks.extend_from_slice(self.layout.blocks_on(d));
@@ -1172,7 +1372,10 @@ impl Simulation {
 
     fn on_detect(&mut self, d: DiskId) {
         // Start (or restart, after redirection) a rebuild for every
-        // unavailable block still homed on the dead drive.
+        // unavailable block still homed on the dead drive. (The index
+        // is already live — `on_failure` ran first — but a detect-only
+        // entry path would materialize it here; O(1) when built.)
+        self.layout.build_reverse_index();
         let mut blocks = std::mem::take(&mut self.blocks_scratch);
         blocks.clear();
         blocks.extend(

@@ -6,7 +6,7 @@
 use crate::device::{BlockKey, Osd, OsdError, OsdId};
 use bytes::Bytes;
 use farm_erasure::{Codec, Scheme};
-use farm_placement::{ClusterMap, DiskId, Rush};
+use farm_placement::{ClusterMap, DiskId, Rush, RushScratch};
 use std::collections::HashMap;
 
 /// Errors surfaced by cluster operations.
@@ -79,6 +79,9 @@ pub struct Cluster {
     /// Bytes of user data per group (m data blocks).
     group_bytes: usize,
     rush: Rush,
+    /// Reusable dedup state for candidate walks (placement and recovery
+    /// each run one walk at a time), so no walk allocates.
+    rush_scratch: RushScratch,
     map: ClusterMap,
     osds: Vec<Osd>,
     /// Current home of every stored block.
@@ -116,6 +119,7 @@ impl Cluster {
             group_bytes: block_bytes * scheme.m as usize,
             scheme,
             rush: Rush::new(seed),
+            rush_scratch: RushScratch::new(),
             map: ClusterMap::uniform(n_osds),
             osds,
             homes: HashMap::new(),
@@ -126,12 +130,14 @@ impl Cluster {
         }
     }
 
-    /// Whether `osd` can surely take `need` more bytes without consulting
-    /// its fill level — the watermark fast path. Falls back to the exact
-    /// `free()` check only once some device has crossed the watermark.
+    /// Whether *every* active device can surely take `need` more bytes —
+    /// the watermark fast path, hoisted out of candidate loops. While it
+    /// holds, the per-candidate `free()` recheck is skipped; it stays
+    /// valid across the puts of one group because a device not yet
+    /// written this group still sits at or below the hoisted watermark.
     #[inline]
-    fn has_room(&self, osd: &Osd, need: u64) -> bool {
-        self.used_watermark + need <= self.osd_capacity || osd.free() >= need
+    fn all_have_room(&self, need: u64) -> bool {
+        self.used_watermark + need <= self.osd_capacity
     }
 
     #[inline]
@@ -314,15 +320,25 @@ impl Cluster {
         Ok(rebuilt)
     }
 
-    fn choose_target(&self, group: u64, need: u64) -> Option<OsdId> {
-        for cand in self.rush.candidates(&self.map, group) {
+    fn choose_target(&mut self, group: u64, need: u64) -> Option<OsdId> {
+        let rush = self.rush;
+        let wm_ok = self.all_have_room(need);
+        // The walk holds the scratch mutably while the loop consults
+        // `&self`; lift it out for the duration (restored below).
+        let mut scratch = std::mem::take(&mut self.rush_scratch);
+        let mut chosen = None;
+        for cand in rush.walk(&self.map, group, &mut scratch) {
             let osd = &self.osds[cand.0 as usize];
-            if osd.is_active() && self.has_room(osd, need) && !self.group_uses(group, OsdId(cand.0))
+            if osd.is_active()
+                && (wm_ok || osd.free() >= need)
+                && !self.group_uses(group, OsdId(cand.0))
             {
-                return Some(OsdId(cand.0));
+                chosen = Some(OsdId(cand.0));
+                break;
             }
         }
-        None
+        self.rush_scratch = scratch;
+        chosen
     }
 
     fn group_uses(&self, group: u64, osd: OsdId) -> bool {
@@ -390,38 +406,39 @@ impl Cluster {
         let parity = self.codec.encode(&refs);
         let all: Vec<Vec<u8>> = data.drain(..).chain(parity).collect();
 
-        // Place on the first n eligible candidates. While the cluster is
-        // below the fill watermark the per-candidate free() recheck is
-        // skipped — any active device qualifies.
-        let mut placed: Vec<(BlockKey, OsdId)> = Vec::with_capacity(all.len());
-        for (idx, bytes) in all.into_iter().enumerate() {
+        // Place on the first n eligible candidates of *one* walk (the
+        // per-block re-walk this replaces allocated a candidate list per
+        // block). Equivalent by monotonicity: writes only consume space
+        // and raise the watermark, so a candidate skipped as ineligible
+        // for block i would also be skipped by every later block's walk,
+        // and each candidate takes at most one block of the group.
+        let n = all.len();
+        let need = bb as u64;
+        let wm_ok = self.all_have_room(need);
+        let mut targets: Vec<OsdId> = Vec::with_capacity(n);
+        let mut scratch = std::mem::take(&mut self.rush_scratch);
+        for cand in self.rush.walk(&self.map, group, &mut scratch) {
+            let osd = &self.osds[cand.0 as usize];
+            if osd.is_active() && (wm_ok || osd.free() >= need) {
+                targets.push(OsdId(cand.0));
+                if targets.len() == n {
+                    break;
+                }
+            }
+        }
+        self.rush_scratch = scratch;
+        if targets.len() < n {
+            return Err(ClusterError::NoEligibleDevice { group });
+        }
+        let mut placed: Vec<(BlockKey, OsdId)> = Vec::with_capacity(n);
+        for (idx, (bytes, &id)) in all.into_iter().zip(&targets).enumerate() {
             let key = BlockKey {
                 group,
                 idx: idx as u8,
             };
-            let mut done = false;
-            for cand in self.rush.candidates(&self.map, group) {
-                let id = OsdId(cand.0);
-                if placed.iter().any(|&(_, p)| p == id) {
-                    continue;
-                }
-                let need = bytes.len() as u64;
-                let osd = &self.osds[cand.0 as usize];
-                if osd.is_active() && self.has_room(osd, need) {
-                    self.osds[cand.0 as usize].put(key, Bytes::from(bytes))?;
-                    self.note_put(id);
-                    placed.push((key, id));
-                    done = true;
-                    break;
-                }
-            }
-            if !done {
-                // Roll back this group's blocks.
-                for (k, id) in placed {
-                    let _ = self.osds[id.0 as usize].delete(k);
-                }
-                return Err(ClusterError::NoEligibleDevice { group });
-            }
+            self.osds[id.0 as usize].put(key, Bytes::from(bytes))?;
+            self.note_put(id);
+            placed.push((key, id));
         }
         for (k, id) in placed {
             self.homes.insert(k, id);

@@ -139,6 +139,16 @@ impl ClusterMap {
         self.len_rem[i].rem(n)
     }
 
+    /// Map an attempt-0 within-hash to its disk on a *single-cluster*
+    /// map — the emission step the batched placement kernels feed (the
+    /// same `first + within mod len` the sequential descent computes at
+    /// cluster 0, so prehashed and walked draws cannot diverge).
+    #[inline]
+    pub fn single_cluster_disk(&self, within: u64) -> DiskId {
+        debug_assert_eq!(self.clusters.len(), 1, "prehashed draws need a uniform map");
+        DiskId(self.clusters[0].first + self.rem_cluster_len(0, within) as u32)
+    }
+
     /// Total weight of sub-clusters `0..=i`.
     pub fn cum_weight(&self, i: usize) -> f64 {
         self.cum_weight[i]

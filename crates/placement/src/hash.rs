@@ -5,12 +5,22 @@
 //! can compute the same mapping independently, the defining property of
 //! RUSH-family algorithms.
 
+/// The fold's constants, named so the batched placement kernels
+/// (`crate::kernel`) provably run the same arithmetic lane by lane:
+/// `mix64`'s SplitMix64 increment and multipliers, and `combine`'s two
+/// side multipliers.
+pub(crate) const MIX_INC: u64 = 0x9E37_79B9_7F4A_7C15;
+pub(crate) const MIX_M1: u64 = 0xBF58_476D_1CE4_E5B9;
+pub(crate) const MIX_M2: u64 = 0x94D0_49BB_1331_11EB;
+pub(crate) const COMBINE_A: u64 = 0xA24B_AED4_963E_E407;
+pub(crate) const COMBINE_B: u64 = 0x9FB2_1C65_1E98_DF25;
+
 /// SplitMix64 finalizer.
 #[inline]
 pub fn mix64(mut z: u64) -> u64 {
-    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
-    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
-    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z = z.wrapping_add(MIX_INC);
+    z = (z ^ (z >> 30)).wrapping_mul(MIX_M1);
+    z = (z ^ (z >> 27)).wrapping_mul(MIX_M2);
     z ^ (z >> 31)
 }
 
@@ -18,7 +28,7 @@ pub fn mix64(mut z: u64) -> u64 {
 #[inline]
 pub fn combine(a: u64, b: u64) -> u64 {
     // Distinct odd constants on each side prevent (a, b)/(b, a) collisions.
-    mix64(a.wrapping_mul(0xA24B_AED4_963E_E407) ^ b.wrapping_mul(0x9FB2_1C65_1E98_DF25))
+    mix64(a.wrapping_mul(COMBINE_A) ^ b.wrapping_mul(COMBINE_B))
 }
 
 /// The per-seed initial state of [`hash_words`]'s fold, exposed so hot

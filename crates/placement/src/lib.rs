@@ -38,8 +38,9 @@
 pub mod cluster;
 pub mod hash;
 pub mod hrw;
+pub mod kernel;
 pub mod rush;
 
 pub use cluster::{ClusterMap, DiskId, SubCluster};
 pub use hrw::{Hrw, HrwScratch};
-pub use rush::{Candidates, Rush, RushScratch, Walk};
+pub use rush::{Candidates, PreDraws, Rush, RushScratch, Walk};

@@ -23,6 +23,7 @@
 
 use crate::cluster::{ClusterMap, DiskId};
 use crate::hash;
+use crate::kernel;
 
 /// How many hash retries to burn per candidate before falling back to a
 /// deterministic probe. Collisions are rare until a group's candidate
@@ -34,15 +35,31 @@ const MAX_ATTEMPTS: u32 = 64;
 #[derive(Clone, Copy, Debug)]
 pub struct Rush {
     seed: u64,
+    /// `hash_prefix(seed)`, folded once at construction: every group
+    /// key and raw draw starts from it, and the batched strip kernels
+    /// take it directly to fold group keys in-register.
+    prefix: u64,
 }
 
 impl Rush {
     pub fn new(seed: u64) -> Self {
-        Rush { seed }
+        Rush {
+            seed,
+            prefix: hash::hash_prefix(seed),
+        }
     }
 
     pub fn seed(&self) -> u64 {
         self.seed
+    }
+
+    /// The seed's folded hash prefix — the left operand of every
+    /// [`Rush::group_key`] combine. Exposed for
+    /// [`kernel::Kernel::run_strip`], which folds group keys for whole
+    /// strips of groups inside the kernel.
+    #[inline]
+    pub fn key_prefix(&self) -> u64 {
+        self.prefix
     }
 
     /// The infinite-until-exhausted ordered candidate list for a group.
@@ -58,10 +75,19 @@ impl Rush {
             rush: *self,
             map,
             group,
-            gkey: hash::combine(hash::hash_prefix(self.seed), group),
+            gkey: self.group_key(group),
             index: 0,
             scratch,
         }
+    }
+
+    /// The per-group folded hash key, `combine(hash_prefix(seed),
+    /// group)` — the state every candidate index extends. Exposed so
+    /// the batched engine can build lane keys for
+    /// [`kernel::draw_hashes`].
+    #[inline]
+    pub fn group_key(&self, group: u64) -> u64 {
+        hash::combine(self.prefix, group)
     }
 
     /// [`Rush::candidates`] without the allocation: dedup state lives in
@@ -75,15 +101,116 @@ impl Rush {
         group: u64,
         scratch: &'s mut RushScratch,
     ) -> Walk<'m, 's> {
+        self.walk_resumed(map, group, scratch, &[])
+    }
+
+    /// [`Rush::walk`], resuming from a memoized prefix: `prefix` must
+    /// hold the first `prefix.len()` candidates this exact `(seed, map,
+    /// group)` walk emitted, in order. They are re-emitted (and
+    /// re-marked, rebuilding the dedup state) without any hashing; the
+    /// walk then continues from the cached frontier — `index` advances
+    /// exactly once per emission, so after the replay it sits precisely
+    /// where the uncached walk's would. With an empty prefix this *is*
+    /// `walk`; with a wrong prefix the sequence would diverge, which is
+    /// why `GroupLayout` generation-stamps its memo per (trial, map).
+    pub fn walk_resumed<'m, 's>(
+        &self,
+        map: &'m ClusterMap,
+        group: u64,
+        scratch: &'s mut RushScratch,
+        prefix: &'m [DiskId],
+    ) -> Walk<'m, 's> {
+        debug_assert!(prefix.len() as u64 <= map.n_disks() as u64);
         scratch.begin(map.n_disks());
         Walk {
             rush: *self,
             map,
             group,
-            gkey: hash::combine(hash::hash_prefix(self.seed), group),
+            gkey: self.group_key(group),
             index: 0,
             scratch,
+            replay: prefix,
+            pre: PreDraws::empty(),
         }
+    }
+
+    /// [`Rush::walk`] with batch-prehashed attempt-0 draws: `pre` views
+    /// one lane of a [`kernel::draw_hashes`] buffer computed for this
+    /// group's [`Rush::group_key`] on this (single-cluster) map.
+    /// Collisions, attempts ≥ 1 and indices past the prehashed range
+    /// fall back to the sequential fold, so the emitted sequence is
+    /// byte-identical to `walk` by construction.
+    pub fn walk_prehashed<'m, 's>(
+        &self,
+        map: &'m ClusterMap,
+        group: u64,
+        scratch: &'s mut RushScratch,
+        pre: PreDraws<'m>,
+    ) -> Walk<'m, 's> {
+        debug_assert!(
+            pre.is_empty() || map.n_clusters() == 1,
+            "prehashed draws require a single-cluster map"
+        );
+        scratch.begin(map.n_disks());
+        Walk {
+            rush: *self,
+            map,
+            group,
+            gkey: self.group_key(group),
+            index: 0,
+            scratch,
+            replay: &[],
+            pre,
+        }
+    }
+
+    /// Collision-free fast path for initial placement: fill `out` with
+    /// the walk's first `out.len()` candidates straight from the
+    /// prehashed attempt-0 draws — no iterator or fallback machinery in
+    /// the loop. Returns `false` (leaving `out` unspecified) the moment
+    /// a draw collides or runs past the prehashed range; the caller
+    /// redoes that group through the generic walk, which re-begins the
+    /// scratch and emits the identical sequence the slow way. Until a
+    /// group's candidate list approaches system size, collisions are
+    /// rare enough that this is almost always the entire walk.
+    #[inline]
+    pub fn fill_prehashed(
+        &self,
+        map: &ClusterMap,
+        scratch: &mut RushScratch,
+        pre: PreDraws<'_>,
+        out: &mut [DiskId],
+    ) -> bool {
+        debug_assert_eq!(map.n_clusters(), 1, "prehashed draws are single-cluster");
+        if let [s0, s1] = out {
+            // Mirrored groups (the paper's dominant scheme) need no
+            // dedup state at all: two draws are distinct or the pair
+            // falls back. The scratch is untouched — the next `begin`
+            // (fallback walk or next group) resets it regardless.
+            let (Some(w0), Some(w1)) = (pre.get(0), pre.get(1)) else {
+                return false;
+            };
+            let d0 = map.single_cluster_disk(w0);
+            let d1 = map.single_cluster_disk(w1);
+            if d0 == d1 {
+                return false;
+            }
+            *s0 = d0;
+            *s1 = d1;
+            return true;
+        }
+        scratch.begin(map.n_disks());
+        for (i, slot) in out.iter_mut().enumerate() {
+            let Some(within) = pre.get(i as u64) else {
+                return false;
+            };
+            let d = map.single_cluster_disk(within);
+            if !scratch.mark(d) {
+                return false;
+            }
+            *slot = d;
+        }
+        true
     }
 
     /// First `n` candidates: the homes of the group's `n` blocks.
@@ -199,6 +326,45 @@ impl RushScratch {
     }
 }
 
+/// One group's batch-prehashed attempt-0 draw hashes: lane `lane` of an
+/// index-major `[n_idx × LANES]` buffer filled by
+/// [`kernel::draw_hashes`]. Valid only for single-cluster maps (the
+/// kernels skip the multi-cluster descent); the producer enforces that.
+#[derive(Clone, Copy, Debug)]
+pub struct PreDraws<'a> {
+    hashes: &'a [u64],
+    lane: usize,
+}
+
+impl<'a> PreDraws<'a> {
+    /// No prehashed indices: every draw takes the sequential fold.
+    pub const fn empty() -> PreDraws<'static> {
+        PreDraws {
+            hashes: &[],
+            lane: 0,
+        }
+    }
+
+    /// View lane `lane` of a [`kernel::draw_hashes`] output buffer.
+    pub fn new(hashes: &'a [u64], lane: usize) -> Self {
+        assert!(lane < kernel::LANES);
+        debug_assert_eq!(hashes.len() % kernel::LANES, 0);
+        PreDraws { hashes, lane }
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.hashes.is_empty()
+    }
+
+    /// The prehashed within-hash for candidate `index`, if covered.
+    #[inline]
+    fn get(&self, index: u64) -> Option<u64> {
+        self.hashes
+            .get(index as usize * kernel::LANES + self.lane)
+            .copied()
+    }
+}
+
 /// One step of the distinct-candidate sequence. Shared by both iterator
 /// types so their output cannot diverge.
 fn next_distinct(
@@ -208,16 +374,29 @@ fn next_distinct(
     gkey: u64,
     index: &mut u64,
     scratch: &mut RushScratch,
+    pre: PreDraws<'_>,
 ) -> Option<DiskId> {
     let n = map.n_disks();
     if scratch.emitted >= n {
         return None; // every disk already listed
     }
+    // Attempt 0 first — from the batch-prehashed buffer when it covers
+    // this index (the kernels fold the identical chain, so this is the
+    // very hash the sequential path below would compute), from the fold
+    // otherwise. On the collision-free fast path this is the whole draw.
+    let d0 = match pre.get(*index) {
+        Some(within) => map.single_cluster_disk(within),
+        None => Rush::draw_with_prefix(map, hash::combine(hash::combine(gkey, *index), 0)),
+    };
+    if scratch.mark(d0) {
+        *index += 1;
+        return Some(d0);
+    }
     // `gkey` is combine(hash_prefix(seed), group), folded once per walk;
     // the candidate index folds once per candidate, each attempt appends
     // one more word.
     let key = hash::combine(gkey, *index);
-    for attempt in 0..MAX_ATTEMPTS {
+    for attempt in 1..MAX_ATTEMPTS {
         let d = Rush::draw_with_prefix(map, hash::combine(key, attempt as u64));
         if scratch.mark(d) {
             *index += 1;
@@ -266,6 +445,7 @@ impl Iterator for Candidates<'_> {
             self.gkey,
             &mut self.index,
             &mut self.scratch,
+            PreDraws::empty(),
         )
     }
 }
@@ -279,12 +459,30 @@ pub struct Walk<'m, 's> {
     gkey: u64,
     index: u64,
     scratch: &'s mut RushScratch,
+    /// Memoized prefix to re-emit before any hashing (see
+    /// [`Rush::walk_resumed`]); empty on plain walks.
+    replay: &'m [DiskId],
+    /// Batch-prehashed attempt-0 draws (see [`Rush::walk_prehashed`]);
+    /// empty on plain walks.
+    pre: PreDraws<'m>,
 }
 
 impl Iterator for Walk<'_, '_> {
     type Item = DiskId;
 
     fn next(&mut self) -> Option<DiskId> {
+        // Replay the memoized prefix: these are the first emissions of
+        // this exact (seed, map, group) walk, recorded earlier in the
+        // trial, so re-marking them rebuilds the dedup state and the
+        // continuation below hashes from the cached frontier exactly as
+        // the uncached walk would.
+        if (self.index as usize) < self.replay.len() {
+            let d = self.replay[self.index as usize];
+            let fresh = self.scratch.mark(d);
+            debug_assert!(fresh, "a memoized prefix never repeats a disk");
+            self.index += 1;
+            return Some(d);
+        }
         next_distinct(
             self.rush,
             self.map,
@@ -292,6 +490,7 @@ impl Iterator for Walk<'_, '_> {
             self.gkey,
             &mut self.index,
             self.scratch,
+            self.pre,
         )
     }
 }
@@ -419,6 +618,104 @@ mod tests {
         let via_walk: Vec<DiskId> = rush.walk(&map, 0, &mut scratch).collect();
         assert_eq!(all, via_walk);
         assert!(scratch.fallback_probes() > 0);
+    }
+
+    #[test]
+    fn resumed_walk_matches_the_plain_walk_from_every_frontier() {
+        let map = ClusterMap::uniform(96);
+        let rush = Rush::new(0xBEEF);
+        let mut scratch = RushScratch::new();
+        for group in 0..16u64 {
+            let full: Vec<DiskId> = rush.walk(&map, group, &mut scratch).take(24).collect();
+            for k in 0..=8usize {
+                let resumed: Vec<DiskId> = rush
+                    .walk_resumed(&map, group, &mut scratch, &full[..k])
+                    .take(24)
+                    .collect();
+                assert_eq!(resumed, full, "group {group}, prefix {k} diverged");
+            }
+        }
+    }
+
+    #[test]
+    fn prehashed_walk_matches_the_plain_walk() {
+        // Batch-hash 8 groups at a time through every supported kernel
+        // and check each lane's walk against the sequential one, both
+        // with full coverage (n_idx beyond what the walk consumes) and
+        // partial coverage (indices past n_idx fall back to the fold).
+        let map = ClusterMap::uniform(96);
+        let rush = Rush::new(0x2004);
+        let mut scratch = RushScratch::new();
+        for k in kernel::Kernel::ALL.into_iter().filter(|k| k.supported()) {
+            for base in [0u64, 8, 64] {
+                let gkeys: [u64; kernel::LANES] =
+                    std::array::from_fn(|l| rush.group_key(base + l as u64));
+                for n_idx in [3usize, 12] {
+                    let mut buf = vec![0u64; n_idx * kernel::LANES];
+                    k.run(&gkeys, n_idx, &mut buf);
+                    for lane in 0..kernel::LANES {
+                        let group = base + lane as u64;
+                        let plain: Vec<DiskId> =
+                            rush.walk(&map, group, &mut scratch).take(8).collect();
+                        let pre = PreDraws::new(&buf, lane);
+                        let hashed: Vec<DiskId> = rush
+                            .walk_prehashed(&map, group, &mut scratch, pre)
+                            .take(8)
+                            .collect();
+                        assert_eq!(
+                            hashed, plain,
+                            "kernel {k}, group {group}, n_idx {n_idx} diverged"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn fill_prehashed_matches_the_walk_or_bails() {
+        // Whenever `fill_prehashed` succeeds, its output must be exactly
+        // the walk's first n emissions; whenever attempt-0 draws collide
+        // it must return false (both the mirrored n = 2 special case and
+        // the general scratch-marked loop). A small map makes collisions
+        // frequent enough to exercise both verdicts.
+        let rush = Rush::new(0x2004);
+        let mut scratch = RushScratch::new();
+        for n_disks in [5u32, 64] {
+            let map = ClusterMap::uniform(n_disks);
+            for n in [2usize, 4] {
+                let (mut hits, mut bails) = (0u32, 0u32);
+                for group in 0..400u64 {
+                    let mut buf = vec![0u64; n * kernel::LANES];
+                    let base = group & !(kernel::LANES as u64 - 1);
+                    let gkeys: [u64; kernel::LANES] =
+                        std::array::from_fn(|l| rush.group_key(base + l as u64));
+                    kernel::Kernel::Scalar.run(&gkeys, n, &mut buf);
+                    let pre = PreDraws::new(&buf, (group - base) as usize);
+                    let mut got = vec![DiskId(0); n];
+                    let walked: Vec<DiskId> =
+                        rush.walk(&map, group, &mut scratch).take(n).collect();
+                    if rush.fill_prehashed(&map, &mut scratch, pre, &mut got) {
+                        hits += 1;
+                        assert_eq!(got, walked, "group {group} fast fill diverged");
+                    } else {
+                        bails += 1;
+                        // A bail means some attempt-0 draw repeated a
+                        // disk (or the prehash ran out); the generic
+                        // walk must still work from the same PreDraws.
+                        let rehashed: Vec<DiskId> = rush
+                            .walk_prehashed(&map, group, &mut scratch, pre)
+                            .take(n)
+                            .collect();
+                        assert_eq!(rehashed, walked, "group {group} fallback diverged");
+                    }
+                }
+                assert!(hits > 0, "n_disks {n_disks}, n {n}: fast path never hit");
+                if n_disks == 5 {
+                    assert!(bails > 0, "n_disks 5, n {n}: collision bail never hit");
+                }
+            }
+        }
     }
 
     #[test]

@@ -39,7 +39,13 @@ COLUMNS = [
                        "gauges_on_events_per_sec"), "pair"),
     ("spans off/on", ("spans_off_events_per_sec",
                       "spans_on_events_per_sec"), "pair"),
+    ("placement off/on", ("placement_off_trials_per_sec",
+                          "placement_on_trials_per_sec"), "pair3"),
     ("setup phases", "setup_phases", "phases"),
+    # Derived: fraction of *total* trial wall spent in place_all_groups
+    # (setup_frac x the placement share of setup) — the number the
+    # batched placement engine exists to shrink.
+    ("placement wall frac", None, "placewall"),
 ]
 
 # (column header, kernel-entry key) for the per-kernel GF(2^8) sweep
@@ -50,6 +56,13 @@ KERNEL_COLUMNS = [
     ("mul_xor 1 MiB MB/s", "mul_xor_1MiB_mbps"),
     ("encode 64 KiB MB/s", "encode_64KiB_mbps"),
     ("reconstruct 64 KiB MB/s", "reconstruct_64KiB_mbps"),
+]
+
+# (column header, kernel-entry key) for the per-kernel placement sweep
+# (PR 9 onwards; reports without a `place_kernel` run section skip it).
+PLACE_KERNEL_COLUMNS = [
+    ("draw Mhash/s", "draw_mhashes_per_sec"),
+    ("place_all_groups kgroups/s", "place_all_groups_kgroups_per_sec"),
 ]
 
 
@@ -63,11 +76,20 @@ def _num(v):
 
 
 def fmt(entry, key, spec):
-    if spec == "pair":
+    if spec in ("pair", "pair3"):
         off, on = (_num(entry.get(k)) for k in key)
         if off is None or on is None or off == 0:
             return ""
-        return "{:,.0f} / {:,.0f} ({:+.1f}%)".format(off, on, 100 * (on / off - 1))
+        num = "{:,.3f}" if spec == "pair3" else "{:,.0f}"
+        return (num + " / " + num + " ({:+.1f}%)").format(
+            off, on, 100 * (on / off - 1))
+    if spec == "placewall":
+        sf = _num(entry.get("setup_frac"))
+        phases = entry.get("setup_phases")
+        share = _num(phases.get("placement")) if isinstance(phases, dict) else None
+        if sf is None or share is None:
+            return ""
+        return "{:.3f}".format(sf * share)
     v = entry.get(key)
     if spec == "phases":
         if not isinstance(v, dict):
@@ -82,8 +104,8 @@ def fmt(entry, key, spec):
 
 
 def load_rows(repo_dir):
-    """Config rows, per-kernel GF(2^8) rows, and run notes."""
-    rows, kernel_rows, notes = [], [], []
+    """Config rows, per-kernel GF(2^8) and placement rows, run notes."""
+    rows, kernel_rows, place_rows, notes = [], [], [], []
     paths = sorted(glob.glob(os.path.join(repo_dir, "BENCH_PR*.json")),
                    key=pr_number)
     if not paths:
@@ -119,24 +141,39 @@ def load_rows(repo_dir):
                     "config": cfg.get("config", ""),
                     "entry": cfg,
                 })
-            gf = run.get("gf_kernel")
-            kernels = gf.get("kernels") if isinstance(gf, dict) else None
-            for kern in kernels if isinstance(kernels, list) else []:
-                if isinstance(kern, dict) and kern.get("supported"):
-                    kernel_rows.append({
-                        "report": report,
-                        "label": label,
-                        "kernel": kern.get("kernel", ""),
-                        "entry": kern,
-                    })
+            for section, sink in (("gf_kernel", kernel_rows),
+                                  ("place_kernel", place_rows)):
+                sec = run.get(section)
+                kernels = sec.get("kernels") if isinstance(sec, dict) else None
+                for kern in kernels if isinstance(kernels, list) else []:
+                    if isinstance(kern, dict) and kern.get("supported"):
+                        sink.append({
+                            "report": report,
+                            "label": label,
+                            "kernel": kern.get("kernel", ""),
+                            "entry": kern,
+                        })
             if run.get("notes"):
                 notes.append((report, label, run["notes"]))
     if not rows and not kernel_rows:
         sys.exit(f"bench_trend: no usable runs in any report under {repo_dir}")
-    return rows, kernel_rows, notes
+    return rows, kernel_rows, place_rows, notes
 
 
-def render_markdown(rows, kernel_rows, notes):
+def render_kernel_table(out, title, rows, columns):
+    print(f"\n## {title}\n", file=out)
+    headers = ["report", "label", "kernel"] + [c[0] for c in columns]
+    print("| " + " | ".join(headers) + " |", file=out)
+    print("|" + "---|" * len(headers), file=out)
+    for r in rows:
+        cells = [r["report"], r["label"], r["kernel"]]
+        for _, key in columns:
+            v = _num(r["entry"].get(key))
+            cells.append("" if v is None else "{:,.0f}".format(v))
+        print("| " + " | ".join(cells) + " |", file=out)
+
+
+def render_markdown(rows, kernel_rows, place_rows, notes):
     out = io.StringIO()
     print("# Benchmark trajectory", file=out)
     print(file=out)
@@ -154,16 +191,11 @@ def render_markdown(rows, kernel_rows, notes):
             cells += [fmt(r["entry"], key, spec) for _, key, spec in COLUMNS]
             print("| " + " | ".join(cells) + " |", file=out)
     if kernel_rows:
-        print("\n## GF(2^8) region kernels\n", file=out)
-        headers = ["report", "label", "kernel"] + [c[0] for c in KERNEL_COLUMNS]
-        print("| " + " | ".join(headers) + " |", file=out)
-        print("|" + "---|" * len(headers), file=out)
-        for r in kernel_rows:
-            cells = [r["report"], r["label"], r["kernel"]]
-            for _, key in KERNEL_COLUMNS:
-                v = _num(r["entry"].get(key))
-                cells.append("" if v is None else "{:,.0f}".format(v))
-            print("| " + " | ".join(cells) + " |", file=out)
+        render_kernel_table(out, "GF(2^8) region kernels", kernel_rows,
+                            KERNEL_COLUMNS)
+    if place_rows:
+        render_kernel_table(out, "Placement kernels", place_rows,
+                            PLACE_KERNEL_COLUMNS)
     if notes:
         print("\n## Notes\n", file=out)
         for report, label, text in notes:
@@ -171,7 +203,7 @@ def render_markdown(rows, kernel_rows, notes):
     return out.getvalue()
 
 
-def render_csv(rows, kernel_rows):
+def render_csv(rows, kernel_rows, place_rows):
     def cell(v):
         return json.dumps(v) if isinstance(v, dict) else v
 
@@ -182,11 +214,14 @@ def render_csv(rows, kernel_rows):
     for r in rows:
         w.writerow([r["report"], r["label"]] +
                    [cell(r["entry"].get(k, "")) for k in keys])
-    if kernel_rows:
-        kkeys = [k for _, k in KERNEL_COLUMNS]
+    for krows, columns in ((kernel_rows, KERNEL_COLUMNS),
+                           (place_rows, PLACE_KERNEL_COLUMNS)):
+        if not krows:
+            continue
+        kkeys = [k for _, k in columns]
         w.writerow([])
         w.writerow(["report", "label", "kernel"] + kkeys)
-        for r in kernel_rows:
+        for r in krows:
             w.writerow([r["report"], r["label"], r["kernel"]] +
                        [r["entry"].get(k, "") for k in kkeys])
     return out.getvalue()
@@ -205,8 +240,8 @@ def main(argv):
         else:
             print(__doc__.strip(), file=sys.stderr)
             return 2
-    rows, kernel_rows, notes = load_rows(repo_dir)
-    md = render_markdown(rows, kernel_rows, notes)
+    rows, kernel_rows, place_rows, notes = load_rows(repo_dir)
+    md = render_markdown(rows, kernel_rows, place_rows, notes)
     if md_out:
         with open(md_out, "w") as f:
             f.write(md)
@@ -215,7 +250,7 @@ def main(argv):
         print(md, end="")
     if csv_out:
         with open(csv_out, "w") as f:
-            f.write(render_csv(rows, kernel_rows))
+            f.write(render_csv(rows, kernel_rows, place_rows))
         print(f"bench_trend: wrote {csv_out}")
     return 0
 
