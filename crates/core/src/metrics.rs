@@ -229,6 +229,72 @@ impl McSummary {
     pub fn trials(&self) -> u64 {
         self.p_loss.trials
     }
+
+    /// Exact single-line form: `mc1|<field>=<compact>|...` with every
+    /// component serialized through its own bit-exact compact codec
+    /// (`p1;...`, `r1;...`, `h1;...`). `|` is safe as the outer
+    /// delimiter because none of the component codecs ever emit it.
+    /// This is the unit of the fleet checkpoint format: workers write
+    /// one line per chunk, and the coordinator must reconstruct a
+    /// summary whose fold is bit-identical to the in-process one.
+    pub fn to_compact(&self) -> String {
+        format!(
+            "mc1|p_loss={}|p_redirection={}|failures={}|rebuilds={}|redirections={}\
+             |lost_groups={}|mean_vulnerability={}|events={}|no_targets={}\
+             |vulnerability={}|queue_delay={}|detect_lag={}|transfer={}|fanout={}",
+            self.p_loss.to_compact(),
+            self.p_redirection.to_compact(),
+            self.failures.to_compact(),
+            self.rebuilds.to_compact(),
+            self.redirections.to_compact(),
+            self.lost_groups.to_compact(),
+            self.mean_vulnerability.to_compact(),
+            self.events.to_compact(),
+            self.no_targets.to_compact(),
+            self.vulnerability.to_compact(),
+            self.queue_delay.to_compact(),
+            self.detect_lag.to_compact(),
+            self.transfer.to_compact(),
+            self.fanout.to_compact(),
+        )
+    }
+
+    /// Parse the [`McSummary::to_compact`] form.
+    pub fn from_compact(s: &str) -> Result<McSummary, String> {
+        let mut parts = s.split('|');
+        if parts.next() != Some("mc1") {
+            return Err(format!("not a mc1 record: {:?}", s.get(..16).unwrap_or(s)));
+        }
+        let mut out = McSummary::new();
+        let mut seen = 0u32;
+        for part in parts {
+            let (key, v) = part
+                .split_once('=')
+                .ok_or_else(|| format!("bad field {part:?}"))?;
+            match key {
+                "p_loss" => out.p_loss = Proportion::from_compact(v)?,
+                "p_redirection" => out.p_redirection = Proportion::from_compact(v)?,
+                "failures" => out.failures = Running::from_compact(v)?,
+                "rebuilds" => out.rebuilds = Running::from_compact(v)?,
+                "redirections" => out.redirections = Running::from_compact(v)?,
+                "lost_groups" => out.lost_groups = Running::from_compact(v)?,
+                "mean_vulnerability" => out.mean_vulnerability = Running::from_compact(v)?,
+                "events" => out.events = Running::from_compact(v)?,
+                "no_targets" => out.no_targets = Running::from_compact(v)?,
+                "vulnerability" => out.vulnerability = Histogram::from_compact(v)?,
+                "queue_delay" => out.queue_delay = Histogram::from_compact(v)?,
+                "detect_lag" => out.detect_lag = Histogram::from_compact(v)?,
+                "transfer" => out.transfer = Histogram::from_compact(v)?,
+                "fanout" => out.fanout = Histogram::from_compact(v)?,
+                _ => return Err(format!("unknown field {key:?}")),
+            }
+            seen += 1;
+        }
+        if seen != 14 {
+            return Err(format!("expected 14 fields, got {seen}"));
+        }
+        Ok(out)
+    }
 }
 
 impl Default for McSummary {
@@ -310,6 +376,45 @@ mod tests {
         s.merge(&other);
         assert_eq!(s.vulnerability.count(), 4);
         assert_eq!(s.trials(), 3);
+    }
+
+    #[test]
+    fn summary_compact_round_trip_is_bit_exact() {
+        let mut s = McSummary::new();
+        let mut lossy = TrialMetrics::new();
+        lossy.record_loss(1, SimTime::from_hours(3.5));
+        lossy.disk_failures = 11;
+        lossy.rebuilds_completed = 2;
+        lossy.record_vulnerability(12.75);
+        lossy.record_vulnerability(0.003);
+        lossy.queue_delay.record(1.5e-7);
+        lossy.fanout.record(25.0);
+        s.push(&lossy);
+        s.push(&TrialMetrics::new());
+        let back = McSummary::from_compact(&s.to_compact()).unwrap();
+        // Bit-exact: the compact re-rendering must match character for
+        // character, which covers every float bit pattern at once.
+        assert_eq!(back.to_compact(), s.to_compact());
+        assert_eq!(back.trials(), 2);
+        assert_eq!(back.p_loss.successes, 1);
+        assert_eq!(back.vulnerability.count(), 2);
+    }
+
+    #[test]
+    fn summary_compact_round_trip_when_empty() {
+        let s = McSummary::new();
+        let back = McSummary::from_compact(&s.to_compact()).unwrap();
+        assert_eq!(back.to_compact(), s.to_compact());
+        assert_eq!(back.trials(), 0);
+    }
+
+    #[test]
+    fn summary_compact_rejects_malformed() {
+        assert!(McSummary::from_compact("nope").is_err());
+        assert!(McSummary::from_compact("mc1|p_loss=p1;s=0;t=0").is_err());
+        let mut tampered = McSummary::new().to_compact();
+        tampered.push_str("|bogus=r1;n=0;mean=0;m2=0;min=0;max=0");
+        assert!(McSummary::from_compact(&tampered).is_err());
     }
 
     #[test]

@@ -2,8 +2,23 @@
 //!
 //! The paper runs 100 trials per configuration (Figure 3). Each trial is
 //! a pure function of `(config, master_seed, trial_index)`, so trials
-//! fan out across scoped threads and the aggregate is identical
-//! regardless of thread count.
+//! fan out across scoped threads — or across worker *processes* in a
+//! fleet — and the aggregate is identical regardless of how they were
+//! scheduled.
+//!
+//! That identity is not automatic: `Running::merge` (Chan's parallel
+//! Welford update) and the pooled histograms' f64 sums are neither
+//! associative nor commutative at the bit level, so "merge whatever
+//! each worker accumulated" produces answers that drift in the last
+//! ulps with the thread count. Instead every execution path reduces
+//! through the same *canonical chunked fold*: trials are grouped into
+//! fixed [`CHUNK_TRIALS`]-sized chunks, each chunk's summary is built
+//! by pushing its trials in ascending order, and the final summary is
+//! a left fold of the chunk summaries in ascending chunk order. Workers
+//! (threads or processes) race to *claim* chunks but never change what
+//! a chunk contains or where it lands in the fold, so `threads=1`,
+//! `threads=N` and any fleet partition of the chunk space produce
+//! bit-identical summaries.
 
 use crate::config::{PreparedConfig, SystemConfig};
 use crate::metrics::{McSummary, TrialMetrics};
@@ -18,6 +33,32 @@ use std::io::Write;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Instant;
+
+/// Trials per reduction chunk — the canonical unit of summary folding.
+///
+/// Chunk `c` covers trials `[c*CHUNK_TRIALS, min((c+1)*CHUNK_TRIALS,
+/// trials))`. Must divide [`farm_obs::convergence::STOP_CHECK_EVERY`]
+/// so `--target-rel-ci` stop boundaries (multiples of it) always land
+/// on chunk edges and a kept prefix is a whole number of chunks.
+pub const CHUNK_TRIALS: u64 = 8;
+
+const _: () = assert!(
+    farm_obs::convergence::STOP_CHECK_EVERY.is_multiple_of(CHUNK_TRIALS),
+    "stop boundaries must land on chunk edges"
+);
+
+/// Number of reduction chunks in a campaign of `trials` trials.
+pub fn n_chunks(trials: u64) -> u64 {
+    trials.div_ceil(CHUNK_TRIALS)
+}
+
+/// Trial bounds `[lo, hi)` of chunk `chunk` in a campaign of
+/// `trials_total` trials (the final chunk may be partial).
+pub fn chunk_bounds(chunk: u64, trials_total: u64) -> (u64, u64) {
+    let lo = chunk * CHUNK_TRIALS;
+    let hi = ((chunk + 1) * CHUNK_TRIALS).min(trials_total);
+    (lo, hi)
+}
 
 /// How a trial is executed.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -114,42 +155,54 @@ struct TrialArtifacts {
     spans: Option<TrialSpans>,
 }
 
-/// A finished trial a worker cannot commit yet: under the sequential
-/// stopping rule, a trial may only enter the batch aggregate once every
-/// stop boundary at or below its index has been decided — otherwise a
-/// later "stop at B" verdict would leave trials `>= B` already baked
-/// into the summary. Held entries carry everything commit needs,
-/// including the wall time measured when the trial actually ran.
-struct HeldTrial {
-    trial: u64,
-    metrics: TrialMetrics,
-    profile: Option<Box<EventProfile>>,
-    artifacts: TrialArtifacts,
+/// What a held chunk keeps per trial so the live monitor's shard can be
+/// updated when (and only when) the chunk commits.
+struct TrialSideband {
+    lost: bool,
+    events: u64,
     wall_secs: f64,
 }
 
-/// A worker thread's partial batch result: its local aggregate, merged
-/// profile, the artifacts of the trials it ran, and (stopping runs
-/// only) trials still awaiting a stop-boundary verdict when the worker
-/// exited — the driver settles those once the final stop limit is
-/// known.
+/// A finished chunk a worker cannot commit yet: under the sequential
+/// stopping rule, a chunk may only enter the batch aggregate once every
+/// stop boundary at or below its upper bound has been decided —
+/// otherwise a later "stop at B" verdict would leave trials `>= B`
+/// already baked into the summary. Stop boundaries are chunk-aligned,
+/// so whole chunks are the natural holding unit; each held entry
+/// carries everything commit needs, including the per-trial wall times
+/// measured when the trials actually ran.
+struct HeldChunk {
+    chunk: u64,
+    lo: u64,
+    hi: u64,
+    summary: McSummary,
+    trials: Vec<TrialSideband>,
+    profile: Option<EventProfile>,
+    artifacts: Vec<(u64, TrialArtifacts)>,
+}
+
+/// A worker thread's partial batch result: the chunk summaries it
+/// committed, its merged profile, the artifacts of the trials it ran,
+/// and (stopping runs only) chunks still awaiting a stop-boundary
+/// verdict when the worker exited — the driver settles those once the
+/// final stop limit is known.
 type WorkerPartial = (
-    McSummary,
+    Vec<(u64, McSummary)>,
     Option<EventProfile>,
     Vec<(u64, TrialArtifacts)>,
-    Vec<HeldTrial>,
+    Vec<HeldChunk>,
 );
 
-/// Settle a worker's held trials against the stopping frontier: commit
-/// everything below `min(decided, limit)` (no future boundary can
-/// exclude it), discard everything at or beyond a triggered stop
+/// Settle a worker's held chunks against the stopping frontier: commit
+/// every chunk wholly below `min(decided, limit)` (no future boundary
+/// can exclude it), discard every chunk at or beyond a triggered stop
 /// `limit`, keep the rest buffered.
 #[allow(clippy::too_many_arguments)]
 fn settle_held(
-    held: &mut Vec<HeldTrial>,
+    held: &mut Vec<HeldChunk>,
     decided: u64,
     limit: u64,
-    summary: &mut McSummary,
+    chunks: &mut Vec<(u64, McSummary)>,
     profile: &mut Option<EventProfile>,
     artifacts: &mut Vec<(u64, TrialArtifacts)>,
     shard: &Option<Arc<WorkerShard>>,
@@ -158,11 +211,10 @@ fn settle_held(
     let commit_below = decided.min(limit);
     let mut i = 0;
     while i < held.len() {
-        let t = held[i].trial;
-        if t < commit_below {
+        if held[i].hi <= commit_below {
             let h = held.swap_remove(i);
-            commit_trial(h, summary, profile, artifacts, shard, want_artifacts);
-        } else if t >= limit {
+            commit_chunk(h, chunks, profile, artifacts, shard, want_artifacts);
+        } else if held[i].lo >= limit {
             held.swap_remove(i);
         } else {
             i += 1;
@@ -170,27 +222,64 @@ fn settle_held(
     }
 }
 
-/// Commit one trial to a worker's (or the driver's) partial aggregate.
-fn commit_trial(
-    h: HeldTrial,
-    summary: &mut McSummary,
+/// Commit one chunk to a worker's (or the driver's) partial aggregate.
+fn commit_chunk(
+    h: HeldChunk,
+    chunks: &mut Vec<(u64, McSummary)>,
     profile: &mut Option<EventProfile>,
     artifacts: &mut Vec<(u64, TrialArtifacts)>,
     shard: &Option<Arc<WorkerShard>>,
     want_artifacts: bool,
 ) {
     if let Some(shard) = shard {
-        shard.record_trial(
-            h.metrics.lost_data(),
-            h.metrics.events_processed,
-            h.wall_secs,
-        );
+        for t in &h.trials {
+            shard.record_trial(t.lost, t.events, t.wall_secs);
+        }
     }
-    summary.push(&h.metrics);
-    merge_profile(profile, h.profile);
+    chunks.push((h.chunk, h.summary));
+    merge_profile(profile, h.profile.map(Box::new));
     if want_artifacts {
-        artifacts.push((h.trial, h.artifacts));
+        artifacts.extend(h.artifacts);
     }
+}
+
+/// Fold chunk summaries into the campaign aggregate after validating
+/// exact coverage: the indices must be exactly `0..total_chunks`, each
+/// exactly once. A missing chunk (a seed-range gap after a lost worker)
+/// or a duplicate (double-counted work after a respawn) is an error,
+/// never a silently wrong number. The fold itself is the canonical
+/// ascending left fold, so the result is bit-identical to a
+/// single-process run over the same seed set.
+pub fn fold_chunk_summaries(
+    mut chunks: Vec<(u64, McSummary)>,
+    total_chunks: u64,
+) -> Result<McSummary, String> {
+    chunks.sort_by_key(|&(c, _)| c);
+    for (i, win) in chunks.windows(2).enumerate() {
+        if win[0].0 == win[1].0 {
+            return Err(format!(
+                "duplicate chunk {} (positions {i} and {})",
+                win[0].0,
+                i + 1
+            ));
+        }
+    }
+    if chunks.len() as u64 != total_chunks {
+        return Err(format!(
+            "expected {total_chunks} chunks, got {}",
+            chunks.len()
+        ));
+    }
+    for (i, &(c, _)) in chunks.iter().enumerate() {
+        if c != i as u64 {
+            return Err(format!("missing chunk {i} (found {c} in its place)"));
+        }
+    }
+    let mut summary = McSummary::new();
+    for (_, cs) in &chunks {
+        summary.merge(cs);
+    }
+    Ok(summary)
 }
 
 /// A short human label for a batch's configuration, shown in the live
@@ -419,36 +508,48 @@ pub fn run_trials_observed(
         let mut profile: Option<EventProfile> = None;
         let mut ws = TrialWorkspace::new();
         let shard = batch.as_ref().map(|b| b.shard());
-        for t in 0..trials {
-            let started = shard.as_ref().map(|_| Instant::now());
-            let (m, p, a) = run_trial_observed(&mut ws, &prepared, master_seed, t, mode, obs);
-            record_monitored(&shard, started, &m);
-            progress.trial_done(m.lost_data());
-            summary.push(&m);
-            merge_profile(&mut profile, p);
-            if want_artifacts {
-                artifacts.push((t, a));
+        let mut stopped = false;
+        for chunk in 0..n_chunks(trials) {
+            if stopped {
+                break;
             }
-            if let Some(c) = conv {
-                c.submit(t, m.lost_data(), m.first_loss.map(|ft| ft.as_secs()));
-                // A stop at boundary B keeps exactly trials 0..B; in
-                // trial order the boundary can only be t+1, so the
-                // prefix already committed is the final result.
-                if t + 1 >= c.stop_limit() {
-                    break;
+            let (lo, hi) = chunk_bounds(chunk, trials);
+            let mut cs = McSummary::new();
+            for t in lo..hi {
+                let started = shard.as_ref().map(|_| Instant::now());
+                let (m, p, a) = run_trial_observed(&mut ws, &prepared, master_seed, t, mode, obs);
+                record_monitored(&shard, started, &m);
+                progress.trial_done(m.lost_data());
+                cs.push(&m);
+                merge_profile(&mut profile, p);
+                if want_artifacts {
+                    artifacts.push((t, a));
+                }
+                if let Some(c) = conv {
+                    c.submit(t, m.lost_data(), m.first_loss.map(|ft| ft.as_secs()));
+                    // A stop at boundary B keeps exactly trials 0..B; in
+                    // trial order the boundary can only be t+1, and stop
+                    // boundaries are chunk-aligned, so the break lands
+                    // exactly on this chunk's edge and the fold below
+                    // still sees only whole chunks.
+                    if t + 1 >= c.stop_limit() {
+                        stopped = true;
+                        break;
+                    }
                 }
             }
+            summary.merge(&cs);
         }
         (summary, profile)
     } else {
         let next = AtomicU64::new(0);
-        // Under the stopping rule a worker may not commit a trial until
-        // every stop boundary at or below it has been decided — it
-        // buffers finished trials and settles them against the core's
-        // `decided_through` / `stop_limit` frontier (bounded by one
-        // boundary interval plus scheduling skew). Without stopping the
-        // commit path is exactly the PR 5 one, so convergence streaming
-        // alone leaves summaries bit-identical.
+        let total_chunks = n_chunks(trials);
+        // Under the stopping rule a worker may not commit a chunk until
+        // every stop boundary at or below its upper bound has been
+        // decided — it buffers finished chunks and settles them against
+        // the core's `decided_through` / `stop_limit` frontier (bounded
+        // by one boundary interval plus scheduling skew). Without
+        // stopping, chunks commit as they finish.
         let stopping = conv.is_some_and(|c| c.stopping());
         let mut partials: Vec<WorkerPartial> = Vec::new();
         std::thread::scope(|scope| {
@@ -459,72 +560,96 @@ pub fn run_trials_observed(
                 let prepared = &prepared;
                 let batch = &batch;
                 handles.push(scope.spawn(move || {
-                    let mut local = McSummary::new();
+                    let mut chunks: Vec<(u64, McSummary)> = Vec::new();
                     let mut local_profile: Option<EventProfile> = None;
                     let mut local_artifacts: Vec<(u64, TrialArtifacts)> = Vec::new();
-                    let mut held: Vec<HeldTrial> = Vec::new();
+                    let mut held: Vec<HeldChunk> = Vec::new();
                     let mut ws = TrialWorkspace::new();
                     let shard = batch.as_ref().map(|b| b.shard());
                     loop {
-                        let t = next.fetch_add(1, Ordering::Relaxed);
-                        if t >= trials {
+                        let chunk = next.fetch_add(1, Ordering::Relaxed);
+                        if chunk >= total_chunks {
                             break;
                         }
+                        let (lo, hi) = chunk_bounds(chunk, trials);
                         if let Some(c) = conv {
-                            if t >= c.stop_limit() {
+                            // Stop limits are chunk-aligned, so a chunk
+                            // is entirely inside or entirely outside the
+                            // kept prefix — never straddling it.
+                            if lo >= c.stop_limit() {
                                 break;
                             }
                         }
-                        let started = shard.as_ref().map(|_| Instant::now());
-                        let (m, p, a) =
-                            run_trial_observed(&mut ws, prepared, master_seed, t, mode, obs);
-                        progress.trial_done(m.lost_data());
-                        if let Some(c) = conv {
-                            c.submit(t, m.lost_data(), m.first_loss.map(|ft| ft.as_secs()));
+                        let mut cs = McSummary::new();
+                        let mut sideband: Vec<TrialSideband> = Vec::new();
+                        let mut chunk_profile: Option<EventProfile> = None;
+                        let mut chunk_artifacts: Vec<(u64, TrialArtifacts)> = Vec::new();
+                        for t in lo..hi {
+                            let started = shard.as_ref().map(|_| Instant::now());
+                            let (m, p, a) =
+                                run_trial_observed(&mut ws, prepared, master_seed, t, mode, obs);
+                            progress.trial_done(m.lost_data());
+                            if let Some(c) = conv {
+                                c.submit(t, m.lost_data(), m.first_loss.map(|ft| ft.as_secs()));
+                            }
+                            cs.push(&m);
+                            if stopping {
+                                sideband.push(TrialSideband {
+                                    lost: m.lost_data(),
+                                    events: m.events_processed,
+                                    wall_secs: started.map_or(0.0, |t0| t0.elapsed().as_secs_f64()),
+                                });
+                                merge_profile(&mut chunk_profile, p);
+                                if want_artifacts {
+                                    chunk_artifacts.push((t, a));
+                                }
+                            } else {
+                                record_monitored(&shard, started, &m);
+                                merge_profile(&mut local_profile, p);
+                                if want_artifacts {
+                                    local_artifacts.push((t, a));
+                                }
+                            }
                         }
                         if stopping {
-                            let wall_secs = started.map_or(0.0, |t0| t0.elapsed().as_secs_f64());
-                            held.push(HeldTrial {
-                                trial: t,
-                                metrics: m,
-                                profile: p,
-                                artifacts: a,
-                                wall_secs,
+                            held.push(HeldChunk {
+                                chunk,
+                                lo,
+                                hi,
+                                summary: cs,
+                                trials: sideband,
+                                profile: chunk_profile,
+                                artifacts: chunk_artifacts,
                             });
                             let c = conv.expect("stopping implies a convergence core");
                             settle_held(
                                 &mut held,
                                 c.decided_through(),
                                 c.stop_limit(),
-                                &mut local,
+                                &mut chunks,
                                 &mut local_profile,
                                 &mut local_artifacts,
                                 &shard,
                                 want_artifacts,
                             );
                         } else {
-                            record_monitored(&shard, started, &m);
-                            local.push(&m);
-                            merge_profile(&mut local_profile, p);
-                            if want_artifacts {
-                                local_artifacts.push((t, a));
-                            }
+                            chunks.push((chunk, cs));
                         }
                     }
-                    (local, local_profile, local_artifacts, held)
+                    (chunks, local_profile, local_artifacts, held)
                 }));
             }
             for h in handles {
                 partials.push(h.join().expect("trial thread panicked"));
             }
         });
-        let mut summary = McSummary::new();
+        let mut all_chunks: Vec<(u64, McSummary)> = Vec::new();
         let mut profile: Option<EventProfile> = None;
-        // Settle trials still undecided when the workers exited: every
+        // Settle chunks still undecided when the workers exited: every
         // trial has been submitted by now, so the stop limit is final —
         // commit below it, discard at or above it. Committed through one
         // extra shard so the monitor's totals match the summary exactly.
-        let leftover: Vec<HeldTrial> = partials
+        let leftover: Vec<HeldChunk> = partials
             .iter_mut()
             .flat_map(|(_, _, _, held)| held.drain(..))
             .collect();
@@ -532,10 +657,10 @@ pub fn run_trials_observed(
             let limit = conv.map_or(u64::MAX, |c| c.stop_limit());
             let shard = batch.as_ref().map(|b| b.shard());
             for h in leftover {
-                if h.trial < limit {
-                    commit_trial(
+                if h.lo < limit {
+                    commit_chunk(
                         h,
-                        &mut summary,
+                        &mut all_chunks,
                         &mut profile,
                         &mut artifacts,
                         &shard,
@@ -544,10 +669,18 @@ pub fn run_trials_observed(
                 }
             }
         }
-        for (s, p, a, _) in partials {
-            summary.merge(&s);
+        for (cs, p, a, _) in partials {
+            all_chunks.extend(cs);
             merge_profile(&mut profile, p.map(Box::new));
             artifacts.extend(a);
+        }
+        // The canonical fold: ascending chunk order, one merge per
+        // chunk — bit-identical to the sequential path above and to any
+        // fleet partition of the same chunk space.
+        all_chunks.sort_by_key(|&(c, _)| c);
+        let mut summary = McSummary::new();
+        for (_, cs) in &all_chunks {
+            summary.merge(cs);
         }
         (summary, profile)
     };
@@ -577,6 +710,161 @@ pub fn run_trials_observed(
         emit_artifacts(obs, &config_label(cfg), artifacts);
     }
     (summary, profile)
+}
+
+/// Run one reduction chunk of a campaign: sequential pushes of its
+/// trials in ascending order — the only way a chunk summary is ever
+/// built, on any execution path.
+#[allow(clippy::too_many_arguments)]
+fn run_chunk(
+    ws: &mut TrialWorkspace,
+    prepared: &Arc<PreparedConfig>,
+    master_seed: u64,
+    trials_total: u64,
+    chunk: u64,
+    mode: TrialMode,
+    obs: &ObsOptions,
+    shard: &Option<Arc<WorkerShard>>,
+    progress: &Progress,
+) -> McSummary {
+    let (lo, hi) = chunk_bounds(chunk, trials_total);
+    let mut cs = McSummary::new();
+    for t in lo..hi {
+        let started = shard.as_ref().map(|_| Instant::now());
+        let (m, _profile, _artifacts) = run_trial_observed(ws, prepared, master_seed, t, mode, obs);
+        record_monitored(shard, started, &m);
+        progress.trial_done(m.lost_data());
+        cs.push(&m);
+    }
+    cs
+}
+
+/// Run reduction chunks `[chunk_lo, chunk_hi)` of a campaign of
+/// `trials_total` trials — the fleet worker entry point.
+///
+/// The per-chunk summaries are returned *unfolded*: `Running::merge` is
+/// not associative, so a worker that pre-folded its contiguous range
+/// could not be re-grouped into the campaign-wide ascending fold. The
+/// coordinator collects every chunk from every worker and folds them
+/// with [`fold_chunk_summaries`], which is bit-identical to
+/// [`run_trials_observed`] over the full seed set.
+///
+/// The live monitor (`FARM_STATUS` / `FARM_HTTP`) and progress line
+/// attach as usual, scoped to this worker's share of the campaign;
+/// convergence stopping, per-trial artifacts and profiling do not apply
+/// to fleet workers.
+#[allow(clippy::too_many_arguments)]
+pub fn run_trial_chunks_observed(
+    cfg: &SystemConfig,
+    master_seed: u64,
+    trials_total: u64,
+    chunk_lo: u64,
+    chunk_hi: u64,
+    mode: TrialMode,
+    threads: usize,
+    obs: &ObsOptions,
+) -> Vec<(u64, McSummary)> {
+    assert!(threads >= 1);
+    assert!(
+        chunk_lo <= chunk_hi && chunk_hi <= n_chunks(trials_total),
+        "chunk range {chunk_lo}:{chunk_hi} outside campaign of {} chunks",
+        n_chunks(trials_total)
+    );
+    let range_trials = if chunk_lo == chunk_hi {
+        0
+    } else {
+        chunk_bounds(chunk_hi - 1, trials_total).1 - chunk_bounds(chunk_lo, trials_total).0
+    };
+    let progress = Progress::new(range_trials, obs.progress_enabled());
+    let monitor = farm_obs::campaign_monitor(obs);
+    let anchor = if monitor.is_some() {
+        crate::markov::anchor_loss_probability(cfg)
+    } else {
+        None
+    };
+    let batch: Option<BatchHandle> =
+        monitor.map(|mon| mon.begin_batch_anchored(config_label(cfg), range_trials, anchor));
+    let prepared = Arc::new(PreparedConfig::new(cfg.clone()));
+    let mut chunks: Vec<(u64, McSummary)> = Vec::new();
+    if threads == 1 || chunk_hi.saturating_sub(chunk_lo) <= 1 {
+        let mut ws = TrialWorkspace::new();
+        let shard = batch.as_ref().map(|b| b.shard());
+        for chunk in chunk_lo..chunk_hi {
+            let cs = run_chunk(
+                &mut ws,
+                &prepared,
+                master_seed,
+                trials_total,
+                chunk,
+                mode,
+                obs,
+                &shard,
+                &progress,
+            );
+            chunks.push((chunk, cs));
+        }
+    } else {
+        let next = AtomicU64::new(chunk_lo);
+        let mut partials: Vec<Vec<(u64, McSummary)>> = Vec::new();
+        std::thread::scope(|scope| {
+            let mut handles = Vec::with_capacity(threads);
+            for _ in 0..threads {
+                let next = &next;
+                let progress = &progress;
+                let prepared = &prepared;
+                let batch = &batch;
+                handles.push(scope.spawn(move || {
+                    let mut local: Vec<(u64, McSummary)> = Vec::new();
+                    let mut ws = TrialWorkspace::new();
+                    let shard = batch.as_ref().map(|b| b.shard());
+                    loop {
+                        let chunk = next.fetch_add(1, Ordering::Relaxed);
+                        if chunk >= chunk_hi {
+                            break;
+                        }
+                        let cs = run_chunk(
+                            &mut ws,
+                            prepared,
+                            master_seed,
+                            trials_total,
+                            chunk,
+                            mode,
+                            obs,
+                            &shard,
+                            progress,
+                        );
+                        local.push((chunk, cs));
+                    }
+                    local
+                }));
+            }
+            for h in handles {
+                partials.push(h.join().expect("trial thread panicked"));
+            }
+        });
+        for p in partials {
+            chunks.extend(p);
+        }
+    }
+    progress.finish();
+    chunks.sort_by_key(|&(c, _)| c);
+    if let Some(b) = &batch {
+        // Pool this worker's distributions (ascending fold, as
+        // everywhere) for the monitor's span-phase summaries, then
+        // publish the exact final snapshot.
+        let mut pooled = McSummary::new();
+        for (_, cs) in &chunks {
+            pooled.merge(cs);
+        }
+        b.record_phases(
+            &pooled.detect_lag,
+            &pooled.queue_delay,
+            &pooled.transfer,
+            &pooled.vulnerability,
+        );
+        b.finish();
+    }
+    chunks
 }
 
 /// Write the batch's telemetry artifacts: timeline bands, post-mortem
@@ -740,14 +1028,79 @@ mod tests {
     }
 
     #[test]
-    fn parallel_equals_sequential() {
+    fn parallel_equals_sequential_bit_for_bit() {
+        // The canonical chunked reduction makes the thread count
+        // invisible in the result *bits*, not just within an epsilon:
+        // compare the full compact encodings (26 trials = 4 chunks,
+        // the last partial).
         let cfg = tiny();
-        let seq = run_trials_with_threads(&cfg, 11, 8, TrialMode::Full, 1);
-        let par = run_trials_with_threads(&cfg, 11, 8, TrialMode::Full, 4);
-        assert_eq!(seq.trials(), par.trials());
-        assert_eq!(seq.p_loss.successes, par.p_loss.successes);
-        assert!((seq.failures.mean() - par.failures.mean()).abs() < 1e-9);
-        assert!((seq.rebuilds.mean() - par.rebuilds.mean()).abs() < 1e-9);
+        let seq = run_trials_with_threads(&cfg, 11, 26, TrialMode::Full, 1);
+        let par = run_trials_with_threads(&cfg, 11, 26, TrialMode::Full, 4);
+        assert_eq!(seq.trials(), 26);
+        assert_eq!(seq.to_compact(), par.to_compact());
+    }
+
+    #[test]
+    fn chunk_bounds_cover_the_campaign() {
+        assert_eq!(n_chunks(0), 0);
+        assert_eq!(n_chunks(1), 1);
+        assert_eq!(n_chunks(CHUNK_TRIALS), 1);
+        assert_eq!(n_chunks(CHUNK_TRIALS + 1), 2);
+        // Chunks tile [0, trials) exactly, final chunk partial.
+        let trials = 3 * CHUNK_TRIALS + 5;
+        let mut next = 0;
+        for c in 0..n_chunks(trials) {
+            let (lo, hi) = chunk_bounds(c, trials);
+            assert_eq!(lo, next);
+            assert!(hi > lo && hi <= trials);
+            next = hi;
+        }
+        assert_eq!(next, trials);
+    }
+
+    #[test]
+    fn chunked_worker_fold_matches_single_process() {
+        // The fleet invariant, in-process: run the campaign as two
+        // unequal worker shares plus the full driver, fold, and require
+        // bit-identity. 26 trials = 4 chunks split 1 + 3.
+        let cfg = tiny();
+        let obs = ObsOptions::off();
+        let (whole, _) = run_trials_observed(&cfg, 11, 26, TrialMode::Full, 2, &obs);
+        let mut chunks = run_trial_chunks_observed(&cfg, 11, 26, 0, 1, TrialMode::Full, 1, &obs);
+        chunks.extend(run_trial_chunks_observed(
+            &cfg,
+            11,
+            26,
+            1,
+            4,
+            TrialMode::Full,
+            2,
+            &obs,
+        ));
+        let folded = fold_chunk_summaries(chunks, n_chunks(26)).unwrap();
+        assert_eq!(folded.to_compact(), whole.to_compact());
+    }
+
+    #[test]
+    fn fold_rejects_gaps_and_duplicates() {
+        let cfg = tiny();
+        let obs = ObsOptions::off();
+        let chunks = run_trial_chunks_observed(&cfg, 11, 16, 0, 2, TrialMode::Full, 1, &obs);
+        assert_eq!(chunks.len(), 2);
+        // Exact coverage passes.
+        assert!(fold_chunk_summaries(chunks.clone(), 2).is_ok());
+        // A gap (missing chunk) fails.
+        let err = fold_chunk_summaries(vec![chunks[1].clone()], 2).unwrap_err();
+        assert!(err.contains("expected 2 chunks"), "{err}");
+        // A double-counted chunk fails.
+        let mut dup = chunks.clone();
+        dup.push(chunks[0].clone());
+        let err = fold_chunk_summaries(dup, 2).unwrap_err();
+        assert!(err.contains("duplicate chunk 0"), "{err}");
+        // The right count but wrong indices fails.
+        let wrong = vec![chunks[1].clone(), (2, McSummary::new())];
+        let err = fold_chunk_summaries(wrong, 2).unwrap_err();
+        assert!(err.contains("missing chunk 0"), "{err}");
     }
 
     #[test]

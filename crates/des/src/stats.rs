@@ -91,6 +91,56 @@ impl Running {
         self.min = self.min.min(other.min);
         self.max = self.max.max(other.max);
     }
+
+    /// Exact single-line form: `r1;n=..;mean=..;m2=..;min=..;max=..`,
+    /// with every float as its 16-hex-digit bit pattern. The fleet
+    /// checkpoint files round-trip accumulators through this, so it
+    /// must preserve every bit (including the ±inf min/max sentinels
+    /// of an empty accumulator) — same discipline as
+    /// [`Histogram::to_compact`].
+    pub fn to_compact(&self) -> String {
+        format!(
+            "r1;n={};mean={:016x};m2={:016x};min={:016x};max={:016x}",
+            self.n,
+            self.mean.to_bits(),
+            self.m2.to_bits(),
+            self.min.to_bits(),
+            self.max.to_bits()
+        )
+    }
+
+    /// Parse the [`Running::to_compact`] form.
+    pub fn from_compact(s: &str) -> Result<Running, String> {
+        let mut parts = s.split(';');
+        if parts.next() != Some("r1") {
+            return Err(format!("not a r1 record: {s:?}"));
+        }
+        let mut r = Running::new();
+        let mut seen = 0u32;
+        for part in parts {
+            let (key, v) = part
+                .split_once('=')
+                .ok_or_else(|| format!("bad field {part:?}"))?;
+            let hexf = || -> Result<f64, String> {
+                u64::from_str_radix(v, 16)
+                    .map(f64::from_bits)
+                    .map_err(|e| format!("{key}={v:?}: {e}"))
+            };
+            match key {
+                "n" => r.n = v.parse().map_err(|e| format!("n={v:?}: {e}"))?,
+                "mean" => r.mean = hexf()?,
+                "m2" => r.m2 = hexf()?,
+                "min" => r.min = hexf()?,
+                "max" => r.max = hexf()?,
+                _ => return Err(format!("unknown field {key:?}")),
+            }
+            seen += 1;
+        }
+        if seen != 5 {
+            return Err(format!("expected 5 fields, got {seen}: {s:?}"));
+        }
+        Ok(r)
+    }
 }
 
 /// A binomial proportion (e.g. "fraction of trials that lost data") with a
@@ -191,6 +241,42 @@ impl Proportion {
     pub fn merge(&mut self, other: Proportion) {
         self.successes += other.successes;
         self.trials += other.trials;
+    }
+
+    /// Exact single-line form: `p1;s=..;t=..` (integer counts, so this
+    /// codec is trivially lossless — it exists for symmetry with
+    /// [`Running::to_compact`] in the fleet checkpoint format).
+    pub fn to_compact(&self) -> String {
+        format!("p1;s={};t={}", self.successes, self.trials)
+    }
+
+    /// Parse the [`Proportion::to_compact`] form.
+    pub fn from_compact(s: &str) -> Result<Proportion, String> {
+        let mut parts = s.split(';');
+        if parts.next() != Some("p1") {
+            return Err(format!("not a p1 record: {s:?}"));
+        }
+        let mut successes = None;
+        let mut trials = None;
+        for part in parts {
+            let (key, v) = part
+                .split_once('=')
+                .ok_or_else(|| format!("bad field {part:?}"))?;
+            let n: u64 = v.parse().map_err(|e| format!("{key}={v:?}: {e}"))?;
+            match key {
+                "s" => successes = Some(n),
+                "t" => trials = Some(n),
+                _ => return Err(format!("unknown field {key:?}")),
+            }
+        }
+        match (successes, trials) {
+            (Some(s), Some(t)) if s <= t => Ok(Proportion {
+                successes: s,
+                trials: t,
+            }),
+            (Some(s), Some(t)) => Err(format!("{s} successes of {t} trials")),
+            _ => Err(format!("missing field in {s:?}")),
+        }
     }
 }
 
@@ -383,5 +469,50 @@ mod tests {
     #[test]
     fn cv_of_equal_counts_is_zero() {
         assert_eq!(coefficient_of_variation(&[7, 7, 7]), 0.0);
+    }
+
+    #[test]
+    fn running_compact_round_trip_is_bit_exact() {
+        let mut r = Running::new();
+        r.extend([0.1, -3.7, 1e-300, 42.0, f64::MIN_POSITIVE]);
+        let back = Running::from_compact(&r.to_compact()).unwrap();
+        assert_eq!(back.count(), r.count());
+        assert_eq!(back.mean().to_bits(), r.mean().to_bits());
+        assert_eq!(back.variance().to_bits(), r.variance().to_bits());
+        assert_eq!(back.min().to_bits(), r.min().to_bits());
+        assert_eq!(back.max().to_bits(), r.max().to_bits());
+    }
+
+    #[test]
+    fn running_compact_preserves_empty_sentinels() {
+        // An empty accumulator carries ±inf min/max sentinels; the codec
+        // must round-trip them so a merged-from-checkpoint accumulator
+        // behaves identically to a fresh one.
+        let back = Running::from_compact(&Running::new().to_compact()).unwrap();
+        assert_eq!(back.count(), 0);
+        assert_eq!(back.min(), f64::INFINITY);
+        assert_eq!(back.max(), f64::NEG_INFINITY);
+        let mut seeded = back;
+        seeded.push(2.5);
+        assert_eq!(seeded.min(), 2.5);
+        assert_eq!(seeded.max(), 2.5);
+    }
+
+    #[test]
+    fn running_compact_rejects_malformed() {
+        assert!(Running::from_compact("h1;n=1").is_err());
+        assert!(Running::from_compact("r1;n=1;mean=zz").is_err());
+        assert!(Running::from_compact("r1;n=1").is_err());
+        assert!(Running::from_compact("r1;n=1;mean=0;m2=0;min=0;max=0;extra=0").is_err());
+    }
+
+    #[test]
+    fn proportion_compact_round_trip() {
+        let p = Proportion::new(3, 17);
+        let back = Proportion::from_compact(&p.to_compact()).unwrap();
+        assert_eq!((back.successes, back.trials), (3, 17));
+        assert!(Proportion::from_compact("p1;s=5;t=2").is_err());
+        assert!(Proportion::from_compact("p1;s=5").is_err());
+        assert!(Proportion::from_compact("r1;s=5;t=9").is_err());
     }
 }

@@ -26,6 +26,7 @@ pub mod fig5;
 pub mod fig6;
 pub mod fig7;
 pub mod fig8;
+pub mod fleet;
 pub mod latent;
 pub mod redirection;
 pub mod render;

@@ -35,6 +35,11 @@
 //!   `farm-spans-v1` JSONL or a Chrome trace-event file
 //!   (`FARM_SPANS=path[@fmt]` / `--spans`), and critical-path
 //!   breakdowns in data-loss post-mortems,
+//! * [`fleet::FleetMonitor`] — fleet-scale campaign observability: the
+//!   coordinator-side merge of many worker processes' telemetry into
+//!   `fleet-status-v1` snapshots, an aggregated `/metrics` + `/status`
+//!   exporter with per-worker labels and fleet rollups, and a
+//!   rate-limited stderr dashboard (`FARM_FLEET` / `FARM_WORKERS`),
 //! * [`ObsOptions`] — the switchboard, populated from `FARM_TRACE` /
 //!   `FARM_PROFILE` / `FARM_PROGRESS` / `FARM_TIMELINE` /
 //!   `FARM_POSTMORTEM` / `FARM_STATUS` / `FARM_HTTP` /
@@ -49,6 +54,7 @@
 
 pub mod convergence;
 pub mod diag;
+pub mod fleet;
 pub mod flight;
 pub mod http;
 pub mod profile;
@@ -62,6 +68,10 @@ pub mod timeline;
 pub mod trace;
 
 pub use convergence::{ConvergenceCore, ConvergenceSpec, ConvergenceTracker, STOP_CHECK_EVERY};
+pub use fleet::{
+    fleet_dir_from_env, fleet_workers_from_env, http_get, FleetMonitor, Json, WorkerView,
+    DEFAULT_FLEET_DIR, DEFAULT_FLEET_WORKERS,
+};
 pub use flight::FlightRecorder;
 pub use profile::EventProfile;
 pub use progress::Progress;

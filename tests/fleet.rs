@@ -1,0 +1,258 @@
+//! Fleet orchestration, end to end: the golden contract that a
+//! fleet-merged campaign is **bit-identical** to a single-process run
+//! over the same seed set — for any worker count, through the real
+//! coordinator/worker processes, and across a killed-and-respawned
+//! worker — plus exact-coverage accounting on resume (no seed gaps, no
+//! double counting).
+
+use farm_core::montecarlo::{n_chunks, run_trial_chunks_observed, run_trials_observed};
+use farm_core::prelude::*;
+use farm_experiments::cli::Options;
+use farm_experiments::fleet::{self, campaign_fingerprint, fleet_config, load_result, plan_ranges};
+use farm_obs::{Json, ObsOptions};
+use std::path::PathBuf;
+use std::process::Command;
+
+const TRIALS: u64 = 16;
+const SEED: u64 = 7;
+const SCALE: f64 = 1.0 / 64.0;
+
+fn opts() -> Options {
+    let mut o = Options::quick_default();
+    o.trials = TRIALS;
+    o.seed = SEED;
+    o.scale = SCALE;
+    o.threads = 1;
+    o
+}
+
+fn fleet_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("farm-fleet-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+/// The single-process reference summary, compact form.
+fn single_process_compact() -> String {
+    let o = opts();
+    let (summary, _) = run_trials_observed(
+        &fleet_config(&o),
+        SEED,
+        TRIALS,
+        TrialMode::UntilLoss,
+        1,
+        &ObsOptions::off(),
+    );
+    summary.to_compact()
+}
+
+/// Golden merge test: partition the campaign as a 2-worker and a
+/// 4-worker fleet would, run every range through the worker entry
+/// point (with different thread counts, even), fold, and demand the
+/// exact bytes of the single-process summary.
+#[test]
+fn fleet_merge_matches_single_process_bit_for_bit() {
+    let o = opts();
+    let cfg = fleet_config(&o);
+    let reference = single_process_compact();
+    for (workers, threads) in [(2usize, 2usize), (4, 1)] {
+        let mut chunks = Vec::new();
+        for (lo, hi) in plan_ranges(TRIALS, workers) {
+            chunks.extend(run_trial_chunks_observed(
+                &cfg,
+                SEED,
+                TRIALS,
+                lo,
+                hi,
+                TrialMode::UntilLoss,
+                threads,
+                &ObsOptions::off(),
+            ));
+        }
+        let merged = farm_core::montecarlo::fold_chunk_summaries(chunks, n_chunks(TRIALS))
+            .expect("exact coverage");
+        assert_eq!(
+            merged.to_compact(),
+            reference,
+            "{workers}-worker fleet merge diverged from the single-process run"
+        );
+    }
+}
+
+fn fleet_bin() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_fleet"))
+}
+
+fn run_coordinator(dir: &PathBuf, workers: usize) -> std::process::Output {
+    fleet_bin()
+        .args([
+            "--workers",
+            &workers.to_string(),
+            "--no-dashboard",
+            "--no-worker-http",
+        ])
+        .args(["--trials", &TRIALS.to_string()])
+        .args(["--seed", &SEED.to_string()])
+        .args(["--scale", &SCALE.to_string()])
+        .args(["--threads", "1"])
+        .arg("--fleet")
+        .arg(dir)
+        .env_remove("FARM_FLEET_CRASH_RANGE")
+        .output()
+        .expect("spawn fleet coordinator")
+}
+
+/// The real processes: `--single` and a 2-worker coordinator produce
+/// byte-identical summary files.
+#[test]
+fn fleet_binary_matches_single_binary() {
+    let dir = fleet_dir("bin");
+    let single = fleet_bin()
+        .args(["--single", "--trials", &TRIALS.to_string()])
+        .args(["--seed", &SEED.to_string()])
+        .args(["--scale", &SCALE.to_string()])
+        .args(["--threads", "1"])
+        .arg("--fleet")
+        .arg(&dir)
+        .output()
+        .expect("spawn fleet --single");
+    assert!(single.status.success(), "--single failed: {single:?}");
+    let out = run_coordinator(&dir, 2);
+    assert!(out.status.success(), "coordinator failed: {out:?}");
+    let fleet_sum = std::fs::read_to_string(dir.join("fleet-summary.txt")).unwrap();
+    let single_sum = std::fs::read_to_string(dir.join("fleet-summary-single.txt")).unwrap();
+    assert_eq!(fleet_sum, single_sum);
+    assert_eq!(fleet_sum.trim(), single_process_compact());
+
+    // The merged snapshot is valid fleet-status-v1 with consistent
+    // totals: merged trials == sum over workers.
+    let snap = std::fs::read_to_string(dir.join("fleet-status.json")).unwrap();
+    let doc = Json::parse(&snap).unwrap();
+    assert_eq!(
+        doc.get("schema").and_then(Json::as_str),
+        Some("fleet-status-v1")
+    );
+    let merged = doc.get("trials_done").and_then(Json::as_u64).unwrap();
+    let by_worker: u64 = doc
+        .get("workers")
+        .and_then(Json::as_array)
+        .unwrap()
+        .iter()
+        .map(|w| w.get("trials_done").and_then(Json::as_u64).unwrap())
+        .sum();
+    assert_eq!(merged, TRIALS);
+    assert_eq!(merged, by_worker);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Kill-one-worker resume: the crash hook aborts worker 0 mid-range on
+/// its first attempt (no checkpoint — a SIGKILL stand-in). The
+/// coordinator must respawn it and the final summary must still be the
+/// single-process bytes, with checkpoints covering every chunk exactly
+/// once.
+#[test]
+fn killed_worker_resumes_without_gaps_or_double_counts() {
+    let dir = fleet_dir("crash");
+    let out = fleet_bin()
+        .args(["--workers", "2", "--no-dashboard", "--no-worker-http"])
+        .args(["--trials", &TRIALS.to_string()])
+        .args(["--seed", &SEED.to_string()])
+        .args(["--scale", &SCALE.to_string()])
+        .args(["--threads", "1"])
+        .arg("--fleet")
+        .arg(&dir)
+        .env("FARM_FLEET_CRASH_RANGE", "0:1")
+        .output()
+        .expect("spawn fleet coordinator");
+    assert!(out.status.success(), "coordinator failed: {out:?}");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        stderr.contains("died without a checkpoint; respawning"),
+        "expected a respawn in:\n{stderr}"
+    );
+
+    let fleet_sum = std::fs::read_to_string(dir.join("fleet-summary.txt")).unwrap();
+    assert_eq!(fleet_sum.trim(), single_process_compact());
+
+    // Exact coverage straight from the checkpoints: every chunk of the
+    // campaign present exactly once across the range files.
+    let o = opts();
+    let fp = campaign_fingerprint(&fleet_config(&o), SEED, TRIALS, TrialMode::UntilLoss);
+    let mut seen = Vec::new();
+    for (lo, hi) in plan_ranges(TRIALS, 2) {
+        let chunks = load_result(&dir, fp, lo, hi).expect("checkpoint valid after resume");
+        seen.extend(chunks.iter().map(|&(c, _)| c));
+    }
+    seen.sort_unstable();
+    let want: Vec<u64> = (0..n_chunks(TRIALS)).collect();
+    assert_eq!(seen, want, "seed-range coverage broken after resume");
+
+    // The snapshot records the respawn: worker 0 took two attempts.
+    let snap = std::fs::read_to_string(dir.join("fleet-status.json")).unwrap();
+    let doc = Json::parse(&snap).unwrap();
+    let workers = doc.get("workers").and_then(Json::as_array).unwrap();
+    assert_eq!(
+        workers[0].get("attempts").and_then(Json::as_u64),
+        Some(2),
+        "crashed worker should have respawned once"
+    );
+    assert_eq!(workers[1].get("attempts").and_then(Json::as_u64), Some(1));
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Coordinator restart: ranges that already have a valid checkpoint
+/// are not re-dispatched (attempts stays 0), in-flight ranges run, and
+/// the merged bytes are unchanged — no double counting.
+#[test]
+fn coordinator_restart_skips_checkpointed_ranges() {
+    let dir = fleet_dir("resume");
+    std::fs::create_dir_all(&dir).unwrap();
+    // First "incarnation": only worker 0's range finishes (run it
+    // directly in worker mode); the coordinator then "restarts".
+    let ranges = plan_ranges(TRIALS, 2);
+    let (lo, hi) = ranges[0];
+    let out = fleet_bin()
+        .args(["--worker", "--range", &format!("{lo}:{hi}")])
+        .args(["--trials", &TRIALS.to_string()])
+        .args(["--seed", &SEED.to_string()])
+        .args(["--scale", &SCALE.to_string()])
+        .args(["--threads", "1"])
+        .arg("--fleet")
+        .arg(&dir)
+        .output()
+        .expect("spawn fleet worker");
+    assert!(out.status.success(), "worker failed: {out:?}");
+
+    let out = run_coordinator(&dir, 2);
+    assert!(out.status.success(), "coordinator failed: {out:?}");
+    let fleet_sum = std::fs::read_to_string(dir.join("fleet-summary.txt")).unwrap();
+    assert_eq!(fleet_sum.trim(), single_process_compact());
+
+    let snap = std::fs::read_to_string(dir.join("fleet-status.json")).unwrap();
+    let doc = Json::parse(&snap).unwrap();
+    let workers = doc.get("workers").and_then(Json::as_array).unwrap();
+    // Checkpointed range: never spawned by the restarted coordinator.
+    assert_eq!(workers[0].get("attempts").and_then(Json::as_u64), Some(0));
+    assert_eq!(workers[0].get("done").and_then(Json::as_bool), Some(true));
+    assert_eq!(workers[1].get("attempts").and_then(Json::as_u64), Some(1));
+    // And the totals still add up: nothing ran twice.
+    assert_eq!(doc.get("trials_done").and_then(Json::as_u64), Some(TRIALS));
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// A stale checkpoint from a *different* campaign (wrong fingerprint)
+/// must be ignored, not merged.
+#[test]
+fn stale_checkpoint_from_other_campaign_is_ignored() {
+    let o = opts();
+    let cfg = fleet_config(&o);
+    let fp = campaign_fingerprint(&cfg, SEED, TRIALS, TrialMode::UntilLoss);
+    let other = campaign_fingerprint(&cfg, SEED + 1, TRIALS, TrialMode::UntilLoss);
+    let dir = fleet_dir("stale");
+    std::fs::create_dir_all(&dir).unwrap();
+    let chunks = vec![(0u64, McSummary::new())];
+    fleet::write_result(&dir, other, 0, 1, &chunks).unwrap();
+    assert!(load_result(&dir, other, 0, 1).is_some());
+    assert!(load_result(&dir, fp, 0, 1).is_none());
+    let _ = std::fs::remove_dir_all(&dir);
+}
